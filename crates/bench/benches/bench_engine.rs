@@ -1,0 +1,82 @@
+//! Backend engine benchmarks: full scan vs zone-map-pruned scan (the data
+//! skipping the use-rewrite enables), and the use-rewritten query itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use imp_core::maintain::SketchMaintainer;
+use imp_core::ops::OpConfig;
+use imp_data::synthetic::{load, SyntheticConfig};
+use imp_engine::Database;
+use imp_sketch::{apply_sketch_filter, PartitionSet, RangePartition};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn setup() -> Database {
+    let mut db = Database::new();
+    load(
+        &mut db,
+        &SyntheticConfig {
+            rows: 20_000,
+            groups: 1_000,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+fn bench_scan_vs_skip(c: &mut Criterion) {
+    let db = setup();
+    let sql = imp_data::queries::q_endtoend(680, 760);
+    let plan = db.plan_sql(&sql).unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::equi_depth(&db, "edb1", "a", 100).unwrap(),
+        ])
+        .unwrap(),
+    );
+    let (m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let rewritten = apply_sketch_filter(&plan, m.sketch()).unwrap();
+
+    c.bench_function("query_full_scan", |bench| {
+        bench.iter(|| black_box(db.execute_plan(&plan).unwrap().rows.len()))
+    });
+    c.bench_function("query_sketch_skipping", |bench| {
+        bench.iter(|| black_box(db.execute_plan(&rewritten).unwrap().rows.len()))
+    });
+}
+
+fn bench_join_query(c: &mut Criterion) {
+    let mut db = setup();
+    imp_data::synthetic::load_join_helper(&mut db, "h", 1_000, 100, 1, 5).unwrap();
+    let sql = imp_data::queries::q_joinsel("edb1", "h");
+    let plan = db.plan_sql(&sql).unwrap();
+    c.bench_function("query_join_agg_having", |bench| {
+        bench.iter(|| black_box(db.execute_plan(&plan).unwrap().rows.len()))
+    });
+}
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    let db = setup();
+    let sql = "SELECT a, avg(b) AS ab, sum(c) AS sc FROM edb1 \
+               WHERE b < 500 GROUP BY a HAVING avg(c) < 900 \
+               ORDER BY ab DESC LIMIT 10";
+    c.bench_function("parse_and_resolve", |bench| {
+        bench.iter(|| black_box(db.plan_sql(black_box(sql)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scan_vs_skip, bench_join_query, bench_sql_frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Incremental operator throughput: the merge operator μ (§5.1) and the
+//! aggregation operator's per-delta-tuple cost (§5.3 claims O(1) per tuple
+//! per aggregation function).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use imp_core::ops::MergeOp;
+use imp_sketch::AnnotatedDeltaRow;
+use imp_storage::{row, BitVec};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+/// Net-zero delta (paired insert/delete per fragment) so repeated
+/// application inside the bench loop never underflows the counters.
+fn delta(n: usize, frags: usize) -> Vec<AnnotatedDeltaRow> {
+    (0..n)
+        .map(|i| AnnotatedDeltaRow {
+            row: row![(i / 2) as i64, ((i / 2) % 97) as i64],
+            annot: BitVec::singleton(frags, (i / 2) % frags),
+            mult: if i % 2 == 1 { -1 } else { 1 },
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let d100 = delta(100, 100);
+    let d1000 = delta(1000, 100);
+    let preload: Vec<AnnotatedDeltaRow> = delta(5000, 100)
+        .into_iter()
+        .map(|d| AnnotatedDeltaRow {
+            mult: d.mult.abs(),
+            ..d
+        })
+        .collect();
+    c.bench_function("merge_mu_delta100", |bench| {
+        let mut m = MergeOp::new(100);
+        // Pre-load counters so deletions never underflow.
+        m.process(&preload).unwrap();
+        bench.iter(|| black_box(m.process(black_box(&d100)).unwrap()))
+    });
+    c.bench_function("merge_mu_delta1000", |bench| {
+        let mut m = MergeOp::new(100);
+        m.process(&preload).unwrap();
+        bench.iter(|| black_box(m.process(black_box(&d1000)).unwrap()))
+    });
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let d = delta(1000, 100);
+    c.bench_function("normalize_delta_1000", |bench| {
+        bench.iter(|| black_box(imp_core::normalize_delta(black_box(d.clone()))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_merge, bench_normalize
+}
+criterion_main!(benches);

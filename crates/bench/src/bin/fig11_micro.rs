@@ -1,0 +1,295 @@
+//! Figures 11 & 12: microbenchmarks over the synthetic dataset.
+//!
+//! Subcommands (run all when none given):
+//! * `having`  — Fig. 11a/12a: #aggregation functions {1,2,3,10}
+//! * `groups`  — Fig. 11b/12b: #groups {50, 1k, 5k, 50k}
+//! * `join1n`  — Fig. 11c/12c: 1-n joins
+//! * `joinmn`  — Fig. 11d/12d: m-n joins
+//! * `joinsel` — Fig. 11e/12e: join selectivity {1,5,10}%
+//! * `frags`   — Fig. 11f/12f: #fragments {10..5000}
+//!
+//! Each experiment prints the realistic-delta series (Fig. 11: deltas
+//! 10..1000 rows) and the break-even sweep (Fig. 12: deltas as a % of the
+//! table, looking for the FM/IMP crossover).
+
+use imp_bench::*;
+use imp_core::ops::OpConfig;
+use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
+use imp_data::workload::insert_stream;
+use imp_data::queries;
+use imp_engine::Database;
+
+fn db_with(rows: usize, groups: i64, name: &str) -> Database {
+    let mut db = Database::new();
+    load(
+        &mut db,
+        &SyntheticConfig {
+            name: name.into(),
+            rows,
+            groups,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+/// Measure one (query, table) config across realistic + break-even deltas.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    db: &mut Database,
+    sql: &str,
+    table: &str,
+    table_rows: usize,
+    groups: i64,
+    frags: usize,
+    label: String,
+    realistic: &mut Vec<Vec<String>>,
+    breakeven: &mut Vec<Vec<String>>,
+) {
+    let plan = db.plan_sql(sql).unwrap();
+    for delta in [10usize, 100, 1000] {
+        let pset = pset_for(db, table, "a", frags);
+        let ups = insert_stream(table, reps(), delta, groups, table_rows * 8, delta as u64);
+        let m = measure_inc_vs_full(db, &plan, &pset, &ups, OpConfig::default());
+        realistic.push(vec![
+            label.clone(),
+            delta.to_string(),
+            ms(m.imp_ms),
+            ms(m.fm_ms),
+            format!("{:.1}x", m.fm_ms / m.imp_ms.max(1e-6)),
+        ]);
+    }
+    for pct in [1usize, 4, 16, 32, 64] {
+        let delta = (table_rows * pct / 100).max(1);
+        let pset = pset_for(db, table, "a", frags);
+        let ups = insert_stream(table, 1, delta, groups, table_rows * 16, 77 + pct as u64);
+        let m = measure_inc_vs_full(db, &plan, &pset, &ups, OpConfig::default());
+        breakeven.push(vec![
+            label.clone(),
+            format!("{pct}%"),
+            ms(m.imp_ms),
+            ms(m.fm_ms),
+            if m.imp_ms > m.fm_ms { "FM wins" } else { "IMP wins" }.to_string(),
+        ]);
+    }
+}
+
+fn exp_having() {
+    let rows = scaled(20_000, 2_000);
+    let mut db = db_with(rows, 5_000, "r500");
+    let (mut real, mut brk) = (vec![], vec![]);
+    for n_aggs in [1usize, 2, 3, 10] {
+        let sql = queries::q_having("r500", n_aggs);
+        sweep(
+            &mut db,
+            &sql,
+            "r500",
+            rows,
+            5_000,
+            100,
+            format!("{n_aggs} aggs"),
+            &mut real,
+            &mut brk,
+        );
+    }
+    print_table(
+        "Fig. 11a: Q_having — #aggregation functions (realistic deltas)",
+        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &real,
+    );
+    print_table(
+        "Fig. 12a: Q_having — break-even sweep",
+        &["config", "delta%", "IMP", "FM", "winner"],
+        &brk,
+    );
+}
+
+fn exp_groups() {
+    let rows = scaled(20_000, 2_000);
+    let (mut real, mut brk) = (vec![], vec![]);
+    for groups in [50i64, 1_000, 5_000, 50_000] {
+        let name = format!("t{groups}g");
+        let mut db = db_with(rows, groups, &name);
+        // HAVING threshold ~ group domain (paper A.1.2 scales it too).
+        let sql = queries::q_groups(&name, (groups as f64 * 1.6) as i64);
+        sweep(
+            &mut db,
+            &sql,
+            &name,
+            rows,
+            groups,
+            100,
+            format!("{groups} groups"),
+            &mut real,
+            &mut brk,
+        );
+    }
+    print_table(
+        "Fig. 11b: Q_groups — #groups (realistic deltas)",
+        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &real,
+    );
+    print_table(
+        "Fig. 12b: Q_groups — break-even sweep",
+        &["config", "delta%", "IMP", "FM", "winner"],
+        &brk,
+    );
+}
+
+fn exp_join_1n() {
+    // 1-n joins: n = rows/groups partners per key in the main table.
+    let rows = scaled(20_000, 2_000);
+    let (mut real, mut brk) = (vec![], vec![]);
+    for (label, groups) in [("1-20", (rows / 20) as i64), ("1-200", (rows / 200) as i64), ("1-2000", (rows / 2000).max(1) as i64)] {
+        let name = format!("j{groups}");
+        let mut db = db_with(rows, groups, &name);
+        load_join_helper(&mut db, "tjoinhelp", groups, 100, 1, 5).unwrap();
+        let sql = queries::q_join(&name, "tjoinhelp", 1_000_000, (groups * 2).max(1000));
+        sweep(
+            &mut db,
+            &sql,
+            &name,
+            rows,
+            groups,
+            100,
+            label.to_string(),
+            &mut real,
+            &mut brk,
+        );
+    }
+    print_table(
+        "Fig. 11c: Q_join 1-n (realistic deltas)",
+        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &real,
+    );
+    print_table(
+        "Fig. 12c: Q_join 1-n — break-even sweep",
+        &["config", "delta%", "IMP", "FM", "winner"],
+        &brk,
+    );
+}
+
+fn exp_join_mn() {
+    let rows = scaled(20_000, 2_000);
+    let groups = (rows / 10) as i64;
+    let (mut real, mut brk) = (vec![], vec![]);
+    for m in [2usize, 20, 50] {
+        let name = format!("jm{m}");
+        let mut db = db_with(rows, groups, &name);
+        let helper = format!("hm{m}");
+        load_join_helper(&mut db, &helper, groups, 100, m, 5).unwrap();
+        let sql = queries::q_join(&name, &helper, 1_000_000, groups * 2);
+        sweep(
+            &mut db,
+            &sql,
+            &name,
+            rows,
+            groups,
+            100,
+            format!("{m}-n"),
+            &mut real,
+            &mut brk,
+        );
+    }
+    print_table(
+        "Fig. 11d: Q_join m-n (realistic deltas)",
+        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &real,
+    );
+    print_table(
+        "Fig. 12d: Q_join m-n — break-even sweep",
+        &["config", "delta%", "IMP", "FM", "winner"],
+        &brk,
+    );
+}
+
+fn exp_joinsel() {
+    let rows = scaled(20_000, 2_000);
+    let groups = 2_000i64;
+    let (mut real, mut brk) = (vec![], vec![]);
+    for sel in [1u32, 5, 10] {
+        let name = format!("js{sel}");
+        let mut db = db_with(rows, groups, &name);
+        let helper = format!("hs{sel}");
+        load_join_helper(&mut db, &helper, groups, sel, 1, 5).unwrap();
+        let sql = queries::q_joinsel(&name, &helper);
+        sweep(
+            &mut db,
+            &sql,
+            &name,
+            rows,
+            groups,
+            100,
+            format!("{sel}% sel"),
+            &mut real,
+            &mut brk,
+        );
+    }
+    print_table(
+        "Fig. 11e: Q_joinsel — join selectivity (realistic deltas)",
+        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &real,
+    );
+    print_table(
+        "Fig. 12e: Q_joinsel — break-even sweep",
+        &["config", "delta%", "IMP", "FM", "winner"],
+        &brk,
+    );
+}
+
+fn exp_frags() {
+    let rows = scaled(20_000, 2_000);
+    let groups = 2_000i64;
+    let (mut real, mut brk) = (vec![], vec![]);
+    for frags in [10usize, 100, 1000, 5000] {
+        let name = format!("tf{frags}");
+        let mut db = db_with(rows, groups, &name);
+        let helper = format!("hf{frags}");
+        load_join_helper(&mut db, &helper, groups, 100, 1, 5).unwrap();
+        let sql = queries::q_sketch(&name, &helper);
+        sweep(
+            &mut db,
+            &sql,
+            &name,
+            rows,
+            groups,
+            frags,
+            format!("{frags} frags"),
+            &mut real,
+            &mut brk,
+        );
+    }
+    print_table(
+        "Fig. 11f: Q_sketch — #fragments (realistic deltas)",
+        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &real,
+    );
+    print_table(
+        "Fig. 12f: Q_sketch — break-even sweep",
+        &["config", "delta%", "IMP", "FM", "winner"],
+        &brk,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    println!("Fig. 11/12 — microbenchmarks ({which})");
+    match which {
+        "having" => exp_having(),
+        "groups" => exp_groups(),
+        "join1n" => exp_join_1n(),
+        "joinmn" => exp_join_mn(),
+        "joinsel" => exp_joinsel(),
+        "frags" => exp_frags(),
+        _ => {
+            exp_having();
+            exp_groups();
+            exp_join_1n();
+            exp_join_mn();
+            exp_joinsel();
+            exp_frags();
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Figure 13: the §7.2 optimizations.
+//!
+//! * `selpd` — selection push-down for deltas (13a/13c): delta fixed at
+//!   2.5% of the table, fraction of delta rows passing the WHERE clause
+//!   varied 2%→100%; with vs without push-down.
+//! * `bloom` — bloom filters for joins (13b/13d): join selectivity ×
+//!   delta size, with vs without bloom filters.
+//! * `space` — top-l state buffers (13e/13f): Q_space (TPC-H Q10) state
+//!   memory as a function of the buffer bound l.
+
+use imp_bench::*;
+use imp_core::maintain::SketchMaintainer;
+use imp_core::ops::OpConfig;
+use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
+use imp_data::workload::{insert_stream, WorkloadOp};
+use imp_data::queries;
+use imp_engine::Database;
+use std::sync::Arc;
+
+fn exp_selpd() {
+    let rows = scaled(20_000, 2_000);
+    let groups = 1_000i64;
+    let delta = (rows as f64 * 0.025) as usize; // 2.5% of the table
+    let b_threshold = 1_000i64;
+    let mut out = Vec::new();
+    for pass_pct in [2usize, 10, 25, 50, 75, 100] {
+        for pushdown in [true, false] {
+            let mut db = Database::new();
+            load(
+                &mut db,
+                &SyntheticConfig {
+                    name: "t1gb1000g".into(),
+                    rows,
+                    groups,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let sql = queries::q_selpd("t1gb1000g", b_threshold);
+            let plan = db.plan_sql(&sql).unwrap();
+            let pset = pset_for(&db, "t1gb1000g", "a", 100);
+            let (mut m, _) = SketchMaintainer::capture(
+                &plan,
+                &db,
+                Arc::clone(&pset),
+                OpConfig::default(),
+                pushdown,
+            )
+            .unwrap();
+            // Delta where `pass_pct`% of rows satisfy b < threshold.
+            let passing = delta * pass_pct / 100;
+            let mut values = Vec::with_capacity(delta);
+            for i in 0..delta {
+                let id = rows * 4 + i;
+                let b = if i < passing {
+                    b_threshold - 1 - (i as i64 % 500)
+                } else {
+                    b_threshold + 1 + (i as i64 % 500)
+                };
+                let mut row = format!("({id}, {}, {b}", i as i64 % groups);
+                for _ in 0..9 {
+                    row.push_str(", 100");
+                }
+                row.push(')');
+                values.push(row);
+            }
+            db.execute_sql(&format!(
+                "INSERT INTO t1gb1000g VALUES {}",
+                values.join(", ")
+            ))
+            .unwrap();
+            let (t, report) = time_once(|| m.maintain(&db).unwrap());
+            out.push(vec![
+                format!("{pass_pct}%"),
+                if pushdown { "on" } else { "off" }.to_string(),
+                ms(t.as_secs_f64() * 1e3),
+                report.metrics.delta_rows_pruned.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 13a/c: selection push-down (delta = 2.5% of table)",
+        &["delta-sel", "pushdown", "maintain", "pruned"],
+        &out,
+    );
+}
+
+fn exp_bloom() {
+    let rows = scaled(20_000, 2_000);
+    let groups = 2_000i64;
+    let mut out = Vec::new();
+    for sel in [1u32, 5, 10] {
+        for delta in [10usize, 100, 1000] {
+            for bloom in [true, false] {
+                let name = format!("tb{sel}");
+                let helper = format!("hb{sel}");
+                let mut db = Database::new();
+                load(
+                    &mut db,
+                    &SyntheticConfig {
+                        name: name.clone(),
+                        rows,
+                        groups,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                load_join_helper(&mut db, &helper, groups, sel, 1, 5).unwrap();
+                let sql = queries::q_joinsel(&name, &helper);
+                let plan = db.plan_sql(&sql).unwrap();
+                let pset = pset_for(&db, &name, "a", 100);
+                let cfg = OpConfig {
+                    bloom,
+                    ..OpConfig::default()
+                };
+                let ups = insert_stream(&name, reps(), delta, groups, rows * 8, 3);
+                let (mut m, _) =
+                    SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true)
+                        .unwrap();
+                let mut times = Vec::new();
+                let mut pruned = 0u64;
+                for op in &ups {
+                    let WorkloadOp::Update { sql, .. } = op else {
+                        continue;
+                    };
+                    db.execute_sql(sql).unwrap();
+                    let (t, report) = time_once(|| m.maintain(&db).unwrap());
+                    times.push(t);
+                    pruned += report.metrics.bloom_pruned;
+                }
+                out.push(vec![
+                    format!("{sel}%"),
+                    delta.to_string(),
+                    if bloom { "on" } else { "off" }.to_string(),
+                    ms(median_ms(times)),
+                    pruned.to_string(),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig. 13b/d: bloom-filter join optimization",
+        &["join-sel", "delta", "bloom", "maintain", "pruned"],
+        &out,
+    );
+}
+
+fn exp_space() {
+    let mut db = Database::new();
+    imp_data::tpch::load(&mut db, 0.3 * scale(), 17).unwrap();
+    // Q_space with a one-year window so the top-k input is large enough
+    // for the buffer bound to matter (the paper's SF1 run sees 37k tuples).
+    let sql = queries::Q_SPACE
+        .replace("19941201", "19940101")
+        .replace("19950301", "19950101");
+    let plan = db.plan_sql(&sql).unwrap();
+    let pset = pset_for(&db, "customer", "c_custkey", 100);
+    let mut out = Vec::new();
+    for buffer in [Some(50usize), Some(100), Some(500), Some(1_000), None] {
+        let cfg = OpConfig {
+            topk_buffer: buffer,
+            minmax_buffer: buffer,
+            ..OpConfig::default()
+        };
+        let (m, _) =
+            SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
+        let (entries, bytes) = m.topk_state().unwrap_or((0, 0));
+        out.push(vec![
+            buffer.map_or("all".to_string(), |b| b.to_string()),
+            entries.to_string(),
+            format!("{:.1} KB", bytes as f64 / 1e3),
+            format!("{:.3} MB", m.state_heap_size() as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "Fig. 13e/f: Q_space (TPC-H Q10) state memory vs top-l buffer",
+        &["l", "topk entries", "topk state", "total state"],
+        &out,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    println!("Fig. 13 — optimizations ({which})");
+    match which {
+        "selpd" => exp_selpd(),
+        "bloom" => exp_bloom(),
+        "space" => exp_space(),
+        _ => {
+            exp_selpd();
+            exp_bloom();
+            exp_space();
+        }
+    }
+}

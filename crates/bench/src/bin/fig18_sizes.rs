@@ -1,0 +1,31 @@
+//! Figure 18 (table): in-memory sizes of sketches and ranges.
+//!
+//! "We encode each sketch as a bitvector … for n ranges, we record n+1
+//! values in the list" (§8.6.2). This harness prints the same two rows as
+//! the paper's table for n ∈ {100 … 100000}.
+
+use imp_bench::print_table;
+use imp_sketch::RangePartition;
+use imp_storage::{BitVec, Value};
+
+fn main() {
+    println!("Fig. 18 — memory of sketches and ranges");
+    let ns = [100usize, 200, 500, 1000, 2000, 5000, 10000, 20000, 100000];
+    let mut sketch_row = vec!["sketch (MB)".to_string()];
+    let mut range_row = vec!["ranges (MB)".to_string()];
+    for &n in &ns {
+        let bits = BitVec::new(n);
+        sketch_row.push(format!("{:.6}", bits.heap_size() as f64 / 1e6));
+        let cuts: Vec<Value> = (1..n as i64).map(Value::Int).collect();
+        let part = RangePartition::new("t", "a", 0, cuts).unwrap();
+        range_row.push(format!("{:.6}", part.heap_size() as f64 / 1e6));
+    }
+    let mut header = vec!["n"];
+    let labels: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+    header.extend(labels.iter().map(String::as_str));
+    print_table(
+        "Fig. 18: sizes of sketches and ranges in memory",
+        &header,
+        &[sketch_row, range_row],
+    );
+}

@@ -1,0 +1,232 @@
+//! Shared measurement utilities for the figure harnesses.
+
+use imp_core::maintain::SketchMaintainer;
+use imp_core::ops::OpConfig;
+use imp_data::workload::WorkloadOp;
+use imp_engine::Database;
+use imp_sketch::{capture, PartitionSet, RangePartition};
+use imp_sql::LogicalPlan;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Global size multiplier from `IMP_BENCH_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("IMP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled by [`scale`], at least `min`.
+pub fn scaled(n: usize, min: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(min)
+}
+
+/// Repetitions for timed measurements (`IMP_BENCH_REPS`, default 3;
+/// the paper uses ≥10 — raise for tighter medians).
+pub fn reps() -> usize {
+    std::env::var("IMP_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Median of a set of durations, in milliseconds.
+pub fn median_ms(mut xs: Vec<Duration>) -> f64 {
+    xs.sort();
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs[xs.len() / 2].as_secs_f64() * 1e3
+}
+
+/// Time one closure invocation.
+pub fn time_once<R>(mut f: impl FnMut() -> R) -> (Duration, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed(), r)
+}
+
+/// Print an aligned table: header row + data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}ms")
+    } else if v >= 1.0 {
+        format!("{v:.2}ms")
+    } else {
+        format!("{:.1}us", v * 1e3)
+    }
+}
+
+/// Build a partition set with one equi-depth partition.
+pub fn pset_for(
+    db: &Database,
+    table: &str,
+    attribute: &str,
+    fragments: usize,
+) -> Arc<PartitionSet> {
+    Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::equi_depth(db, table, attribute, fragments).unwrap(),
+        ])
+        .unwrap(),
+    )
+}
+
+/// The standard §8.2/§8.3 experiment: capture a sketch, then for each
+/// update batch measure incremental maintenance; also measure one full
+/// maintenance (re-capture) per repetition. Returns `(imp_ms, fm_ms)`
+/// medians per maintenance run.
+pub struct IncVsFull {
+    /// Median incremental maintenance time per batch (ms).
+    pub imp_ms: f64,
+    /// Median full maintenance (capture query) time (ms).
+    pub fm_ms: f64,
+    /// Number of recaptures forced by bounded state.
+    pub recaptures: usize,
+}
+
+/// Run the IMP-vs-FM measurement for a prepared database and plan.
+pub fn measure_inc_vs_full(
+    db: &mut Database,
+    plan: &LogicalPlan,
+    pset: &Arc<PartitionSet>,
+    updates: &[WorkloadOp],
+    op_config: OpConfig,
+) -> IncVsFull {
+    let (mut maintainer, _) =
+        SketchMaintainer::capture(plan, db, Arc::clone(pset), op_config, true).unwrap();
+    let mut imp_times = Vec::new();
+    let mut recaptures = 0usize;
+    for op in updates {
+        let WorkloadOp::Update { sql, .. } = op else {
+            continue;
+        };
+        db.execute_sql(sql).unwrap();
+        let (t, report) = time_once(|| maintainer.maintain(db).unwrap());
+        if report.recaptured {
+            recaptures += 1;
+        }
+        imp_times.push(t);
+    }
+    // FM: rerun the capture query on the final state.
+    let mut fm_times = Vec::new();
+    for _ in 0..reps() {
+        let (t, _) = time_once(|| capture(plan, db, pset).unwrap());
+        fm_times.push(t);
+    }
+    IncVsFull {
+        imp_ms: median_ms(imp_times),
+        fm_ms: median_ms(fm_times),
+        recaptures,
+    }
+}
+
+/// Apply a stream of operations to a raw database (the NS baseline),
+/// returning the total wall-clock time.
+pub fn run_ns(db: &mut Database, ops: &[WorkloadOp]) -> Duration {
+    let t = Instant::now();
+    for op in ops {
+        match op {
+            WorkloadOp::Query(sql) => {
+                db.query(sql).unwrap();
+            }
+            WorkloadOp::Update { sql, .. } => {
+                db.execute_sql(sql).unwrap();
+            }
+        }
+    }
+    t.elapsed()
+}
+
+/// Run a stream through the IMP middleware, returning total time.
+pub fn run_imp(imp: &mut imp_core::Imp, ops: &[WorkloadOp]) -> Duration {
+    let t = Instant::now();
+    for op in ops {
+        match op {
+            WorkloadOp::Query(sql) => {
+                imp.execute(sql).unwrap();
+            }
+            WorkloadOp::Update { sql, .. } => {
+                imp.execute(sql).unwrap();
+            }
+        }
+    }
+    t.elapsed()
+}
+
+/// The FM baseline of §8.1: sketches are used for queries but *fully*
+/// re-captured whenever stale.
+pub fn run_fm(db: &mut Database, ops: &[WorkloadOp], pset_table: (&str, &str, usize)) -> Duration {
+    use imp_sql::{QueryTemplate, Statement};
+    let mut store: std::collections::HashMap<
+        QueryTemplate,
+        (LogicalPlan, Arc<PartitionSet>, imp_sketch::SketchSet, u64),
+    > = Default::default();
+    let t = Instant::now();
+    for op in ops {
+        match op {
+            WorkloadOp::Update { sql, .. } => {
+                db.execute_sql(sql).unwrap();
+            }
+            WorkloadOp::Query(sql) => {
+                let Statement::Select(sel) = imp_sql::parse_one(sql).unwrap() else {
+                    panic!()
+                };
+                let template = QueryTemplate::of(&sel);
+                let plan = db.plan_sql(sql).unwrap();
+                match store.get_mut(&template) {
+                    Some((splan, pset, sketch, version)) if *splan == plan => {
+                        if *version != db.version() {
+                            // Stale: full maintenance = rerun capture.
+                            let cap = capture(splan, db, pset).unwrap();
+                            *sketch = cap.sketch;
+                            *version = db.version();
+                        }
+                        let rewritten =
+                            imp_sketch::apply_sketch_filter(&plan, sketch).unwrap();
+                        db.execute_plan(&rewritten).unwrap();
+                    }
+                    _ => {
+                        let (table, attr, frags) = pset_table;
+                        let pset = pset_for(db, table, attr, frags);
+                        let cap = capture(&plan, db, &pset).unwrap();
+                        store.insert(
+                            template,
+                            (plan, pset, cap.sketch, db.version()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    t.elapsed()
+}

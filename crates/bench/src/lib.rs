@@ -1,0 +1,16 @@
+//! # imp-bench
+//!
+//! Benchmark harness regenerating every table and figure of the IMP
+//! paper's evaluation (§8). One binary per figure (see `src/bin/`); each
+//! prints the same series the paper plots, as aligned text tables.
+//! Criterion micro-benchmarks live in `benches/`.
+//!
+//! Scale: the paper runs on a 12-core/128 GB server with 1–10 GB datasets;
+//! these harnesses default to laptop-scale sizes. Set `IMP_BENCH_SCALE`
+//! (float, default 1.0) to scale row counts up or down — the *shapes*
+//! (who wins, slopes in delta size, break-even crossovers as a fraction of
+//! the table) are scale-free.
+
+pub mod harness;
+
+pub use harness::*;

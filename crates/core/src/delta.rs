@@ -1,0 +1,85 @@
+//! Annotated deltas flowing between incremental operators.
+//!
+//! A delta is a bag of `Δ±⟨t, P⟩ⁿ` entries (paper §4.3) represented with
+//! *signed* multiplicities: `mult > 0` is an insertion, `mult < 0` a
+//! deletion. The sign algebra makes the four-case join rule of §5.2.4 fall
+//! out of multiplication (`Δ- × Δ- = Δ+`, `Δ- × Δ+ = Δ-`, …).
+
+use imp_sketch::AnnotatedDeltaRow;
+use imp_storage::{BitVec, FxHashMap, Row};
+
+/// A batch of annotated delta tuples.
+pub type AnnotDelta = Vec<AnnotatedDeltaRow>;
+
+/// Fold entries with identical `(row, annotation)` into one, dropping
+/// zero-multiplicity results. Keeps batches compact between operators.
+pub fn normalize_delta(delta: AnnotDelta) -> AnnotDelta {
+    if delta.len() <= 1 {
+        return delta;
+    }
+    let mut map: FxHashMap<(Row, BitVec), i64> = FxHashMap::default();
+    for d in delta {
+        *map.entry((d.row, d.annot)).or_insert(0) += d.mult;
+    }
+    let mut out: Vec<AnnotatedDeltaRow> = map
+        .into_iter()
+        .filter(|(_, m)| *m != 0)
+        .map(|((row, annot), mult)| AnnotatedDeltaRow { row, annot, mult })
+        .collect();
+    // Deterministic order for tests and reproducible merge processing.
+    out.sort_by(|a, b| (&a.row, &a.annot).cmp(&(&b.row, &b.annot)));
+    out
+}
+
+/// Total number of touched tuples (sum of |mult|).
+pub fn delta_magnitude(delta: &AnnotDelta) -> u64 {
+    delta.iter().map(|d| d.mult.unsigned_abs()).sum()
+}
+
+/// Approximate heap footprint of a delta batch (memory experiments).
+pub fn delta_heap_size(delta: &AnnotDelta) -> usize {
+    delta
+        .iter()
+        .map(|d| d.row.heap_size() + d.annot.heap_size() + std::mem::size_of::<AnnotatedDeltaRow>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_storage::row;
+
+    fn entry(r: Row, bit: usize, mult: i64) -> AnnotatedDeltaRow {
+        AnnotatedDeltaRow {
+            row: r,
+            annot: BitVec::singleton(4, bit),
+            mult,
+        }
+    }
+
+    #[test]
+    fn normalize_merges_and_cancels() {
+        let d = vec![
+            entry(row![1], 0, 2),
+            entry(row![1], 0, -2),
+            entry(row![2], 1, 1),
+            entry(row![2], 1, 3),
+        ];
+        let n = normalize_delta(d);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].row, row![2]);
+        assert_eq!(n[0].mult, 4);
+    }
+
+    #[test]
+    fn distinct_annotations_not_merged() {
+        let d = vec![entry(row![1], 0, 1), entry(row![1], 1, 1)];
+        assert_eq!(normalize_delta(d).len(), 2);
+    }
+
+    #[test]
+    fn magnitude_sums_absolute() {
+        let d = vec![entry(row![1], 0, 3), entry(row![2], 1, -2)];
+        assert_eq!(delta_magnitude(&d), 5);
+    }
+}

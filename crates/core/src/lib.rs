@@ -1,0 +1,43 @@
+//! # imp-core
+//!
+//! **IMP — In-memory Incremental Maintenance of Provenance Sketches**: the
+//! paper's primary contribution. An in-memory incremental engine over
+//! sketch-annotated deltas, plus the middleware that manages a store of
+//! sketches between the user and the backend database (paper Fig. 2).
+//!
+//! * [`delta`] — annotated deltas with signed multiplicities (§4.2/§4.3).
+//! * [`fragcount`] — the per-group / per-operator fragment counters `ℱ_g`
+//!   and the merge-operator counter map `S : Φ → ℕ` (§5.1, §5.2.5).
+//! * [`ops`] — incremental versions of every relational operator the paper
+//!   covers: table access, selection, projection, cross product / join,
+//!   aggregation (SUM / COUNT / AVG / MIN / MAX), duplicate removal, and
+//!   top-k (§5.2), plus the merge operator `μ` (§5.1).
+//! * [`opt`] — the optimizations of §7.2: bloom filters for join deltas,
+//!   selection push-down into delta retrieval, and bounded (top-l) state
+//!   for MIN / MAX / top-k with recapture fallback.
+//! * [`maintain`] — [`maintain::SketchMaintainer`], the incremental
+//!   maintenance procedure `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)` of Def. 4.5.
+//! * [`strategy`] / [`middleware`] — eager / lazy / batched maintenance and
+//!   the user-facing [`middleware::Imp`] system.
+
+pub mod delta;
+pub mod error;
+pub mod fragcount;
+pub mod maintain;
+pub mod metrics;
+pub mod middleware;
+pub mod ops;
+pub mod opt;
+pub mod state_codec;
+pub mod strategy;
+
+pub use delta::{normalize_delta, AnnotDelta};
+pub use error::CoreError;
+pub use fragcount::FragCounts;
+pub use maintain::{MaintReport, SketchMaintainer};
+pub use metrics::MaintMetrics;
+pub use middleware::{Imp, ImpConfig, ImpResponse, QueryMode};
+pub use strategy::MaintenanceStrategy;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

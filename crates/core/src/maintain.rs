@@ -1,0 +1,334 @@
+//! The incremental maintenance procedure (Def. 4.5).
+//!
+//! A [`SketchMaintainer`] owns everything the sketch store keeps per query
+//! (paper §2): the sketch itself, the incremental operator state `S`, and
+//! the database version the sketch was last maintained at. `maintain`
+//! implements `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)`: fetch the annotated delta
+//! since the last maintained version, push it through the operator tree,
+//! merge the result deltas into a sketch delta, apply it.
+
+use crate::delta::AnnotDelta;
+use crate::metrics::MaintMetrics;
+use crate::ops::{IncNode, MaintCtx, MergeOp, OpConfig};
+use crate::opt::pushdown::pushable_predicates;
+use crate::Result;
+use imp_engine::{Bag, Database};
+use imp_sketch::{annotate_delta, AnnotatedDeltaRow, PartitionSet, SketchDelta, SketchSet};
+use imp_sql::{Expr, LogicalPlan};
+use imp_storage::FxHashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of one maintenance run.
+#[derive(Debug, Clone)]
+pub struct MaintReport {
+    /// The sketch delta applied (`ΔP`).
+    pub sketch_delta: SketchDelta,
+    /// Cost counters.
+    pub metrics: MaintMetrics,
+    /// Whether bounded state forced a full recapture.
+    pub recaptured: bool,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Operator-state heap footprint after the run (Fig. 15/17).
+    pub state_bytes: usize,
+}
+
+/// Per-query maintenance state: sketch + operator states + version.
+#[derive(Debug)]
+pub struct SketchMaintainer {
+    plan: LogicalPlan,
+    pset: Arc<PartitionSet>,
+    root: IncNode,
+    merge: MergeOp,
+    sketch: SketchSet,
+    last_version: u64,
+    tables: Vec<String>,
+    pushdown: Option<Vec<(String, Expr)>>,
+    op_config: OpConfig,
+}
+
+impl SketchMaintainer {
+    /// Capture a sketch for `plan` and bootstrap operator state by feeding
+    /// the full current database through the incremental pipeline as
+    /// insertions from the empty state. Returns the maintainer plus the
+    /// query result (capture answers the query too, Fig. 2).
+    pub fn capture(
+        plan: &LogicalPlan,
+        db: &Database,
+        pset: Arc<PartitionSet>,
+        op_config: OpConfig,
+        selection_pushdown: bool,
+    ) -> Result<(SketchMaintainer, Bag)> {
+        let root = IncNode::build(plan, &op_config)?;
+        let tables = plan.tables();
+        let pushdown = selection_pushdown.then(|| pushable_predicates(plan));
+        let mut m = SketchMaintainer {
+            plan: plan.clone(),
+            merge: MergeOp::new(pset.total_fragments()),
+            sketch: SketchSet::empty(Arc::clone(&pset)),
+            pset,
+            root,
+            last_version: 0,
+            tables,
+            pushdown,
+            op_config,
+        };
+        let result = m.bootstrap(db)?;
+        Ok((m, result))
+    }
+
+    /// Rebuild state + sketch from the full current database.
+    fn bootstrap(&mut self, db: &Database) -> Result<Bag> {
+        self.root.reset();
+        self.merge.reset();
+        self.sketch = SketchSet::empty(Arc::clone(&self.pset));
+
+        let mut deltas: FxHashMap<String, AnnotDelta> = FxHashMap::default();
+        for table in &self.tables {
+            let t = db.table(table)?;
+            let mut delta: AnnotDelta = Vec::with_capacity(t.row_count());
+            let total = self.pset.total_fragments();
+            let part = self.pset.for_table(table);
+            t.scan(
+                None,
+                |row| {
+                    let annot = match &part {
+                        Some((_, offset, p)) => imp_storage::BitVec::singleton(
+                            total,
+                            offset + p.fragment_of(&row[p.column]),
+                        ),
+                        None => imp_storage::BitVec::new(total),
+                    };
+                    delta.push(AnnotatedDeltaRow {
+                        row,
+                        annot,
+                        mult: 1,
+                    });
+                },
+                |_| {},
+            );
+            deltas.insert(table.clone(), self.apply_pushdown(table, delta, None));
+        }
+        let mut metrics = MaintMetrics::default();
+        let mut ctx = MaintCtx {
+            db,
+            pset: &self.pset,
+            deltas: &deltas,
+            metrics: &mut metrics,
+            needs_recapture: false,
+        };
+        let out = self.root.process(&mut ctx)?;
+        let delta = self.merge.process(&out)?;
+        self.sketch.apply_delta(&delta);
+        self.last_version = db.version();
+        // Bootstrap output from the empty state is the full query result.
+        Ok(out
+            .into_iter()
+            .filter(|d| d.mult > 0)
+            .map(|d| (d.row, d.mult))
+            .collect())
+    }
+
+    /// Pre-filter a table's delta with push-down predicates (§7.2).
+    fn apply_pushdown(
+        &self,
+        table: &str,
+        delta: AnnotDelta,
+        metrics: Option<&mut MaintMetrics>,
+    ) -> AnnotDelta {
+        let Some(preds) = &self.pushdown else {
+            return delta;
+        };
+        let preds: Vec<&Expr> = preds
+            .iter()
+            .filter(|(t, _)| t == table)
+            .map(|(_, p)| p)
+            .collect();
+        if preds.is_empty() {
+            return delta;
+        }
+        let before = delta.len();
+        let kept: AnnotDelta = delta
+            .into_iter()
+            .filter(|d| {
+                preds
+                    .iter()
+                    .all(|p| p.eval_predicate(&d.row).unwrap_or(true))
+            })
+            .collect();
+        if let Some(m) = metrics {
+            m.delta_rows_pruned += (before - kept.len()) as u64;
+        }
+        kept
+    }
+
+    /// Is the sketch stale w.r.t. the current database?
+    pub fn is_stale(&self, db: &Database) -> bool {
+        self.tables.iter().any(|t| {
+            db.delta_since(t, self.last_version)
+                .map(|d| !d.is_empty())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Incrementally maintain the sketch to the current database version.
+    pub fn maintain(&mut self, db: &Database) -> Result<MaintReport> {
+        let start = Instant::now();
+        let mut metrics = MaintMetrics::default();
+
+        // Fetch + annotate + (optionally) pre-filter the deltas.
+        let mut deltas: FxHashMap<String, AnnotDelta> = FxHashMap::default();
+        let mut any = false;
+        for table in &self.tables {
+            let records = db.delta_since(table, self.last_version)?;
+            metrics.delta_rows_fetched += records.len() as u64;
+            let annotated = annotate_delta(&self.pset, table, records);
+            let filtered =
+                self.apply_pushdown(table, annotated, Some(&mut metrics));
+            let normalized = crate::delta::normalize_delta(filtered);
+            any |= !normalized.is_empty();
+            deltas.insert(table.clone(), normalized);
+        }
+        if !any {
+            self.last_version = db.version();
+            return Ok(MaintReport {
+                sketch_delta: SketchDelta::default(),
+                metrics,
+                recaptured: false,
+                duration: start.elapsed(),
+                state_bytes: self.state_heap_size(),
+            });
+        }
+
+        let mut ctx = MaintCtx {
+            db,
+            pset: &self.pset,
+            deltas: &deltas,
+            metrics: &mut metrics,
+            needs_recapture: false,
+        };
+        let out = self.root.process(&mut ctx)?;
+        let recapture = ctx.needs_recapture;
+
+        if recapture {
+            // Bounded state exhausted: fall back to full maintenance
+            // (§7.2 / §8.4.3), reporting it so callers can account for it.
+            let before = self.sketch.clone();
+            self.bootstrap(db)?;
+            let sketch_delta = diff_sketches(&before, &self.sketch);
+            return Ok(MaintReport {
+                sketch_delta,
+                metrics,
+                recaptured: true,
+                duration: start.elapsed(),
+                state_bytes: self.state_heap_size(),
+            });
+        }
+
+        let sketch_delta = self.merge.process(&out)?;
+        self.sketch.apply_delta(&sketch_delta);
+        self.last_version = db.version();
+        Ok(MaintReport {
+            sketch_delta,
+            metrics,
+            recaptured: false,
+            duration: start.elapsed(),
+            state_bytes: self.state_heap_size(),
+        })
+    }
+
+    /// Full maintenance: recapture from scratch regardless of staleness
+    /// (the FM baseline of §8).
+    pub fn full_maintain(&mut self, db: &Database) -> Result<MaintReport> {
+        let start = Instant::now();
+        let before = self.sketch.clone();
+        self.bootstrap(db)?;
+        Ok(MaintReport {
+            sketch_delta: diff_sketches(&before, &self.sketch),
+            metrics: MaintMetrics::default(),
+            recaptured: true,
+            duration: start.elapsed(),
+            state_bytes: self.state_heap_size(),
+        })
+    }
+
+    /// The maintained sketch (valid as of [`Self::version`]).
+    pub fn sketch(&self) -> &SketchSet {
+        &self.sketch
+    }
+
+    /// Database version the sketch is valid for.
+    pub fn version(&self) -> u64 {
+        self.last_version
+    }
+
+    /// The maintained query plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// The partitions `Φ`.
+    pub fn partitions(&self) -> &Arc<PartitionSet> {
+        &self.pset
+    }
+
+    /// Base tables whose updates invalidate this sketch.
+    pub fn tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    /// Operator tuning configuration.
+    pub fn op_config(&self) -> OpConfig {
+        self.op_config
+    }
+
+    /// Entries and bytes of the top-k operator state (Fig. 13e/f).
+    pub fn topk_state(&self) -> Option<(usize, usize)> {
+        self.root.topk_state()
+    }
+
+    /// Drop the in-memory operator state (after persisting it via
+    /// [`crate::state_codec::save_state`]); the sketch and version stay
+    /// available for use-rewrites. Restore with
+    /// [`crate::state_codec::load_state`] before the next maintenance.
+    pub fn drop_state(&mut self) {
+        self.root.reset();
+        self.merge.reset();
+    }
+
+    /// Heap footprint of all operator state + merge counters + sketch.
+    pub fn state_heap_size(&self) -> usize {
+        self.root.heap_size() + self.merge.heap_size() + self.sketch.heap_size()
+    }
+
+    /// Internal accessors for state persistence (see [`crate::state_codec`]).
+    pub(crate) fn parts_mut(&mut self) -> (&mut IncNode, &mut MergeOp, &mut SketchSet, &mut u64) {
+        (
+            &mut self.root,
+            &mut self.merge,
+            &mut self.sketch,
+            &mut self.last_version,
+        )
+    }
+
+    /// Internal accessors for state persistence.
+    pub(crate) fn parts(&self) -> (&IncNode, &MergeOp, &SketchSet, u64) {
+        (&self.root, &self.merge, &self.sketch, self.last_version)
+    }
+}
+
+/// Compute the delta between two sketch versions (`ΔP` with
+/// `P₂ = P₁ ∪• ΔP`).
+pub fn diff_sketches(before: &SketchSet, after: &SketchSet) -> SketchDelta {
+    let mut delta = SketchDelta::default();
+    let n = before.bits().len();
+    for f in 0..n {
+        match (before.contains(f), after.contains(f)) {
+            (false, true) => delta.added.push(f),
+            (true, false) => delta.removed.push(f),
+            _ => {}
+        }
+    }
+    delta
+}

@@ -1,0 +1,37 @@
+//! Maintenance metrics: cost and memory accounting for the experiments.
+
+/// Counters recorded during one maintenance run (reset per run).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintMetrics {
+    /// Delta tuples fetched from the backend's delta logs.
+    pub delta_rows_fetched: u64,
+    /// Delta tuples pruned by selection push-down before entering the
+    /// engine (§7.2 "Filtering Deltas Based On Selections").
+    pub delta_rows_pruned: u64,
+    /// Delta tuples pruned by join bloom filters (§7.2).
+    pub bloom_pruned: u64,
+    /// Round trips to the backend (join evaluations).
+    pub db_roundtrips: u64,
+    /// Rows shipped to the backend for join evaluation.
+    pub rows_sent_to_db: u64,
+    /// Rows the backend scanned on our behalf.
+    pub db_rows_scanned: u64,
+    /// Tuples processed by incremental operators.
+    pub rows_processed: u64,
+    /// Groups touched by aggregation operators.
+    pub groups_touched: u64,
+}
+
+impl MaintMetrics {
+    /// Merge counters from another run.
+    pub fn absorb(&mut self, other: &MaintMetrics) {
+        self.delta_rows_fetched += other.delta_rows_fetched;
+        self.delta_rows_pruned += other.delta_rows_pruned;
+        self.bloom_pruned += other.bloom_pruned;
+        self.db_roundtrips += other.db_roundtrips;
+        self.rows_sent_to_db += other.rows_sent_to_db;
+        self.db_rows_scanned += other.db_rows_scanned;
+        self.rows_processed += other.rows_processed;
+        self.groups_touched += other.groups_touched;
+    }
+}

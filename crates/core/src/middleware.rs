@@ -1,0 +1,803 @@
+//! The IMP middleware (paper Fig. 2).
+//!
+//! "IMP operates as a middleware between the user and a DBMS. … For each
+//! incoming query, IMP determines whether to (i) capture a new sketch,
+//! (ii) use an existing non-stale sketch, or (iii) incrementally maintain
+//! a stale sketch and then utilize the updated sketch to answer the
+//! query." Updates route to the backend and, under the eager strategy,
+//! trigger incremental maintenance of the affected sketches.
+
+use crate::error::CoreError;
+use crate::maintain::{MaintReport, SketchMaintainer};
+use crate::ops::OpConfig;
+use crate::strategy::MaintenanceStrategy;
+use crate::Result;
+use imp_engine::{Bag, Database, QueryResult};
+use imp_engine::{EngineError, ExecStats};
+use imp_sketch::{apply_sketch_filter, safety, PartitionSet, RangePartition};
+use imp_sql::ast::BinOp;
+use imp_sql::{Expr, LogicalPlan, QueryTemplate, Resolver, SelectStmt, Statement};
+use imp_storage::{BitVec, FxHashMap};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Middleware configuration.
+#[derive(Debug, Clone)]
+pub struct ImpConfig {
+    /// Eager or lazy maintenance (§2, §8.5).
+    pub strategy: MaintenanceStrategy,
+    /// Fragments per range partition (`#frag`, §8.3.5).
+    pub fragments: usize,
+    /// Maintain bloom filters for joins (§7.2).
+    pub bloom: bool,
+    /// Push selections into delta retrieval (§7.2).
+    pub selection_pushdown: bool,
+    /// Bounded MIN/MAX state: keep the best `l` values (§7.2).
+    pub minmax_buffer: Option<usize>,
+    /// Bounded top-k state: keep the best `l` entries (§7.2/§8.4.3).
+    pub topk_buffer: Option<usize>,
+    /// Explicit partition-attribute choices (table → attribute), taking
+    /// precedence over the safety heuristic (§7.4).
+    pub partition_overrides: Vec<(String, String)>,
+    /// Permit partitions on attributes the safety analysis cannot prove
+    /// safe (paper §4.4 assumes safety; Fig. 5 uses such an attribute).
+    pub allow_unsafe_attributes: bool,
+    /// Retain immutable past sketch versions (§2).
+    pub retain_sketch_versions: bool,
+}
+
+impl Default for ImpConfig {
+    fn default() -> Self {
+        ImpConfig {
+            strategy: MaintenanceStrategy::Lazy,
+            fragments: 100,
+            bloom: true,
+            selection_pushdown: true,
+            minmax_buffer: None,
+            topk_buffer: None,
+            partition_overrides: Vec::new(),
+            allow_unsafe_attributes: false,
+            retain_sketch_versions: true,
+        }
+    }
+}
+
+impl ImpConfig {
+    fn op_config(&self) -> OpConfig {
+        OpConfig {
+            bloom: self.bloom,
+            minmax_buffer: self.minmax_buffer,
+            topk_buffer: self.topk_buffer,
+        }
+    }
+}
+
+/// How a SELECT was answered.
+#[derive(Debug, Clone)]
+pub enum QueryMode {
+    /// No safe sketch attribute: answered directly, no sketch involved.
+    NoSketch,
+    /// A new sketch was captured (and used) for this query.
+    Captured,
+    /// An existing fresh sketch was used as-is.
+    UsedFresh,
+    /// A stale sketch was incrementally maintained, then used.
+    Maintained(MaintReport),
+}
+
+/// Response of [`Imp::execute`].
+#[derive(Debug, Clone)]
+pub enum ImpResponse {
+    /// SELECT result.
+    Rows {
+        /// The query result.
+        result: QueryResult,
+        /// How the query was answered.
+        mode: QueryMode,
+    },
+    /// Update result, with any eager maintenance that ran.
+    Affected {
+        /// Updated table.
+        table: String,
+        /// Affected row count.
+        count: u64,
+        /// Commit version.
+        version: u64,
+        /// Reports of eagerly maintained sketches.
+        maintenance: Vec<MaintReport>,
+    },
+    /// DDL succeeded.
+    Created,
+    /// EXPLAIN output: the resolved logical plan as text.
+    Explained(String),
+}
+
+/// One stored sketch: "for each sketch we store the sketch itself, the
+/// query it was captured for, the current state of incremental operators
+/// for this query, and the database version it was last maintained at"
+/// (§2).
+#[derive(Debug)]
+pub struct StoredSketch {
+    /// Original SQL of the capturing query.
+    pub sql: String,
+    /// Resolved plan of the capturing query.
+    pub plan: LogicalPlan,
+    /// Sketch + operator state + version.
+    pub maintainer: SketchMaintainer,
+    /// Retained immutable sketch versions (version → bits).
+    pub versions: BTreeMap<u64, BitVec>,
+    /// Delta rows accumulated since the last maintenance (eager batching).
+    pub pending_rows: u64,
+    /// Evicted operator state (paper §2: "when we are running out of
+    /// memory and need to evict the operator states for a query"). When
+    /// set, the in-memory state has been reset and must be restored from
+    /// these bytes before the next maintenance.
+    pub evicted: Option<bytes::Bytes>,
+}
+
+/// One row of [`Imp::describe_sketches`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchSummary {
+    /// Canonical query template.
+    pub template: String,
+    /// Original SQL the sketch was captured for.
+    pub sql: String,
+    /// Database version the sketch is valid for.
+    pub version: u64,
+    /// Marked fragments.
+    pub fragments: usize,
+    /// Fragments in the partition set.
+    pub total_fragments: usize,
+    /// Operator-state heap bytes.
+    pub state_bytes: usize,
+    /// Retained immutable versions.
+    pub retained_versions: usize,
+    /// Stale w.r.t. the current database?
+    pub stale: bool,
+}
+
+/// Maximum sketches retained per query template (candidates differing in
+/// constants; the template prefilter of §7.1 narrows to these).
+const MAX_SKETCHES_PER_TEMPLATE: usize = 4;
+
+/// The IMP system.
+pub struct Imp {
+    db: Database,
+    store: FxHashMap<QueryTemplate, Vec<StoredSketch>>,
+    config: ImpConfig,
+}
+
+impl Imp {
+    /// Wrap a backend database.
+    pub fn new(db: Database, config: ImpConfig) -> Imp {
+        Imp {
+            db,
+            store: FxHashMap::default(),
+            config,
+        }
+    }
+
+    /// The backend database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable backend access (loading data bypasses the middleware).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &ImpConfig {
+        &self.config
+    }
+
+    /// Number of stored sketches.
+    pub fn sketch_count(&self) -> usize {
+        self.store.values().map(Vec::len).sum()
+    }
+
+    /// First stored sketch for a template (tests / inspection).
+    pub fn sketch_entry(&self, template: &QueryTemplate) -> Option<&StoredSketch> {
+        self.store.get(template).and_then(|v| v.first())
+    }
+
+    /// Total heap footprint of all sketch state.
+    pub fn store_heap_size(&self) -> usize {
+        self.store
+            .values()
+            .flatten()
+            .map(|s| {
+                s.maintainer.state_heap_size()
+                    + s.versions.values().map(BitVec::heap_size).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Evict the operator state of every stored sketch to its serialized
+    /// form, freeing the in-memory structures (paper §2). State is
+    /// restored transparently before the next maintenance.
+    pub fn evict_all_states(&mut self) -> Result<usize> {
+        let mut freed = 0usize;
+        for entry in self.store.values_mut().flatten() {
+            if entry.evicted.is_none() {
+                freed += entry.maintainer.state_heap_size();
+                entry.evicted = Some(crate::state_codec::save_state(&entry.maintainer));
+                entry.maintainer.drop_state();
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Recapture every sketch with fresh equi-depth partitions — the §7.4
+    /// response to a significant change in data distribution ("we can
+    /// simply update the ranges and recapture sketches").
+    pub fn repartition_all(&mut self) -> Result<usize> {
+        let templates: Vec<QueryTemplate> = self.store.keys().cloned().collect();
+        let mut recaptured = 0usize;
+        for template in templates {
+            let Some(entries) = self.store.remove(&template) else {
+                continue;
+            };
+            let mut rebuilt = Vec::with_capacity(entries.len());
+            for old in entries {
+                let Some(pset) = self.choose_partitions(&old.plan)? else {
+                    continue;
+                };
+                let (maintainer, _) = SketchMaintainer::capture(
+                    &old.plan,
+                    &self.db,
+                    pset,
+                    self.config.op_config(),
+                    self.config.selection_pushdown,
+                )?;
+                recaptured += 1;
+                rebuilt.push(StoredSketch {
+                    maintainer,
+                    versions: BTreeMap::new(),
+                    pending_rows: 0,
+                    evicted: None,
+                    ..old
+                });
+            }
+            if !rebuilt.is_empty() {
+                self.store.insert(template, rebuilt);
+            }
+        }
+        Ok(recaptured)
+    }
+
+    /// VACUUM the backend: compact table storage and drop delta-log
+    /// records that every stored sketch has already consumed (records at
+    /// or below the minimum maintained version). Returns
+    /// `(reclaimed row slots, dropped delta records)`.
+    pub fn vacuum(&mut self) -> (usize, usize) {
+        let min_version = self
+            .store
+            .values()
+            .flatten()
+            .map(|e| e.maintainer.version())
+            .min()
+            .unwrap_or_else(|| self.db.version());
+        self.db.vacuum(min_version)
+    }
+
+    /// Summaries of all stored sketches (the store view of paper Fig. 2).
+    pub fn describe_sketches(&self) -> Vec<SketchSummary> {
+        let mut out = Vec::new();
+        for (template, entries) in &self.store {
+            for e in entries {
+                out.push(SketchSummary {
+                    template: template.text().to_string(),
+                    sql: e.sql.clone(),
+                    version: e.maintainer.version(),
+                    fragments: e.maintainer.sketch().fragment_count(),
+                    total_fragments: e.maintainer.partitions().total_fragments(),
+                    state_bytes: e.maintainer.state_heap_size(),
+                    retained_versions: e.versions.len(),
+                    stale: e.maintainer.is_stale(&self.db),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.template.cmp(&b.template));
+        out
+    }
+
+    /// Execute one SQL statement through the middleware.
+    pub fn execute(&mut self, sql: &str) -> Result<ImpResponse> {
+        let stmt = imp_sql::parse_one(sql).map_err(EngineError::from)?;
+        match stmt {
+            Statement::Select(select) => self.handle_select(sql, &select),
+            other => self.handle_update(&other),
+        }
+    }
+
+    /// Maintain every stale sketch (used by eager flushes and the
+    /// background maintainer).
+    pub fn maintain_all_stale(&mut self) -> Result<Vec<MaintReport>> {
+        let mut reports = Vec::new();
+        for entry in self.store.values_mut().flatten() {
+            if entry.maintainer.is_stale(&self.db) {
+                restore_if_evicted(entry)?;
+                let report = entry.maintainer.maintain(&self.db)?;
+                entry.pending_rows = 0;
+                if self.config.retain_sketch_versions {
+                    entry
+                        .versions
+                        .insert(entry.maintainer.version(), entry.maintainer.sketch().bits().clone());
+                }
+                reports.push(report);
+            }
+        }
+        Ok(reports)
+    }
+
+    // ---- updates ----
+
+    fn handle_update(&mut self, stmt: &Statement) -> Result<ImpResponse> {
+        let result = self.db.execute_statement(stmt)?;
+        match result {
+            imp_engine::update::StatementResult::Created => Ok(ImpResponse::Created),
+            imp_engine::update::StatementResult::Explained(text) => {
+                Ok(ImpResponse::Explained(text))
+            }
+            imp_engine::update::StatementResult::Rows(_) => unreachable!("SELECT handled above"),
+            imp_engine::update::StatementResult::Affected {
+                table,
+                count,
+                version,
+            } => {
+                let mut maintenance = Vec::new();
+                if let MaintenanceStrategy::Eager { batch_size } = self.config.strategy {
+                    for entry in self.store.values_mut().flatten() {
+                        if entry.maintainer.tables().contains(&table) {
+                            entry.pending_rows += count;
+                            if entry.pending_rows as usize >= batch_size {
+                                restore_if_evicted(entry)?;
+                                let report = entry.maintainer.maintain(&self.db)?;
+                                entry.pending_rows = 0;
+                                if self.config.retain_sketch_versions {
+                                    entry.versions.insert(
+                                        entry.maintainer.version(),
+                                        entry.maintainer.sketch().bits().clone(),
+                                    );
+                                }
+                                maintenance.push(report);
+                            }
+                        }
+                    }
+                }
+                Ok(ImpResponse::Affected {
+                    table,
+                    count,
+                    version,
+                    maintenance,
+                })
+            }
+        }
+    }
+
+    // ---- queries ----
+
+    fn handle_select(&mut self, sql: &str, select: &SelectStmt) -> Result<ImpResponse> {
+        let template = QueryTemplate::of(select);
+        let plan = Resolver::new(&self.db)
+            .resolve_select(select)
+            .map_err(EngineError::from)?;
+
+        // (ii)/(iii): an existing sketch with the same template — check the
+        // reuse condition (from [37]; here: structural subsumption) against
+        // every stored candidate.
+        if let Some(entries) = self.store.get_mut(&template) {
+            if let Some(entry) = entries
+                .iter_mut()
+                .find(|e| plan_subsumes(&e.plan, &plan))
+            {
+                restore_if_evicted(entry)?;
+                let mode = if entry.maintainer.is_stale(&self.db) {
+                    let report = entry.maintainer.maintain(&self.db)?;
+                    entry.pending_rows = 0;
+                    if self.config.retain_sketch_versions {
+                        entry.versions.insert(
+                            entry.maintainer.version(),
+                            entry.maintainer.sketch().bits().clone(),
+                        );
+                    }
+                    QueryMode::Maintained(report)
+                } else {
+                    QueryMode::UsedFresh
+                };
+                let rewritten = apply_sketch_filter(&plan, entry.maintainer.sketch())?;
+                let result = self.db.execute_plan(&rewritten)?;
+                return Ok(ImpResponse::Rows { result, mode });
+            }
+        }
+
+        // (i): capture a new sketch — pick partition attributes.
+        let pset = self.choose_partitions(&plan)?;
+        let Some(pset) = pset else {
+            // No sketchable attribute: answer directly (NS path).
+            let result = self.db.execute_plan(&plan)?;
+            return Ok(ImpResponse::Rows {
+                result,
+                mode: QueryMode::NoSketch,
+            });
+        };
+        let (maintainer, rows) = SketchMaintainer::capture(
+            &plan,
+            &self.db,
+            pset,
+            self.config.op_config(),
+            self.config.selection_pushdown,
+        )?;
+        let result = QueryResult {
+            schema: plan.schema(),
+            rows: order_result(&plan, rows),
+            stats: ExecStats::default(),
+        };
+        let mut versions = BTreeMap::new();
+        if self.config.retain_sketch_versions {
+            versions.insert(maintainer.version(), maintainer.sketch().bits().clone());
+        }
+        let entries = self.store.entry(template).or_default();
+        if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
+            entries.remove(0); // evict the oldest candidate
+        }
+        entries.push(StoredSketch {
+            sql: sql.to_string(),
+            plan,
+            maintainer,
+            versions,
+            pending_rows: 0,
+            evicted: None,
+        });
+        Ok(ImpResponse::Rows {
+            result,
+            mode: QueryMode::Captured,
+        })
+    }
+
+    /// Choose partition attributes per table (§7.4 heuristic: safe
+    /// attributes — for aggregation queries exactly the group-by columns —
+    /// ranked by sampled distinct count, following the cost-based insight
+    /// of [30] that finer-grained attributes yield more selective
+    /// sketches).
+    fn choose_partitions(&self, plan: &LogicalPlan) -> Result<Option<Arc<PartitionSet>>> {
+        let safe = safety::safe_attributes(plan);
+        let mut partitions = Vec::new();
+        for table in plan.tables() {
+            // Explicit override first.
+            let chosen: Option<String> = self
+                .config
+                .partition_overrides
+                .iter()
+                .find(|(t, _)| t.eq_ignore_ascii_case(&table))
+                .map(|(_, a)| a.clone())
+                .or_else(|| {
+                    let mut candidates: Vec<&safety::SafeAttribute> =
+                        safe.iter().filter(|s| s.table == table).collect();
+                    if candidates.len() > 1 {
+                        candidates.sort_by_key(|s| {
+                            std::cmp::Reverse(self.sampled_distinct(&table, s.column))
+                        });
+                    }
+                    candidates.first().map(|s| s.attribute.clone())
+                });
+            let Some(attribute) = chosen else {
+                continue; // table stays unpartitioned (whole-domain range)
+            };
+            let overridden = self
+                .config
+                .partition_overrides
+                .iter()
+                .any(|(t, _)| t.eq_ignore_ascii_case(&table));
+            if !overridden
+                || safety::is_safe(plan, &table, &attribute)
+                || self.config.allow_unsafe_attributes
+            {
+                let fragments = self.config.fragments;
+                partitions.push(RangePartition::equi_depth(
+                    &self.db, &table, &attribute, fragments,
+                )?);
+            } else {
+                return Err(CoreError::Sketch(
+                    imp_sketch::SketchError::UnsafeAttribute {
+                        table: table.clone(),
+                        attribute,
+                    },
+                ));
+            }
+        }
+        if partitions.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Arc::new(PartitionSet::new(partitions)?)))
+    }
+}
+
+impl Imp {
+    /// Sampled distinct-value count of `table.column` (first few thousand
+    /// rows) — the ranking signal for partition-attribute choice.
+    fn sampled_distinct(&self, table: &str, column: usize) -> usize {
+        const SAMPLE: usize = 4096;
+        let Ok(t) = self.db.table(table) else {
+            return 0;
+        };
+        let mut seen: imp_storage::FxHashSet<imp_storage::Value> =
+            imp_storage::FxHashSet::default();
+        let mut n = 0usize;
+        t.scan(
+            None,
+            |row| {
+                if n < SAMPLE {
+                    seen.insert(row[column].clone());
+                    n += 1;
+                }
+            },
+            |_| {},
+        );
+        seen.len()
+    }
+}
+
+/// Reload evicted operator state before the maintainer is used ("fetched
+/// from the database" in paper §2 terms).
+fn restore_if_evicted(entry: &mut StoredSketch) -> Result<()> {
+    if let Some(bytes) = entry.evicted.take() {
+        crate::state_codec::load_state(&mut entry.maintainer, bytes)?;
+    }
+    Ok(())
+}
+
+/// Order a capture result the way the plan's top Sort/TopK demands (the
+/// incremental pipeline is order-agnostic).
+fn order_result(plan: &LogicalPlan, mut rows: Bag) -> Bag {
+    match plan {
+        LogicalPlan::Sort { keys, .. } | LogicalPlan::TopK { keys, .. } => {
+            rows.sort_by(|a, b| {
+                imp_sql::plan::compare_rows(&a.0, &b.0, keys).then_with(|| a.0.cmp(&b.0))
+            });
+            rows
+        }
+        _ => rows,
+    }
+}
+
+/// Reuse check: can the sketch captured for `stored` answer `new`?
+///
+/// Both plans share a query template (same structure modulo literals).
+/// The provenance of `new` must be contained in `stored`'s sketch; we
+/// accept when all literals match except in HAVING-style filters above the
+/// aggregation, where the new predicate may only be *more* selective
+/// (e.g. a sketch for `HAVING sum(x) > 5000` answers `HAVING sum(x) > 6000`,
+/// cf. [37]'s reuse test).
+pub fn plan_subsumes(stored: &LogicalPlan, new: &LogicalPlan) -> bool {
+    match (stored, new) {
+        (
+            LogicalPlan::Filter {
+                input: si,
+                predicate: sp,
+            },
+            LogicalPlan::Filter {
+                input: ni,
+                predicate: np,
+            },
+        ) => {
+            let above_agg = matches!(si.as_ref(), LogicalPlan::Aggregate { .. });
+            let pred_ok = if above_agg {
+                predicate_subsumes(sp, np)
+            } else {
+                sp == np
+            };
+            pred_ok && plan_subsumes(si, ni)
+        }
+        (
+            LogicalPlan::Project {
+                input: si,
+                exprs: se,
+                ..
+            },
+            LogicalPlan::Project {
+                input: ni,
+                exprs: ne,
+                ..
+            },
+        ) => se == ne && plan_subsumes(si, ni),
+        (
+            LogicalPlan::Join {
+                left: sl,
+                right: sr,
+                left_keys: slk,
+                right_keys: srk,
+            },
+            LogicalPlan::Join {
+                left: nl,
+                right: nr,
+                left_keys: nlk,
+                right_keys: nrk,
+            },
+        ) => slk == nlk && srk == nrk && plan_subsumes(sl, nl) && plan_subsumes(sr, nr),
+        (
+            LogicalPlan::Aggregate {
+                input: si,
+                group_by: sg,
+                aggs: sa,
+                ..
+            },
+            LogicalPlan::Aggregate {
+                input: ni,
+                group_by: ng,
+                aggs: na,
+                ..
+            },
+        ) => sg == ng && sa == na && plan_subsumes(si, ni),
+        (LogicalPlan::Distinct { input: si }, LogicalPlan::Distinct { input: ni }) => {
+            plan_subsumes(si, ni)
+        }
+        (
+            LogicalPlan::Sort {
+                input: si,
+                keys: sk,
+            },
+            LogicalPlan::Sort {
+                input: ni,
+                keys: nk,
+            },
+        ) => sk == nk && plan_subsumes(si, ni),
+        (
+            LogicalPlan::TopK {
+                input: si,
+                keys: sk,
+                k: skk,
+            },
+            LogicalPlan::TopK {
+                input: ni,
+                keys: nk,
+                k: nkk,
+            },
+        ) => sk == nk && skk == nkk && plan_subsumes(si, ni),
+        (a, b) => a == b,
+    }
+}
+
+/// Is `new` at least as selective as `stored` for every comparison?
+fn predicate_subsumes(stored: &Expr, new: &Expr) -> bool {
+    match (stored, new) {
+        (
+            Expr::Binary {
+                op: sop,
+                left: sl,
+                right: sr,
+            },
+            Expr::Binary {
+                op: nop,
+                left: nl,
+                right: nr,
+            },
+        ) if sop == nop => match (sop, sl.as_ref(), nl.as_ref(), sr.as_ref(), nr.as_ref()) {
+            // col ⋈ literal with matching column.
+            (BinOp::Gt | BinOp::Ge, Expr::Col(sc), Expr::Col(nc), Expr::Lit(sv), Expr::Lit(nv))
+                if sc == nc =>
+            {
+                nv >= sv
+            }
+            (BinOp::Lt | BinOp::Le, Expr::Col(sc), Expr::Col(nc), Expr::Lit(sv), Expr::Lit(nv))
+                if sc == nc =>
+            {
+                nv <= sv
+            }
+            (BinOp::And | BinOp::Or, _, _, _, _) => {
+                predicate_subsumes(sl, nl) && predicate_subsumes(sr, nr)
+            }
+            _ => stored == new,
+        },
+        (a, b) => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_storage::{row, DataType, Field, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("g", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.table_mut("t")
+            .unwrap()
+            .bulk_load((0..50).map(|i| row![i % 5, i]))
+            .unwrap();
+        db
+    }
+
+    fn plan(db: &Database, sql: &str) -> LogicalPlan {
+        db.plan_sql(sql).unwrap()
+    }
+
+    #[test]
+    fn subsumption_directions() {
+        let db = db();
+        let base = plan(&db, "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 100");
+        // More selective HAVING (larger >-threshold): reusable.
+        let tighter = plan(&db, "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 200");
+        assert!(plan_subsumes(&base, &tighter));
+        // Less selective: not reusable.
+        assert!(!plan_subsumes(&tighter, &base));
+        // Identical: reusable.
+        assert!(plan_subsumes(&base, &base));
+    }
+
+    #[test]
+    fn subsumption_requires_equal_where_constants() {
+        let db = db();
+        let a = plan(
+            &db,
+            "SELECT g, sum(v) AS s FROM t WHERE v < 40 GROUP BY g HAVING sum(v) > 10",
+        );
+        let b = plan(
+            &db,
+            "SELECT g, sum(v) AS s FROM t WHERE v < 30 GROUP BY g HAVING sum(v) > 10",
+        );
+        // WHERE constants differ: provenance differs in both directions.
+        assert!(!plan_subsumes(&a, &b));
+        assert!(!plan_subsumes(&b, &a));
+    }
+
+    #[test]
+    fn subsumption_handles_less_than_direction() {
+        let db = db();
+        let base = plan(&db, "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) < 100");
+        let tighter = plan(&db, "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) < 50");
+        assert!(plan_subsumes(&base, &tighter));
+        assert!(!plan_subsumes(&tighter, &base));
+    }
+
+    #[test]
+    fn subsumption_of_conjunctive_windows() {
+        let db = db();
+        let base = plan(
+            &db,
+            "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) > 10 AND avg(v) < 100",
+        );
+        let inside = plan(
+            &db,
+            "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) > 20 AND avg(v) < 90",
+        );
+        let outside = plan(
+            &db,
+            "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) > 5 AND avg(v) < 90",
+        );
+        assert!(plan_subsumes(&base, &inside));
+        assert!(!plan_subsumes(&base, &outside));
+    }
+
+    #[test]
+    fn store_keeps_multiple_candidates_per_template() {
+        let mut imp = Imp::new(db(), ImpConfig { fragments: 5, ..Default::default() });
+        // Thresholds in *decreasing* selectivity so none subsumes the next.
+        for th in [400, 300, 200, 100] {
+            let sql =
+                format!("SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > {th}");
+            imp.execute(&sql).unwrap();
+        }
+        assert_eq!(imp.sketch_count(), 4);
+        // The 5th distinct capture evicts the oldest.
+        imp.execute("SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 50")
+            .unwrap();
+        assert_eq!(imp.sketch_count(), MAX_SKETCHES_PER_TEMPLATE);
+    }
+
+    #[test]
+    fn sampled_distinct_ranks_attributes() {
+        let imp = Imp::new(db(), ImpConfig::default());
+        // g has 5 distinct values, v has 50.
+        assert!(imp.sampled_distinct("t", 1) > imp.sampled_distinct("t", 0));
+    }
+}

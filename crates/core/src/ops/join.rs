@@ -1,0 +1,316 @@
+//! Incremental join / cross product (paper §5.2.4) with bloom-filter
+//! delta pruning (§7.2).
+//!
+//! The paper's rule combines three terms over the *old* states:
+//! `ΔQ₁ ⋈ Q₂(𝒟) ∪ Q₁(𝒟) ⋈ ΔQ₂ ∪ ΔQ₁ ⋈ ΔQ₂` with sign cases
+//! (del×del → insert, del×ins → delete, …). The backend database is
+//! already at the *new* state when maintenance runs, so we use the
+//! equivalent rewriting over new states:
+//!
+//! ```text
+//! Δ(Q₁ ⋈ Q₂) = ΔQ₁ ⋈ Q₂ᴺᴱᵂ + Q₁ᴺᴱᵂ ⋈ ΔQ₂ − ΔQ₁ ⋈ ΔQ₂
+//! ```
+//!
+//! where signed multiplicities multiply (the sign cases fall out of the
+//! algebra). The `Q ⋈ Δ` terms are "outsourced to the backend database"
+//! (§1, §7): evaluating the non-delta side is a round trip counted in the
+//! metrics; bloom filters on the join keys prune delta tuples without
+//! partners and can skip the round trip entirely.
+
+use super::{IncNode, MaintCtx};
+use crate::delta::AnnotDelta;
+use crate::opt::BloomFilter;
+use crate::Result;
+use imp_sketch::capture::eval_annot;
+use imp_sketch::AnnotatedDeltaRow;
+use imp_sql::LogicalPlan;
+use imp_storage::{BitVec, FxHashMap, Row, Value};
+
+/// Incremental join operator.
+#[derive(Debug)]
+pub struct JoinOp {
+    left: Box<IncNode>,
+    right: Box<IncNode>,
+    left_plan: LogicalPlan,
+    right_plan: LogicalPlan,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    /// Keys present on the left side (filters Δright).
+    left_bloom: Option<BloomFilter>,
+    /// Keys present on the right side (filters Δleft).
+    right_bloom: Option<BloomFilter>,
+    bloom_enabled: bool,
+}
+
+impl JoinOp {
+    /// New join operator over two stateless inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: IncNode,
+        right: IncNode,
+        left_plan: LogicalPlan,
+        right_plan: LogicalPlan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        bloom_enabled: bool,
+    ) -> JoinOp {
+        JoinOp {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_plan,
+            right_plan,
+            left_keys,
+            right_keys,
+            left_bloom: None,
+            right_bloom: None,
+            // Bloom filters only make sense for equi-joins.
+            bloom_enabled,
+        }
+    }
+
+    /// Process one batch (see module docs for the delta rule).
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+        let dl = self.left.process(ctx)?;
+        let dr = self.right.process(ctx)?;
+        if dl.is_empty() && dr.is_empty() {
+            return Ok(Vec::new());
+        }
+        let use_bloom = self.bloom_enabled && !self.left_keys.is_empty();
+        let mut out: AnnotDelta = Vec::new();
+
+        // Evaluated sides are cached across terms within this batch.
+        let mut left_side: Option<Vec<(Row, BitVec, i64)>> = None;
+        let mut right_side: Option<Vec<(Row, BitVec, i64)>> = None;
+
+        // Keep the bloom filters in sync *before* filtering: new keys from
+        // this batch's deltas must be visible (no false negatives). Each
+        // side's filter is built lazily, only once the *other* side has a
+        // delta worth pruning — building it costs one scan of that side.
+        if use_bloom {
+            if !dl.is_empty() && self.right_bloom.is_none() {
+                let side = eval_side(&self.right_plan, ctx)?;
+                let mut bloom = BloomFilter::with_capacity(side.len());
+                for (row, _, _) in &side {
+                    if let Some(k) = key_of(row, &self.right_keys) {
+                        bloom.insert(&k);
+                    }
+                }
+                self.right_bloom = Some(bloom);
+                right_side = Some(side);
+            }
+            if !dr.is_empty() && self.left_bloom.is_none() {
+                let side = eval_side(&self.left_plan, ctx)?;
+                let mut bloom = BloomFilter::with_capacity(side.len());
+                for (row, _, _) in &side {
+                    if let Some(k) = key_of(row, &self.left_keys) {
+                        bloom.insert(&k);
+                    }
+                }
+                self.left_bloom = Some(bloom);
+                left_side = Some(side);
+            }
+            // The deltas are already part of the new table state, but the
+            // blooms may predate them (they are insert-only summaries).
+            if let Some(b) = self.right_bloom.as_mut() {
+                for d in &dr {
+                    if d.mult > 0 {
+                        if let Some(k) = key_of(&d.row, &self.right_keys) {
+                            b.insert(&k);
+                        }
+                    }
+                }
+            }
+            if let Some(b) = self.left_bloom.as_mut() {
+                for d in &dl {
+                    if d.mult > 0 {
+                        if let Some(k) = key_of(&d.row, &self.left_keys) {
+                            b.insert(&k);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bloom-prune the deltas (only correct for equi-joins).
+        let dl_f: AnnotDelta = match (&self.right_bloom, use_bloom) {
+            (Some(b), true) => {
+                let before = dl.len();
+                let kept: AnnotDelta = dl
+                    .iter()
+                    .filter(|d| {
+                        key_of(&d.row, &self.left_keys)
+                            .map(|k| b.may_contain(&k))
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                ctx.metrics.bloom_pruned += (before - kept.len()) as u64;
+                kept
+            }
+            _ => dl.clone(),
+        };
+        let dr_f: AnnotDelta = match (&self.left_bloom, use_bloom) {
+            (Some(b), true) => {
+                let before = dr.len();
+                let kept: AnnotDelta = dr
+                    .iter()
+                    .filter(|d| {
+                        key_of(&d.row, &self.right_keys)
+                            .map(|k| b.may_contain(&k))
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                ctx.metrics.bloom_pruned += (before - kept.len()) as u64;
+                kept
+            }
+            _ => dr.clone(),
+        };
+
+        // Term 1: ΔQ₁ ⋈ Q₂ᴺᴱᵂ — outsourced to the backend.
+        if !dl_f.is_empty() {
+            let side = match right_side.take() {
+                Some(s) => s,
+                None => eval_side(&self.right_plan, ctx)?,
+            };
+            ctx.metrics.rows_sent_to_db += dl_f.len() as u64;
+            let table = build_hash(&side, &self.right_keys);
+            for d in &dl_f {
+                ctx.metrics.rows_processed += 1;
+                let Some(k) = key_of(&d.row, &self.left_keys) else {
+                    continue;
+                };
+                if let Some(matches) = table.get(&k) {
+                    for (r, ra, m) in matches {
+                        out.push(AnnotatedDeltaRow {
+                            row: d.row.concat(r),
+                            annot: d.annot.union(ra),
+                            mult: d.mult * m,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Term 2: Q₁ᴺᴱᵂ ⋈ ΔQ₂.
+        if !dr_f.is_empty() {
+            let side = match left_side.take() {
+                Some(s) => s,
+                None => eval_side(&self.left_plan, ctx)?,
+            };
+            ctx.metrics.rows_sent_to_db += dr_f.len() as u64;
+            let table = build_hash(&side, &self.left_keys);
+            for d in &dr_f {
+                ctx.metrics.rows_processed += 1;
+                let Some(k) = key_of(&d.row, &self.right_keys) else {
+                    continue;
+                };
+                if let Some(matches) = table.get(&k) {
+                    for (l, la, m) in matches {
+                        out.push(AnnotatedDeltaRow {
+                            row: l.concat(&d.row),
+                            annot: la.union(&d.annot),
+                            mult: m * d.mult,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Term 3: − ΔQ₁ ⋈ ΔQ₂ (fully in memory).
+        if !dl_f.is_empty() && !dr_f.is_empty() {
+            let mut dr_hash: FxHashMap<Vec<Value>, Vec<&AnnotatedDeltaRow>> =
+                FxHashMap::default();
+            for d in &dr_f {
+                if let Some(k) = key_of(&d.row, &self.right_keys) {
+                    dr_hash.entry(k).or_default().push(d);
+                }
+            }
+            for d in &dl_f {
+                let Some(k) = key_of(&d.row, &self.left_keys) else {
+                    continue;
+                };
+                if let Some(matches) = dr_hash.get(&k) {
+                    for r in matches {
+                        out.push(AnnotatedDeltaRow {
+                            row: d.row.concat(&r.row),
+                            annot: d.annot.union(&r.annot),
+                            mult: -(d.mult * r.mult),
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(crate::delta::normalize_delta(out))
+    }
+
+    /// Left child (state persistence walks the tree).
+    pub fn left_child(&self) -> &IncNode {
+        &self.left
+    }
+
+    /// Right child.
+    pub fn right_child(&self) -> &IncNode {
+        &self.right
+    }
+
+    /// Mutable children.
+    pub fn children_mut(&mut self) -> (&mut IncNode, &mut IncNode) {
+        (&mut self.left, &mut self.right)
+    }
+
+    /// Drop bloom filters (rebuilt on next use).
+    pub fn reset(&mut self) {
+        self.left_bloom = None;
+        self.right_bloom = None;
+        self.left.reset();
+        self.right.reset();
+    }
+
+    /// Heap footprint (bloom filters + children).
+    pub fn heap_size(&self) -> usize {
+        self.left_bloom.as_ref().map_or(0, BloomFilter::heap_size)
+            + self.right_bloom.as_ref().map_or(0, BloomFilter::heap_size)
+            + self.left.heap_size()
+            + self.right.heap_size()
+    }
+}
+
+/// Evaluate one (stateless) join side against the backend: a DB round trip.
+fn eval_side(
+    plan: &LogicalPlan,
+    ctx: &mut MaintCtx<'_>,
+) -> Result<Vec<(Row, BitVec, i64)>> {
+    ctx.metrics.db_roundtrips += 1;
+    let mut scanned = 0u64;
+    let bag = eval_annot(plan, ctx.db, ctx.pset, &mut scanned)?;
+    ctx.metrics.db_rows_scanned += scanned;
+    Ok(bag)
+}
+
+fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
+    // Cross product: empty key joins everything.
+    let mut k = Vec::with_capacity(keys.len());
+    for &i in keys {
+        let v = row[i].clone();
+        if v.is_null() {
+            return None;
+        }
+        k.push(v);
+    }
+    Some(k)
+}
+
+fn build_hash<'a>(
+    side: &'a [(Row, BitVec, i64)],
+    keys: &[usize],
+) -> FxHashMap<Vec<Value>, Vec<&'a (Row, BitVec, i64)>> {
+    let mut table: FxHashMap<Vec<Value>, Vec<&(Row, BitVec, i64)>> = FxHashMap::default();
+    for entry in side {
+        if let Some(k) = key_of(&entry.0, keys) {
+            table.entry(k).or_default().push(entry);
+        }
+    }
+    table
+}

@@ -1,0 +1,289 @@
+//! Incremental relational algebra over sketch-annotated deltas (paper §5).
+//!
+//! A query plan is compiled into a tree of [`IncNode`]s mirroring the
+//! logical plan. Each maintenance run pushes the annotated table deltas
+//! bottom-up through the tree: every operator consumes its input delta,
+//! updates its state `S`, and emits an output delta (Def. 4.5). The merge
+//! operator [`merge::MergeOp`] sits above the root and turns result deltas
+//! into a sketch delta `ΔP` (§5.1).
+
+pub mod aggregate;
+pub mod join;
+pub mod merge;
+pub mod topk;
+
+pub use aggregate::AggOp;
+pub use join::JoinOp;
+pub use merge::MergeOp;
+pub use topk::TopKOp;
+
+use crate::delta::AnnotDelta;
+use crate::error::CoreError;
+use crate::metrics::MaintMetrics;
+use crate::Result;
+use imp_engine::Database;
+use imp_sketch::{AnnotatedDeltaRow, PartitionSet};
+use imp_sql::{Expr, LogicalPlan};
+use imp_storage::{FxHashMap, Row};
+use std::sync::Arc;
+
+/// Per-run context shared by all operators.
+pub struct MaintCtx<'a> {
+    /// The backend database (already at the *new* state).
+    pub db: &'a Database,
+    /// The partitions `Φ` of the sketch being maintained.
+    pub pset: &'a Arc<PartitionSet>,
+    /// Annotated deltas per base table, pre-filtered by selection
+    /// push-down when enabled.
+    pub deltas: &'a FxHashMap<String, AnnotDelta>,
+    /// Cost counters.
+    pub metrics: &'a mut MaintMetrics,
+    /// Set by bounded-state operators when their buffer can no longer
+    /// answer (paper §7.2 / §8.4.3: "our IMP will fully maintain the
+    /// sketches"). The maintainer responds with a full recapture.
+    pub needs_recapture: bool,
+}
+
+/// Tuning knobs for operator construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpConfig {
+    /// Maintain bloom filters for join deltas (§7.2).
+    pub bloom: bool,
+    /// Keep only the best `l` values per group in MIN/MAX state (§7.2
+    /// "Optimizing Minimum, Maximum, and Top-k"); `None` = unbounded.
+    pub minmax_buffer: Option<usize>,
+    /// Keep only the best `l` entries in top-k state; `None` = unbounded.
+    pub topk_buffer: Option<usize>,
+}
+
+impl Default for OpConfig {
+    fn default() -> Self {
+        OpConfig {
+            bloom: true,
+            minmax_buffer: None,
+            topk_buffer: None,
+        }
+    }
+}
+
+/// One node of the incremental plan.
+#[derive(Debug)]
+pub enum IncNode {
+    /// Table access: forwards the table's annotated delta (§5.2.1).
+    TableAccess {
+        /// Base table name.
+        table: String,
+    },
+    /// Stateless selection σ (§5.2.3).
+    Selection {
+        /// Input operator.
+        input: Box<IncNode>,
+        /// Filter predicate.
+        predicate: Expr,
+    },
+    /// Stateless projection Π (§5.2.2).
+    Projection {
+        /// Input operator.
+        input: Box<IncNode>,
+        /// Projection expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Join / cross product (§5.2.4), with bloom filters (§7.2).
+    Join(Box<JoinOp>),
+    /// Aggregation (§5.2.5/§5.2.6); also implements duplicate removal δ.
+    Aggregate(Box<AggOp>),
+    /// Top-k (§5.2.7).
+    TopK(Box<TopKOp>),
+    /// Order-preserving pass-through (Sort does not affect sketches).
+    Passthrough {
+        /// Input operator.
+        input: Box<IncNode>,
+    },
+}
+
+impl IncNode {
+    /// Compile a logical plan into an incremental operator tree.
+    pub fn build(plan: &LogicalPlan, config: &OpConfig) -> Result<IncNode> {
+        Ok(match plan {
+            LogicalPlan::Scan { table, .. } => IncNode::TableAccess {
+                table: table.clone(),
+            },
+            LogicalPlan::Filter { input, predicate } => IncNode::Selection {
+                input: Box::new(IncNode::build(input, config)?),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { input, exprs, .. } => IncNode::Projection {
+                input: Box::new(IncNode::build(input, config)?),
+                exprs: exprs.clone(),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                if !is_stateless(left) || !is_stateless(right) {
+                    return Err(CoreError::Unsupported(
+                        "incremental joins require SPJ inputs; aggregation below a \
+                         join is not supported (the paper's workloads join base \
+                         tables / SPJ subqueries only)"
+                            .into(),
+                    ));
+                }
+                IncNode::Join(Box::new(JoinOp::new(
+                    IncNode::build(left, config)?,
+                    IncNode::build(right, config)?,
+                    (**left).clone(),
+                    (**right).clone(),
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    config.bloom,
+                )))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => IncNode::Aggregate(Box::new(AggOp::new(
+                IncNode::build(input, config)?,
+                group_by.clone(),
+                aggs.clone(),
+                config.minmax_buffer,
+            ))),
+            LogicalPlan::Distinct { input } => {
+                // δ(R) = γ_{;all-cols}(R): grouping on the full row with no
+                // aggregation functions (paper Fig. 4).
+                let arity = input.schema().arity();
+                IncNode::Aggregate(Box::new(AggOp::new(
+                    IncNode::build(input, config)?,
+                    (0..arity).map(Expr::Col).collect(),
+                    vec![],
+                    config.minmax_buffer,
+                )))
+            }
+            LogicalPlan::TopK { input, keys, k } => IncNode::TopK(Box::new(TopKOp::new(
+                IncNode::build(input, config)?,
+                keys.clone(),
+                *k,
+                config.topk_buffer,
+            ))),
+            LogicalPlan::Sort { input, .. } => IncNode::Passthrough {
+                input: Box::new(IncNode::build(input, config)?),
+            },
+            LogicalPlan::Except { .. } => {
+                return Err(CoreError::Unsupported(
+                    "set difference is not sketch-maintainable (paper §9 \
+                     future work); IMP answers such queries directly"
+                        .into(),
+                ))
+            }
+        })
+    }
+
+    /// Process one maintenance batch: consume input deltas, update state,
+    /// emit the output delta.
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+        match self {
+            IncNode::TableAccess { table } => {
+                // I(R, Δ𝒟) = Δℛ — the annotated delta, unmodified (§5.2.1).
+                Ok(ctx.deltas.get(table.as_str()).cloned().unwrap_or_default())
+            }
+            IncNode::Selection { input, predicate } => {
+                let rows = input.process(ctx)?;
+                let mut out = Vec::new();
+                for d in rows {
+                    ctx.metrics.rows_processed += 1;
+                    if predicate
+                        .eval_predicate(&d.row)
+                        .map_err(imp_engine::EngineError::from)?
+                    {
+                        out.push(d);
+                    }
+                }
+                Ok(out)
+            }
+            IncNode::Projection { input, exprs } => {
+                let rows = input.process(ctx)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for d in rows {
+                    ctx.metrics.rows_processed += 1;
+                    let vals = exprs
+                        .iter()
+                        .map(|e| e.eval(&d.row))
+                        .collect::<std::result::Result<Vec<_>, _>>()
+                        .map_err(imp_engine::EngineError::from)?;
+                    out.push(AnnotatedDeltaRow {
+                        row: Row::new(vals),
+                        annot: d.annot,
+                        mult: d.mult,
+                    });
+                }
+                Ok(out)
+            }
+            IncNode::Join(j) => j.process(ctx),
+            IncNode::Aggregate(a) => a.process(ctx),
+            IncNode::TopK(t) => t.process(ctx),
+            IncNode::Passthrough { input } => input.process(ctx),
+        }
+    }
+
+    /// Drop all operator state (before a recapture).
+    pub fn reset(&mut self) {
+        match self {
+            IncNode::TableAccess { .. } => {}
+            IncNode::Selection { input, .. }
+            | IncNode::Projection { input, .. }
+            | IncNode::Passthrough { input } => input.reset(),
+            IncNode::Join(j) => j.reset(),
+            IncNode::Aggregate(a) => a.reset(),
+            IncNode::TopK(t) => t.reset(),
+        }
+    }
+
+    /// Entries and own-state bytes of the topmost top-k operator, if any
+    /// (Fig. 13e/f reports this against the buffer bound).
+    pub fn topk_state(&self) -> Option<(usize, usize)> {
+        match self {
+            IncNode::TableAccess { .. } => None,
+            IncNode::Selection { input, .. }
+            | IncNode::Projection { input, .. }
+            | IncNode::Passthrough { input } => input.topk_state(),
+            IncNode::Join(j) => {
+                let (l, r) = (j.left_child(), j.right_child());
+                l.topk_state().or_else(|| r.topk_state())
+            }
+            IncNode::Aggregate(a) => a.input_child().topk_state(),
+            IncNode::TopK(t) => Some((t.stored_entries(), t.own_heap_size())),
+        }
+    }
+
+    /// Approximate heap footprint of all operator state (Fig. 15/17).
+    pub fn heap_size(&self) -> usize {
+        match self {
+            IncNode::TableAccess { .. } => 0,
+            IncNode::Selection { input, .. }
+            | IncNode::Projection { input, .. }
+            | IncNode::Passthrough { input } => input.heap_size(),
+            IncNode::Join(j) => j.heap_size(),
+            IncNode::Aggregate(a) => a.heap_size(),
+            IncNode::TopK(t) => t.heap_size(),
+        }
+    }
+}
+
+/// Is this plan free of stateful operators (pure select-project-join)?
+pub fn is_stateless(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            is_stateless(input)
+        }
+        LogicalPlan::Join { left, right, .. } => is_stateless(left) && is_stateless(right),
+        LogicalPlan::Aggregate { .. }
+        | LogicalPlan::Distinct { .. }
+        | LogicalPlan::TopK { .. }
+        | LogicalPlan::Sort { .. }
+        | LogicalPlan::Except { .. } => false,
+    }
+}

@@ -1,0 +1,337 @@
+//! Incremental top-k (paper §5.2.7) with bounded buffers (§7.2, §8.4.3).
+//!
+//! State is a nested ordered map: the outer map orders entries by the
+//! ORDER BY key (`BTreeMap` standing in for the paper's balanced search
+//! tree); the inner map stores, per key, the multiplicity of each
+//! annotated tuple `⟨t, P⟩`. Deltas are computed the paper's simple way:
+//! delete the previous top-k, insert the updated top-k ("as k is typically
+//! relatively small, we select a simple approach").
+//!
+//! With a bounded buffer only the best `l ≥ k` entries are stored; if
+//! deletions exhaust the buffer below `k`, the operator requests a full
+//! recapture (§8.4.3: "if there are less than k groups stored in the
+//! state, our IMP will fully maintain the sketches").
+
+use super::{IncNode, MaintCtx};
+use crate::delta::AnnotDelta;
+use crate::Result;
+use imp_sketch::AnnotatedDeltaRow;
+use imp_sql::plan::sort_key_values;
+use imp_sql::SortKey;
+use imp_storage::{BitVec, Row, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// ORDER BY key with per-column direction baked into its `Ord`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    vals: Vec<Value>,
+    /// Ascending flags, parallel to `vals`.
+    asc: Vec<bool>,
+}
+
+impl OrderKey {
+    fn new(row: &Row, keys: &[SortKey]) -> OrderKey {
+        OrderKey {
+            vals: sort_key_values(row, keys),
+            asc: keys.iter().map(|k| k.asc).collect(),
+        }
+    }
+}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        debug_assert_eq!(self.asc, other.asc);
+        for ((a, b), asc) in self.vals.iter().zip(&other.vals).zip(&self.asc) {
+            let ord = a.cmp(b);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+type Entries = BTreeMap<(Row, BitVec), i64>;
+
+/// Incremental top-k operator.
+#[derive(Debug)]
+pub struct TopKOp {
+    input: Box<IncNode>,
+    keys: Vec<SortKey>,
+    k: u64,
+    state: BTreeMap<OrderKey, Entries>,
+    /// Keep at most this many annotated tuples; `None` = unbounded.
+    buffer: Option<usize>,
+    truncated: bool,
+    entries: usize,
+}
+
+impl TopKOp {
+    /// New top-k operator.
+    pub fn new(input: IncNode, keys: Vec<SortKey>, k: u64, buffer: Option<usize>) -> TopKOp {
+        TopKOp {
+            input: Box::new(input),
+            keys,
+            k,
+            state: BTreeMap::new(),
+            buffer,
+            truncated: false,
+            entries: 0,
+        }
+    }
+
+    /// Current top-k: walk keys in order, tuples per key in deterministic
+    /// order, clipping the boundary tuple's multiplicity (`τ_{k,O}`).
+    fn compute_topk(&self) -> Vec<(Row, BitVec, i64)> {
+        let mut out = Vec::new();
+        let mut remaining = self.k as i64;
+        'outer: for entries in self.state.values() {
+            for ((row, annot), m) in entries {
+                if remaining <= 0 {
+                    break 'outer;
+                }
+                let take = (*m).min(remaining);
+                out.push((row.clone(), annot.clone(), take));
+                remaining -= take;
+            }
+        }
+        out
+    }
+
+    /// Worst stored key (the truncation horizon).
+    fn horizon(&self) -> Option<&OrderKey> {
+        self.state.keys().next_back()
+    }
+
+    /// Process one batch.
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+        let input = self.input.process(ctx)?;
+        if input.is_empty() {
+            return Ok(Vec::new());
+        }
+        let old_topk = self.compute_topk();
+
+        for d in input {
+            ctx.metrics.rows_processed += 1;
+            let key = OrderKey::new(&d.row, &self.keys);
+            if d.mult > 0 {
+                if self.truncated
+                    && self.horizon().is_some_and(|h| key > *h)
+                {
+                    // Beyond the horizon of a truncated buffer: cannot be
+                    // in the top-k before a recapture happens (same prefix
+                    // invariant as the bounded MIN/MAX state).
+                    continue;
+                }
+                let entries = self.state.entry(key).or_default();
+                let slot = entries.entry((d.row, d.annot)).or_insert(0);
+                if *slot == 0 {
+                    self.entries += 1;
+                }
+                *slot += d.mult;
+                // Evict past the buffer bound.
+                if let Some(l) = self.buffer {
+                    while self.entries > l {
+                        let Some(mut last) = self.state.last_entry() else {
+                            break;
+                        };
+                        let victims = last.get_mut();
+                        victims.pop_last();
+                        self.entries -= 1;
+                        if victims.is_empty() {
+                            last.remove();
+                        }
+                        self.truncated = true;
+                    }
+                }
+            } else {
+                // Deletion.
+                let beyond = self.horizon().is_none_or(|h| key > *h);
+                match self.state.get_mut(&key) {
+                    Some(entries) => {
+                        let slot_key = (d.row, d.annot);
+                        match entries.get_mut(&slot_key) {
+                            Some(slot) => {
+                                *slot += d.mult;
+                                if *slot <= 0 {
+                                    let corrupt = *slot < 0;
+                                    entries.remove(&slot_key);
+                                    self.entries -= 1;
+                                    if entries.is_empty() {
+                                        self.state.remove(&key);
+                                    }
+                                    if corrupt {
+                                        ctx.needs_recapture = true;
+                                    }
+                                }
+                            }
+                            None => {
+                                if !(self.truncated && beyond) {
+                                    ctx.needs_recapture = true;
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        if !(self.truncated && beyond) {
+                            ctx.needs_recapture = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Buffer exhausted below k with evicted entries outstanding?
+        if self.truncated {
+            let total: i64 = self
+                .state
+                .values()
+                .flat_map(|e| e.values())
+                .sum();
+            if total < self.k as i64 {
+                ctx.needs_recapture = true;
+            }
+        }
+        if ctx.needs_recapture {
+            return Ok(Vec::new());
+        }
+
+        let new_topk = self.compute_topk();
+        if old_topk == new_topk {
+            return Ok(Vec::new());
+        }
+        // Δ-τ_k(S) ∪ Δ+τ_k(S′).
+        let mut out = Vec::with_capacity(old_topk.len() + new_topk.len());
+        for (row, annot, m) in old_topk {
+            out.push(AnnotatedDeltaRow {
+                row,
+                annot,
+                mult: -m,
+            });
+        }
+        for (row, annot, m) in new_topk {
+            out.push(AnnotatedDeltaRow { row, annot, mult: m });
+        }
+        Ok(crate::delta::normalize_delta(out))
+    }
+
+    /// Drop all state.
+    pub fn reset(&mut self) {
+        self.state.clear();
+        self.entries = 0;
+        self.truncated = false;
+        self.input.reset();
+    }
+
+    /// Number of stored annotated tuples (`l` in §8.4.3 / Fig. 15).
+    pub fn stored_entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Input child (state persistence walks the tree).
+    pub fn input_child(&self) -> &IncNode {
+        &self.input
+    }
+
+    /// Mutable input child.
+    pub fn input_child_mut(&mut self) -> &mut IncNode {
+        &mut self.input
+    }
+
+    /// Serialize the top-k state.
+    pub fn encode_state(&self, buf: &mut bytes::BytesMut) {
+        use imp_storage::codec::*;
+        encode_u64(buf, self.truncated as u64);
+        encode_u64(buf, self.state.len() as u64);
+        for (key, entries) in &self.state {
+            encode_row(buf, &Row::new(key.vals.clone()));
+            encode_u64(buf, entries.len() as u64);
+            for ((row, annot), m) in entries {
+                encode_row(buf, row);
+                encode_bitvec(buf, annot);
+                encode_i64(buf, *m);
+            }
+        }
+    }
+
+    /// Restore state written by [`TopKOp::encode_state`].
+    pub fn decode_state(&mut self, buf: &mut bytes::Bytes) -> crate::Result<()> {
+        use imp_storage::codec::*;
+        self.state.clear();
+        self.entries = 0;
+        self.truncated = decode_u64(buf)? != 0;
+        let n = decode_u64(buf)?;
+        let asc: Vec<bool> = self.keys.iter().map(|k| k.asc).collect();
+        for _ in 0..n {
+            let key_row = decode_row(buf)?;
+            let key = OrderKey {
+                vals: key_row.values().to_vec(),
+                asc: asc.clone(),
+            };
+            let len = decode_u64(buf)?;
+            let mut entries = Entries::new();
+            for _ in 0..len {
+                let row = decode_row(buf)?;
+                let annot = decode_bitvec(buf)?;
+                let m = decode_i64(buf)?;
+                entries.insert((row, annot), m);
+                self.entries += 1;
+            }
+            self.state.insert(key, entries);
+        }
+        Ok(())
+    }
+
+    /// Heap footprint of this operator's own state (excludes children) —
+    /// the quantity Fig. 13e/f plots against the buffer bound.
+    pub fn own_heap_size(&self) -> usize {
+        let mut size = 0usize;
+        for (key, entries) in &self.state {
+            size += key.vals.len() * std::mem::size_of::<Value>()
+                + key.vals.iter().map(Value::heap_size).sum::<usize>()
+                + 48;
+            for (row, annot) in entries.keys() {
+                size += row.heap_size() + annot.heap_size() + 56;
+            }
+        }
+        size
+    }
+
+    /// Heap footprint of the state (Fig. 15 memory plots).
+    pub fn heap_size(&self) -> usize {
+        self.own_heap_size() + self.input.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_key_directions() {
+        let keys = [
+            SortKey {
+                column: 0,
+                asc: false,
+            },
+            SortKey {
+                column: 1,
+                asc: true,
+            },
+        ];
+        let a = OrderKey::new(&imp_storage::row![5, 1], &keys);
+        let b = OrderKey::new(&imp_storage::row![3, 0], &keys);
+        // DESC on column 0: 5 sorts before 3.
+        assert!(a < b);
+        let c = OrderKey::new(&imp_storage::row![5, 0], &keys);
+        assert!(c < a);
+    }
+}

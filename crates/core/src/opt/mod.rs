@@ -1,0 +1,7 @@
+//! The optimizations of paper §7.2.
+
+pub mod bloom;
+pub mod pushdown;
+
+pub use bloom::BloomFilter;
+pub use pushdown::pushable_predicates;

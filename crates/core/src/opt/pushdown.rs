@@ -1,0 +1,112 @@
+//! Selection push-down into delta retrieval (paper §7.2).
+//!
+//! "If a query involves a selection and all operators in the subtree
+//! rooted at [the] selection are stateless, then we can avoid fetching
+//! delta tuples from the database that do not fulfill the selection's
+//! condition … we can push the selection conditions into the query that
+//! retrieves the delta."
+//!
+//! In this implementation, deltas come from the backend's per-table delta
+//! logs, so "pushing into the retrieval query" means filtering the log
+//! records before they are annotated and handed to the incremental
+//! pipeline. The predicates eligible for push-down are exactly the filters
+//! sitting on a stateless path between a table access and the first
+//! stateful operator.
+
+use imp_sql::{Expr, LogicalPlan};
+
+/// Collect, per base table, the predicates that can be evaluated directly
+/// on that table's delta rows. Returns `(table, predicate-over-base-row)`
+/// pairs.
+pub fn pushable_predicates(plan: &LogicalPlan) -> Vec<(String, Expr)> {
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
+}
+
+fn walk(plan: &LogicalPlan, out: &mut Vec<(String, Expr)>) {
+    match plan {
+        // The shape `Filter(Scan)` is the push-down target: everything
+        // below the filter (just the scan) is stateless, and the filter's
+        // columns are base-table positions.
+        LogicalPlan::Filter { input, predicate } => {
+            if let LogicalPlan::Scan { table, .. } = input.as_ref() {
+                out.push((table.clone(), predicate.clone()));
+            } else {
+                walk(input, out);
+            }
+        }
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. } => walk(input, out),
+        LogicalPlan::Join { left, right, .. }
+        | LogicalPlan::Except { left, right, .. } => {
+            walk(left, out);
+            walk(right, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_engine::Database;
+    use imp_storage::{DataType, Field, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "r",
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Schema::new(vec![
+                Field::new("c", DataType::Int),
+                Field::new("d", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn where_over_scan_is_pushable() {
+        let db = db();
+        let plan = db
+            .plan_sql("SELECT a, avg(b) FROM r WHERE b < 100 GROUP BY a")
+            .unwrap();
+        let p = pushable_predicates(&plan);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].0, "r");
+    }
+
+    #[test]
+    fn both_join_sides_collected() {
+        let db = db();
+        let plan = db
+            .plan_sql(
+                "SELECT a, sum(d) FROM (SELECT a, b FROM r WHERE a > 3) t \
+                 JOIN s ON (b = c) GROUP BY a",
+            )
+            .unwrap();
+        let p = pushable_predicates(&plan);
+        // Only r has a filter directly over its scan.
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].0, "r");
+    }
+
+    #[test]
+    fn no_filter_no_pushdown() {
+        let db = db();
+        let plan = db.plan_sql("SELECT a, avg(b) FROM r GROUP BY a").unwrap();
+        assert!(pushable_predicates(&plan).is_empty());
+    }
+}

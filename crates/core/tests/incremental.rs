@@ -1,0 +1,457 @@
+//! End-to-end tests of the incremental maintenance engine against the
+//! paper's running examples (Ex. 1.1, 1.2, 4.2, 5.1, 5.2) and against full
+//! recapture on randomized updates.
+
+use imp_core::maintain::SketchMaintainer;
+use imp_core::middleware::{Imp, ImpConfig, ImpResponse, QueryMode};
+use imp_core::ops::OpConfig;
+use imp_core::MaintenanceStrategy;
+use imp_engine::Database;
+use imp_sketch::{capture, PartitionSet, RangePartition};
+use imp_storage::{row, DataType, Field, Schema, Value};
+use std::sync::Arc;
+
+const QTOP: &str = "SELECT brand, SUM(price * numsold) AS rev FROM sales \
+                    GROUP BY brand HAVING SUM(price * numsold) > 5000";
+
+fn sales_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "sales",
+        Schema::new(vec![
+            Field::new("sid", DataType::Int),
+            Field::new("brand", DataType::Str),
+            Field::new("price", DataType::Int),
+            Field::new("numsold", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    let rows = [
+        row![1, "Lenovo", 349, 1],
+        row![2, "Lenovo", 449, 2],
+        row![3, "Apple", 1199, 1],
+        row![4, "Apple", 3875, 1],
+        row![5, "Dell", 1345, 1],
+        row![6, "HP", 999, 4],
+        row![7, "HP", 899, 1],
+    ];
+    db.table_mut("sales").unwrap().bulk_load(rows).unwrap();
+    db
+}
+
+/// φ_price of Ex. 1.1 (brand is the group-by/safe attribute, but the
+/// paper's example partitions on price — allowed via override semantics).
+fn price_pset() -> Arc<PartitionSet> {
+    Arc::new(
+        PartitionSet::new(vec![RangePartition::new(
+            "sales",
+            "price",
+            2,
+            vec![Value::Int(601), Value::Int(1001), Value::Int(1501)],
+        )
+        .unwrap()])
+        .unwrap(),
+    )
+}
+
+#[test]
+fn capture_bootstrap_matches_batch_capture() {
+    // Two independent implementations must agree: incremental-from-empty
+    // (maintainer bootstrap) vs. batch annotated evaluation.
+    let db = sales_db();
+    let plan = db.plan_sql(QTOP).unwrap();
+    let pset = price_pset();
+    let (m, result) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+    assert_eq!(m.sketch().fragments_of_partition(0), vec![2, 3]); // {ρ3, ρ4}
+    assert_eq!(result, vec![(row!["Apple", 5074], 1)]);
+}
+
+#[test]
+fn example_1_2_insert_makes_sketch_gain_rho2() {
+    // Inserting s8 pushes HP over the threshold: sketch gains ρ2.
+    let mut db = sales_db();
+    let plan = db.plan_sql(QTOP).unwrap();
+    let pset = price_pset();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    db.execute_sql("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    assert!(m.is_stale(&db));
+    let report = m.maintain(&db).unwrap();
+    assert!(!report.recaptured);
+    // ρ2 (fragment 1) newly added; HP tuples live in ρ2 (999, 899) and the
+    // new one in ρ3 which was already present.
+    assert_eq!(report.sketch_delta.added, vec![1]);
+    assert_eq!(m.sketch().fragments_of_partition(0), vec![1, 2, 3]);
+    // Must equal a from-scratch capture of the updated database.
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+}
+
+#[test]
+fn deletion_shrinks_sketch() {
+    let mut db = sales_db();
+    let plan = db.plan_sql(QTOP).unwrap();
+    let pset = price_pset();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    // Delete the expensive MacBook: Apple's revenue falls below 5000,
+    // leaving no result tuples → sketch becomes empty.
+    db.execute_sql("DELETE FROM sales WHERE sid = 4").unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert_eq!(report.sketch_delta.removed, vec![2, 3]);
+    assert_eq!(m.sketch().fragment_count(), 0);
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+}
+
+#[test]
+fn fig5_two_table_join_example() {
+    // Paper Ex. 5.1 / Fig. 5, verbatim.
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Schema::new(vec![
+            Field::new("c", DataType::Int),
+            Field::new("d", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("r")
+        .unwrap()
+        .bulk_load([row![1, 7], row![9, 9]])
+        .unwrap();
+    db.table_mut("s")
+        .unwrap()
+        .bulk_load([row![6, 9], row![7, 8]])
+        .unwrap();
+    // φ_a = {f1=[1,5], f2=[6,10]}, φ_c = {g1=[1,6], g2=[7,15]}.
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::new("r", "a", 0, vec![Value::Int(6)]).unwrap(),
+            RangePartition::new("s", "c", 0, vec![Value::Int(7)]).unwrap(),
+        ])
+        .unwrap(),
+    );
+    let sql = "SELECT a, sum(c) AS sc \
+               FROM (SELECT a, b FROM r WHERE a > 3) t JOIN s ON (b = d) \
+               GROUP BY a HAVING SUM(c) > 5";
+    let plan = db.plan_sql(sql).unwrap();
+    let (mut m, result) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    // Before the delta: only group 9 qualifies (9 joins 6 via b=d=9,
+    // sum(c)=6 > 5); sketch = {f2, g1} = global fragments {1, 2}.
+    assert_eq!(result, vec![(row![9, 6], 1)]);
+    assert_eq!(
+        m.sketch().bits().iter_ones().collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    // Δ+ (5,8) into R: new group 5 with sum(c)=7 > 5 → Δ+{f1, g2}.
+    db.execute_sql("INSERT INTO r VALUES (5, 8)").unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert_eq!(report.sketch_delta.added, vec![0, 3]); // f1, g2
+    assert!(report.sketch_delta.removed.is_empty());
+    assert_eq!(
+        m.sketch().bits().iter_ones().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    // Cross-check against batch capture.
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+}
+
+#[test]
+fn middleware_lifecycle_capture_use_maintain() {
+    let mut imp = Imp::new(sales_db(), ImpConfig {
+        partition_overrides: vec![("sales".into(), "price".into())],
+        allow_unsafe_attributes: true,
+        fragments: 4,
+        ..ImpConfig::default()
+    });
+    // First query captures.
+    let ImpResponse::Rows { result, mode } = imp.execute(QTOP).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::Captured));
+    assert_eq!(result.canonical(), vec![(row!["Apple", 5074], 1)]);
+    // Second identical query uses the fresh sketch.
+    let ImpResponse::Rows { result, mode } = imp.execute(QTOP).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::UsedFresh));
+    assert_eq!(result.canonical(), vec![(row!["Apple", 5074], 1)]);
+    // Update, then the next query maintains and still answers correctly
+    // (Ex. 1.2: HP joins the result).
+    imp.execute("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    let ImpResponse::Rows { result, mode } = imp.execute(QTOP).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::Maintained(_)));
+    assert_eq!(
+        result.canonical(),
+        vec![(row!["Apple", 5074], 1), (row!["HP", 6194], 1)]
+    );
+}
+
+#[test]
+fn middleware_eager_strategy_maintains_on_update() {
+    let mut imp = Imp::new(sales_db(), ImpConfig {
+        strategy: MaintenanceStrategy::Eager { batch_size: 1 },
+        partition_overrides: vec![("sales".into(), "price".into())],
+        allow_unsafe_attributes: true,
+        fragments: 4,
+        ..ImpConfig::default()
+    });
+    imp.execute(QTOP).unwrap();
+    let ImpResponse::Affected { maintenance, .. } = imp
+        .execute("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(maintenance.len(), 1);
+    // Query now finds a fresh sketch.
+    let ImpResponse::Rows { mode, .. } = imp.execute(QTOP).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::UsedFresh));
+}
+
+#[test]
+fn middleware_reuses_sketch_for_more_selective_constant() {
+    // A sketch for HAVING > 5000 may answer HAVING > 6000 (subsumption).
+    let mut imp = Imp::new(sales_db(), ImpConfig {
+        partition_overrides: vec![("sales".into(), "price".into())],
+        allow_unsafe_attributes: true,
+        fragments: 4,
+        ..ImpConfig::default()
+    });
+    imp.execute(QTOP).unwrap();
+    let q6000 = QTOP.replace("5000", "6000");
+    let ImpResponse::Rows { result, mode } = imp.execute(&q6000).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::UsedFresh), "{mode:?}");
+    assert!(result.rows.is_empty()); // Apple's 5074 < 6000
+    // A *less* selective constant must NOT reuse (captures a new sketch
+    // under the same template — replacing the old entry).
+    let q4000 = QTOP.replace("5000", "4000");
+    let ImpResponse::Rows { mode, .. } = imp.execute(&q4000).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::Captured), "{mode:?}");
+}
+
+#[test]
+fn state_persistence_roundtrip() {
+    // Save state, restore into a fresh maintainer, continue maintaining:
+    // result must equal uninterrupted maintenance.
+    let mut db = sales_db();
+    let plan = db.plan_sql(QTOP).unwrap();
+    let pset = price_pset();
+    let (mut live, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let saved = imp_core::state_codec::save_state(&live);
+
+    db.execute_sql("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    live.maintain(&db).unwrap();
+
+    // Restore: fresh maintainer from the same plan (bootstrap runs on the
+    // *updated* db, but load_state overwrites everything).
+    let (mut restored, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    imp_core::state_codec::load_state(&mut restored, saved).unwrap();
+    assert!(restored.is_stale(&db));
+    restored.maintain(&db).unwrap();
+    assert_eq!(restored.sketch(), live.sketch());
+}
+
+#[test]
+fn unsupported_plan_shapes_rejected() {
+    // Aggregation below a join is outside the supported fragment.
+    let mut db = sales_db();
+    db.create_table(
+        "t2",
+        Schema::new(vec![Field::new("brand", DataType::Str)]),
+    )
+    .unwrap();
+    let plan = db
+        .plan_sql(
+            "SELECT x.brand, cnt FROM \
+             (SELECT brand, count(sid) AS cnt FROM sales GROUP BY brand) x \
+             JOIN t2 ON (x.brand = t2.brand)",
+        )
+        .unwrap();
+    let err = SketchMaintainer::capture(&plan, &db, price_pset(), OpConfig::default(), true);
+    assert!(err.is_err());
+}
+
+#[test]
+fn topk_incremental_maintenance() {
+    let mut db = sales_db();
+    let sql = "SELECT brand, price FROM sales ORDER BY price DESC LIMIT 2";
+    let plan = db.plan_sql(sql).unwrap();
+    let pset = price_pset();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    // Top-2 = 3875 (ρ4), 1345 (ρ3).
+    assert_eq!(m.sketch().fragments_of_partition(0), vec![2, 3]);
+    // Insert a new maximum in ρ4, delete old #2.
+    db.execute_sql("INSERT INTO sales VALUES (9, 'Asus', 9000, 1)")
+        .unwrap();
+    db.execute_sql("DELETE FROM sales WHERE sid = 5").unwrap();
+    m.maintain(&db).unwrap();
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+    // Top-2 now 9000 (ρ4) and 3875 (ρ4) → sketch = {ρ4} only.
+    assert_eq!(m.sketch().fragments_of_partition(0), vec![3]);
+}
+
+#[test]
+fn min_max_aggregates_maintained() {
+    let mut db = sales_db();
+    let sql = "SELECT brand, min(price) AS mn, max(price) AS mx FROM sales \
+               GROUP BY brand HAVING min(price) < 1000";
+    let plan = db.plan_sql(sql).unwrap();
+    let pset = price_pset();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    db.execute_sql("DELETE FROM sales WHERE sid = 1").unwrap();
+    db.execute_sql("INSERT INTO sales VALUES (10, 'Apple', 450, 3)")
+        .unwrap();
+    m.maintain(&db).unwrap();
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+}
+
+#[test]
+fn bounded_minmax_triggers_recapture() {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("t")
+        .unwrap()
+        .bulk_load((0..20).map(|i| row![i % 2, i]))
+        .unwrap();
+    let plan = db
+        .plan_sql("SELECT g, min(v) AS mv FROM t GROUP BY g HAVING min(v) < 100")
+        .unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![RangePartition::new(
+            "t",
+            "g",
+            0,
+            vec![Value::Int(1)],
+        )
+        .unwrap()])
+        .unwrap(),
+    );
+    let config = OpConfig {
+        minmax_buffer: Some(3),
+        ..OpConfig::default()
+    };
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), config, true).unwrap();
+    // Delete the 4 smallest even values: exhausts the 3-value buffer of
+    // group 0 → recapture.
+    db.execute_sql("DELETE FROM t WHERE g = 0 AND v < 8").unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert!(report.recaptured);
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+    // And the maintainer keeps working afterwards.
+    db.execute_sql("DELETE FROM t WHERE v = 8").unwrap();
+    m.maintain(&db).unwrap();
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+}
+
+#[test]
+fn randomized_updates_match_recapture() {
+    // Mini stress: random inserts/deletes; after every maintenance the
+    // sketch must equal (here: exactly, since counters are exact) a fresh
+    // batch capture, and the rewritten query must produce the full result.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("t")
+        .unwrap()
+        .bulk_load((0..200).map(|i| row![i % 10, (i * 37) % 100]))
+        .unwrap();
+    let sql = "SELECT g, sum(v) AS sv FROM t GROUP BY g HAVING sum(v) > 900";
+    let plan = db.plan_sql(sql).unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::equi_depth(&db, "t", "g", 5).unwrap()
+        ])
+        .unwrap(),
+    );
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let mut next_id = 1000;
+    for step in 0..30 {
+        // Random batch of 1-5 updates.
+        for _ in 0..rng.gen_range(1..=5) {
+            if rng.gen_bool(0.6) {
+                let g = rng.gen_range(0..10);
+                let v = rng.gen_range(0..100);
+                db.execute_sql(&format!("INSERT INTO t VALUES ({g}, {v})"))
+                    .unwrap();
+                next_id += 1;
+            } else {
+                let v = rng.gen_range(0..100);
+                db.execute_sql(&format!("DELETE FROM t WHERE v = {v}"))
+                    .unwrap();
+            }
+        }
+        m.maintain(&db).unwrap();
+        let batch = capture(&plan, &db, &pset).unwrap();
+        assert_eq!(m.sketch(), &batch.sketch, "diverged at step {step}");
+        // Safety: rewritten query over the sketch == full query.
+        let rewritten =
+            imp_sketch::apply_sketch_filter(&plan, m.sketch()).unwrap();
+        assert_eq!(
+            db.execute_plan(&rewritten).unwrap().canonical(),
+            db.execute_plan(&plan).unwrap().canonical(),
+            "safety violated at step {step}"
+        );
+    }
+    let _ = next_id;
+}

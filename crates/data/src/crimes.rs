@@ -1,0 +1,160 @@
+//! Synthetic Chicago-Crimes-like dataset.
+//!
+//! Substitution (documented in DESIGN.md): the paper uses the public
+//! Chicago crimes extract (1.87 GB, 7.3 M rows); the live dataset is not
+//! downloadable in this environment. This generator reproduces the
+//! properties CQ1/CQ2 exercise: ~300 beats with Zipf-skewed incident
+//! counts, beats nested in districts / wards / community areas, and
+//! per-year incident volumes over 2001–2024.
+
+use imp_engine::Database;
+use imp_storage::{DataType, Field, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct beats.
+pub const BEATS: i64 = 300;
+/// Number of districts (beats nest into districts).
+pub const DISTRICTS: i64 = 25;
+/// Number of wards.
+pub const WARDS: i64 = 50;
+/// Number of community areas.
+pub const COMMUNITY_AREAS: i64 = 77;
+/// Year range of incidents.
+pub const YEARS: std::ops::Range<i64> = 2001..2025;
+
+const PRIMARY_TYPES: [&str; 12] = [
+    "THEFT",
+    "BATTERY",
+    "CRIMINAL DAMAGE",
+    "NARCOTICS",
+    "ASSAULT",
+    "BURGLARY",
+    "MOTOR VEHICLE THEFT",
+    "ROBBERY",
+    "DECEPTIVE PRACTICE",
+    "CRIMINAL TRESPASS",
+    "WEAPONS VIOLATION",
+    "HOMICIDE",
+];
+
+/// Zipf-ish sampler over `0..n` (precomputed CDF, exponent ~0.8 — beats in
+/// the real data are heavily but not extremely skewed).
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build for `n` items with the given exponent.
+    pub fn new(n: usize, exponent: f64) -> ZipfSampler {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw one index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+/// The crimes table schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("year", DataType::Int),
+        Field::new("beat", DataType::Int),
+        Field::new("district", DataType::Int),
+        Field::new("ward", DataType::Int),
+        Field::new("community_area", DataType::Int),
+        Field::new("primary_type", DataType::Str),
+        Field::new("arrest", DataType::Bool),
+    ])
+}
+
+/// Generate `rows` incidents.
+pub fn generate_rows(rows: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let beat_sampler = ZipfSampler::new(BEATS as usize, 0.8);
+    let mut out = Vec::with_capacity(rows);
+    for id in 0..rows as i64 {
+        let beat = beat_sampler.sample(&mut rng) as i64;
+        // Beats nest into the coarser geographies deterministically, so
+        // grouping on (district, community_area, ward, beat) is coherent.
+        let district = beat * DISTRICTS / BEATS;
+        let ward = beat * WARDS / BEATS;
+        let community_area = beat * COMMUNITY_AREAS / BEATS;
+        let year = YEARS.start + rng.gen_range(0..YEARS.end - YEARS.start);
+        out.push(Row::new(vec![
+            Value::Int(id),
+            Value::Int(year),
+            Value::Int(beat),
+            Value::Int(district),
+            Value::Int(ward),
+            Value::Int(community_area),
+            Value::str(PRIMARY_TYPES[rng.gen_range(0..PRIMARY_TYPES.len())]),
+            Value::Bool(rng.gen_bool(0.25)),
+        ]));
+    }
+    // Physically cluster on beat: the real dataset is served
+    // beat-partitioned, and data skipping requires the partition attribute
+    // to correlate with the storage layout (zone maps prune whole chunks).
+    out.sort_by(|x, y| x[2].cmp(&y[2]));
+    out
+}
+
+/// Create + load the `crimes` table.
+pub fn load(db: &mut Database, rows: usize, seed: u64) -> imp_engine::Result<()> {
+    let mut table = Table::with_chunk_capacity("crimes", schema(), 1024);
+    table.bulk_load(generate_rows(rows, seed))?;
+    table.seal();
+    db.register_table(table)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_head() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = ZipfSampler::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn cq1_and_cq2_run() {
+        let mut db = Database::new();
+        load(&mut db, 20_000, 11).unwrap();
+        let cq1 = db.query(crate::queries::CRIMES_CQ1).unwrap();
+        assert!(!cq1.rows.is_empty());
+        let cq2 = db.query(crate::queries::CRIMES_CQ2).unwrap();
+        // Zipf head beats cross the count>1000 threshold even at 20k rows
+        // ... or not; just check it executes and respects HAVING.
+        for (row, _) in &cq2.rows {
+            assert!(row[4].as_i64().unwrap() > 1000);
+        }
+    }
+
+    #[test]
+    fn geography_nesting_consistent() {
+        for r in generate_rows(1000, 5) {
+            let beat = r[2].as_i64().unwrap();
+            assert_eq!(r[3].as_i64().unwrap(), beat * DISTRICTS / BEATS);
+            assert_eq!(r[4].as_i64().unwrap(), beat * WARDS / BEATS);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # imp-data
+//!
+//! Deterministic dataset and workload generators reproducing the paper's
+//! evaluation inputs (§8 "Datasets and Workloads"):
+//!
+//! * [`synthetic`] — the synthetic tables: "tables with 10M rows with at
+//!   least 11 attributes … the values of one attribute (a) are chosen
+//!   uniform at random. The remaining attributes are linearly correlated
+//!   with a subject to Gaussian noise". Row counts are configurable (the
+//!   benchmarks default to laptop-scale sizes; shapes are size-free).
+//! * [`tpch`] — a TPC-H-style generator (customer / orders / lineitem /
+//!   nation / region / supplier / part / partsupp). Substitution: dbgen is
+//!   not available offline; this generator reproduces the schema, key
+//!   relationships (FK chains, 1:n lineitem-per-order skew) and value
+//!   distributions the evaluation queries exercise. Dates are encoded as
+//!   `YYYYMMDD` integers.
+//! * [`crimes`] — a synthetic Chicago-Crimes-like dataset (the real
+//!   extract is not downloadable here): beats with Zipf-skewed incident
+//!   counts, beat→district/ward/community-area correlation, per-year
+//!   volumes. CQ1/CQ2 run verbatim.
+//! * [`workload`] — mixed query/update streams (1U5Q / 1U1Q / 5U1Q of
+//!   §8.1), delta generators (insert / delete / mixed), and the top-k
+//!   deletion strategies of §8.4.3 (min-group, random, R-M ratios).
+//! * [`queries`] — the Appendix A query texts.
+
+pub mod crimes;
+pub mod queries;
+pub mod synthetic;
+pub mod tpch;
+pub mod workload;
+
+pub use synthetic::SyntheticConfig;
+pub use workload::{MixedWorkload, WorkloadOp};

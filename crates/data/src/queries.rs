@@ -1,0 +1,144 @@
+//! The paper's workload queries (Appendix A), adapted only where the
+//! substrate differs (dates as `YYYYMMDD` integers; table names follow the
+//! generators in this crate).
+
+/// `Q_endtoend` (A.1.7): group-by aggregation with a HAVING window on the
+/// average. The constants are parameters — the mixed workload varies them.
+pub fn q_endtoend(lo: i64, hi: i64) -> String {
+    format!(
+        "SELECT a, avg(c) AS ac FROM edb1 GROUP BY a \
+         HAVING avg(c) > {lo} AND avg(c) < {hi}"
+    )
+}
+
+/// `Q_having` (A.1.1) with 1..=10 aggregation functions in HAVING.
+pub fn q_having(table: &str, n_aggs: usize) -> String {
+    assert!((1..=10).contains(&n_aggs));
+    let mut sql = format!("SELECT a, avg(b) AS ab FROM {table} GROUP BY a");
+    if n_aggs >= 2 {
+        let mut conds = vec!["avg(c) < 1000".to_string()];
+        if n_aggs >= 3 {
+            conds.push("avg(d) < 1200".into());
+        }
+        for i in 3..n_aggs {
+            // avg(e) > 0 and avg(f) > 0 ... (A.1.1 ten-function variant)
+            let attr = crate::synthetic::attr_name(i);
+            conds.push(format!("avg({attr}) > 0"));
+        }
+        sql.push_str(&format!(" HAVING {}", conds.join(" AND ")));
+    }
+    sql
+}
+
+/// `Q_groups` (A.1.2): vary the group count through the table generator;
+/// the HAVING threshold scales with the group domain.
+pub fn q_groups(table: &str, avg_threshold: i64) -> String {
+    format!(
+        "SELECT a, avg(b) AS ab FROM {table} GROUP BY a \
+         HAVING avg(c) < {avg_threshold}"
+    )
+}
+
+/// `Q_join` (A.1.3): aggregation with HAVING over a join of a filtered
+/// subquery with a helper table.
+pub fn q_join(table: &str, helper: &str, b_threshold: i64, c_threshold: i64) -> String {
+    format!(
+        "SELECT a, avg(b) AS ab FROM ( \
+           SELECT a AS a, b AS b, c AS c FROM {table} WHERE b < {b_threshold} \
+         ) tt JOIN {helper} ON (a = ttid) \
+         GROUP BY a HAVING avg(c) < {c_threshold}"
+    )
+}
+
+/// `Q_joinsel` (A.1.4): join with controlled selectivity.
+pub fn q_joinsel(table: &str, helper: &str) -> String {
+    format!(
+        "SELECT a, avg(b) AS ab FROM {table} JOIN {helper} ON (a = ttid) \
+         WHERE b < 1000 GROUP BY a HAVING avg(c) < 1000"
+    )
+}
+
+/// `Q_sketch` (A.1.5): the fragment-count experiment query.
+pub fn q_sketch(table: &str, helper: &str) -> String {
+    format!(
+        "SELECT a, avg(b) AS ab FROM ( \
+           SELECT a AS a, b AS b, c AS c FROM {table} WHERE b < 1000 \
+         ) tt JOIN {helper} ON (a = ttid) \
+         GROUP BY a HAVING avg(c) < 1000"
+    )
+}
+
+/// `Q_selpd` (A.1.6): selection push-down experiment.
+pub fn q_selpd(table: &str, b_threshold: i64) -> String {
+    format!(
+        "SELECT a, avg(b) AS ab FROM {table} WHERE b < {b_threshold} \
+         GROUP BY a HAVING avg(c) < 300"
+    )
+}
+
+/// `Q_top-k` (A.3): top-10 over grouped averages.
+pub fn q_topk(table: &str, k: usize) -> String {
+    format!("SELECT a, avg(b) AS ab FROM {table} GROUP BY a ORDER BY a LIMIT {k}")
+}
+
+/// Crimes CQ1 (A.2): crimes per beat and year.
+pub const CRIMES_CQ1: &str =
+    "SELECT beat, year, count(id) AS crime_count FROM crimes GROUP BY beat, year";
+
+/// Crimes CQ2 (A.2): areas with more than 1000 crimes.
+pub const CRIMES_CQ2: &str = "SELECT district, community_area, ward, beat, \
+     count(beat) AS crime_count FROM crimes \
+     GROUP BY district, community_area, ward, beat HAVING count(id) > 1000";
+
+/// `Q_space` (A.4): TPC-H Q10 — revenue of customers with returned items,
+/// top 20 by revenue. Dates are YYYYMMDD integers (see crate docs).
+pub const Q_SPACE: &str = "SELECT c_custkey, c_name, \
+       sum(l_extendedprice * (1 - l_discount)) AS revenue, \
+       c_acctbal, n_name, c_address, c_phone, c_comment \
+     FROM customer, orders, lineitem, nation \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+       AND o_orderdate >= 19941201 AND o_orderdate < 19950301 \
+       AND l_returnflag = 'R' AND c_nationkey = n_nationkey \
+     GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+     ORDER BY revenue LIMIT 20";
+
+/// TPC-H-style query 1 for Fig. 9: big-revenue orders (join + HAVING).
+pub const TPCH_HAVING: &str = "SELECT o_custkey, sum(l_extendedprice * (1 - l_discount)) AS rev \
+     FROM orders JOIN lineitem ON (o_orderkey = l_orderkey) \
+     WHERE l_returnflag = 'R' \
+     GROUP BY o_custkey HAVING sum(l_extendedprice * (1 - l_discount)) > 50000";
+
+/// TPC-H-style query 2 for Fig. 9: single-table aggregation with HAVING.
+pub const TPCH_SINGLE: &str = "SELECT l_orderkey, sum(l_quantity) AS q FROM lineitem \
+     GROUP BY l_orderkey HAVING sum(l_quantity) > 150";
+
+/// TPC-H-style top-k for Fig. 9: most valuable orders.
+pub const TPCH_TOPK: &str = "SELECT l_orderkey, sum(l_extendedprice) AS v FROM lineitem \
+     GROUP BY l_orderkey ORDER BY v DESC LIMIT 10";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_having_agg_counts() {
+        assert!(!q_having("r500", 1).contains("HAVING"));
+        assert!(q_having("r500", 2).contains("avg(c) < 1000"));
+        let ten = q_having("r500", 10);
+        assert_eq!(ten.matches("avg(").count(), 10);
+    }
+
+    #[test]
+    fn templates_align_for_endtoend() {
+        use imp_sql::{parse_one, QueryTemplate, Statement};
+        let a = q_endtoend(100, 200);
+        let b = q_endtoend(300, 400);
+        let Statement::Select(sa) = parse_one(&a).unwrap() else {
+            panic!()
+        };
+        let Statement::Select(sb) = parse_one(&b).unwrap() else {
+            panic!()
+        };
+        assert_eq!(QueryTemplate::of(&sa), QueryTemplate::of(&sb));
+    }
+}

@@ -1,0 +1,232 @@
+//! Synthetic tables (paper §8).
+//!
+//! "Each synthetic table has a key attribute id. For the other attributes,
+//! the values of one attribute (a) are chosen uniform at random. The
+//! remaining attributes are linearly correlated with a subject to Gaussian
+//! noise to create partially correlated values."
+
+use imp_engine::Database;
+use imp_storage::{DataType, Field, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one synthetic table.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Table name.
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// `a` is drawn uniformly from `0..groups` — this is the number of
+    /// distinct group-by values (§8.3.1 varies it).
+    pub groups: i64,
+    /// Number of correlated extra attributes (`b`, `c`, …; the paper uses
+    /// at least 10 besides `id` and `a`).
+    pub extra_attrs: usize,
+    /// Standard deviation of the Gaussian noise added to correlated
+    /// attributes.
+    pub noise: f64,
+    /// RNG seed (generators are fully deterministic).
+    pub seed: u64,
+    /// Physically cluster rows on `a` (sorted load). Data skipping prunes
+    /// whole chunks through zone maps, so it only pays off when the
+    /// partition attribute correlates with the physical layout — the paper
+    /// notes the range partition "optionally may correspond to the
+    /// physical storage layout of this table" (§1). Default: clustered.
+    pub cluster_by_a: bool,
+    /// Rows per storage chunk (pruning granularity).
+    pub chunk_capacity: usize,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            name: "edb1".into(),
+            rows: 20_000,
+            groups: 1_000,
+            extra_attrs: 10,
+            noise: 25.0,
+            seed: 7,
+            cluster_by_a: true,
+            chunk_capacity: 1024,
+        }
+    }
+}
+
+/// Attribute names: `id`, `a`, then `b`, `c`, … for the extras.
+pub fn attr_name(i: usize) -> String {
+    // b, c, d, ... j, k, l ...
+    let c = (b'b' + (i % 25) as u8) as char;
+    if i < 25 {
+        c.to_string()
+    } else {
+        format!("{c}{}", i / 25)
+    }
+}
+
+/// Linear coefficient of extra attribute `k` (`b` has slope 1.0, `c` 1.2, …).
+pub fn coef(k: usize) -> f64 {
+    1.0 + k as f64 * 0.2
+}
+
+/// Standard-normal sample via Box–Muller (keeps us inside the approved
+/// dependency set; `rand_distr` is not available offline).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Build the table rows (column layout: `id, a, b, c, …`).
+pub fn generate_rows(cfg: &SyntheticConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Deterministic per-attribute linear coefficients (attribute k has
+    // slope 1 + 0.2k) so workload constants can target known value ranges
+    // and the update generators produce identically-correlated rows.
+    let coefs: Vec<f64> = (0..cfg.extra_attrs).map(coef).collect();
+    let mut rows = Vec::with_capacity(cfg.rows);
+    for id in 0..cfg.rows {
+        let a = rng.gen_range(0..cfg.groups);
+        let mut vals = Vec::with_capacity(2 + cfg.extra_attrs);
+        vals.push(Value::Int(id as i64));
+        vals.push(Value::Int(a));
+        for coef in &coefs {
+            let v = a as f64 * coef + gaussian(&mut rng) * cfg.noise;
+            vals.push(Value::Int(v.round() as i64));
+        }
+        rows.push(Row::new(vals));
+    }
+    if cfg.cluster_by_a {
+        rows.sort_by(|x, y| x[1].cmp(&y[1]));
+    }
+    rows
+}
+
+/// Schema for a config.
+pub fn schema(cfg: &SyntheticConfig) -> Schema {
+    let mut fields = vec![
+        Field::new("id", DataType::Int),
+        Field::new("a", DataType::Int),
+    ];
+    for i in 0..cfg.extra_attrs {
+        fields.push(Field::new(attr_name(i), DataType::Int));
+    }
+    Schema::new(fields)
+}
+
+/// Create + bulk-load the table into `db`.
+pub fn load(db: &mut Database, cfg: &SyntheticConfig) -> imp_engine::Result<()> {
+    let mut table =
+        Table::with_chunk_capacity(cfg.name.clone(), schema(cfg), cfg.chunk_capacity);
+    table.bulk_load(generate_rows(cfg))?;
+    table.seal();
+    db.register_table(table)?;
+    Ok(())
+}
+
+/// Build the join-helper table of §8.3.3/§8.3.4: `ttid` joins against the
+/// main table's `a`; `selectivity_pct` controls what fraction of main-table
+/// `a` values have partners; `partners_per_key` is the `m` in m-n joins.
+pub fn load_join_helper(
+    db: &mut Database,
+    name: &str,
+    main_groups: i64,
+    selectivity_pct: u32,
+    partners_per_key: usize,
+    seed: u64,
+) -> imp_engine::Result<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new(vec![
+        Field::new("ttid", DataType::Int),
+        Field::new("payload", DataType::Int),
+    ]);
+    let mut table = Table::new(name.to_string(), schema);
+    let mut rows = Vec::new();
+    for key in 0..main_groups {
+        if rng.gen_range(0..100) < selectivity_pct {
+            for _ in 0..partners_per_key {
+                rows.push(Row::new(vec![
+                    Value::Int(key),
+                    Value::Int(rng.gen_range(0..1_000)),
+                ]));
+            }
+        }
+    }
+    table.bulk_load(rows)?;
+    table.seal();
+    db.register_table(table)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = SyntheticConfig {
+            rows: 100,
+            ..Default::default()
+        };
+        assert_eq!(generate_rows(&cfg), generate_rows(&cfg));
+    }
+
+    #[test]
+    fn a_is_within_groups_and_correlation_holds() {
+        let cfg = SyntheticConfig {
+            rows: 2_000,
+            groups: 50,
+            noise: 1.0,
+            ..Default::default()
+        };
+        let rows = generate_rows(&cfg);
+        for r in &rows {
+            let a = r[1].as_i64().unwrap();
+            assert!((0..50).contains(&a));
+        }
+        // Crude correlation check: mean of b for large a > mean for small a.
+        let (mut lo, mut hi, mut nlo, mut nhi) = (0f64, 0f64, 0, 0);
+        for r in &rows {
+            let a = r[1].as_i64().unwrap();
+            let b = r[2].as_i64().unwrap() as f64;
+            if a < 10 {
+                lo += b;
+                nlo += 1;
+            } else if a >= 40 {
+                hi += b;
+                nhi += 1;
+            }
+        }
+        assert!(hi / nhi as f64 > lo / nlo as f64);
+    }
+
+    #[test]
+    fn loads_into_database() {
+        let mut db = Database::new();
+        let cfg = SyntheticConfig {
+            rows: 500,
+            groups: 10,
+            ..Default::default()
+        };
+        load(&mut db, &cfg).unwrap();
+        let r = db
+            .query("SELECT a, avg(b) AS ab FROM edb1 GROUP BY a")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+    }
+
+    #[test]
+    fn join_helper_selectivity() {
+        let mut db = Database::new();
+        load_join_helper(&mut db, "h", 1000, 10, 1, 3).unwrap();
+        let n = db.table("h").unwrap().row_count();
+        // ~10% of 1000 keys.
+        assert!((50..200).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn attr_names() {
+        assert_eq!(attr_name(0), "b");
+        assert_eq!(attr_name(8), "j");
+    }
+}

@@ -1,0 +1,450 @@
+//! TPC-H-style data generator.
+//!
+//! Substitution (documented in DESIGN.md): the official `dbgen` tool and
+//! multi-GB scale factors are not available in this environment. This
+//! generator reproduces the TPC-H schema (8 tables), the key
+//! relationships (dense primary keys, FK chains customer→orders→lineitem,
+//! 1–7 lineitems per order), and the value distributions the evaluation
+//! queries exercise (prices, discounts, return flags, dates). Dates are
+//! `YYYYMMDD` integers (the engine has no date type; comparisons behave
+//! identically). `scale = 1.0` corresponds to a deliberately laptop-sized
+//! instance (~10k customers); the paper's SF1/SF10 relative shapes are
+//! scale-free.
+
+use imp_engine::Database;
+use imp_storage::{DataType, Field, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows per table at `scale = 1.0` (laptop-sized "SF1").
+pub const CUSTOMERS_AT_SCALE_1: usize = 10_000;
+const ORDERS_PER_CUSTOMER: usize = 10;
+
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
+
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+
+/// Generate all eight TPC-H tables into `db` at the given scale.
+pub fn load(db: &mut Database, scale: f64, seed: u64) -> imp_engine::Result<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    load_region(db)?;
+    load_nation(db)?;
+    let customers = ((CUSTOMERS_AT_SCALE_1 as f64) * scale).max(10.0) as usize;
+    load_customer(db, customers, &mut rng)?;
+    let orders = load_orders(db, customers, &mut rng)?;
+    load_lineitem(db, &orders, &mut rng)?;
+    let parts = (customers / 5).max(10);
+    load_part(db, parts, &mut rng)?;
+    let suppliers = (customers / 10).max(5);
+    load_supplier(db, suppliers, &mut rng)?;
+    load_partsupp(db, parts, suppliers, &mut rng)?;
+    Ok(())
+}
+
+fn load_region(db: &mut Database) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("r_regionkey", DataType::Int),
+        Field::new("r_name", DataType::Str),
+    ]);
+    let mut t = Table::new("region", schema);
+    t.bulk_load(
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Row::new(vec![Value::Int(i as i64), Value::str(*n)])),
+    )?;
+    t.seal();
+    db.register_table(t)
+}
+
+fn load_nation(db: &mut Database) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("n_nationkey", DataType::Int),
+        Field::new("n_name", DataType::Str),
+        Field::new("n_regionkey", DataType::Int),
+    ]);
+    let mut t = Table::new("nation", schema);
+    t.bulk_load(NATIONS.iter().enumerate().map(|(i, (name, region))| {
+        Row::new(vec![
+            Value::Int(i as i64),
+            Value::str(*name),
+            Value::Int(*region),
+        ])
+    }))?;
+    t.seal();
+    db.register_table(t)
+}
+
+fn load_customer(
+    db: &mut Database,
+    n: usize,
+    rng: &mut StdRng,
+) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("c_custkey", DataType::Int),
+        Field::new("c_name", DataType::Str),
+        Field::new("c_address", DataType::Str),
+        Field::new("c_nationkey", DataType::Int),
+        Field::new("c_phone", DataType::Str),
+        Field::new("c_acctbal", DataType::Float),
+        Field::new("c_mktsegment", DataType::Str),
+        Field::new("c_comment", DataType::Str),
+    ]);
+    let mut t = Table::new("customer", schema);
+    let mut rows = Vec::with_capacity(n);
+    for k in 0..n as i64 {
+        let nation = rng.gen_range(0..25);
+        rows.push(Row::new(vec![
+            Value::Int(k),
+            Value::str(format!("Customer#{k:09}")),
+            Value::str(format!("addr-{}", rng.gen_range(0..100_000))),
+            Value::Int(nation),
+            Value::str(format!(
+                "{}-{:03}-{:03}-{:04}",
+                10 + nation,
+                rng.gen_range(100..999),
+                rng.gen_range(100..999),
+                rng.gen_range(1000..9999)
+            )),
+            Value::Float((rng.gen_range(-99_999..999_999) as f64) / 100.0),
+            Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            Value::str(format!("comment {}", rng.gen_range(0..1_000))),
+        ]));
+    }
+    t.bulk_load(rows)?;
+    t.seal();
+    db.register_table(t)
+}
+
+/// Random order date as YYYYMMDD in 1992-01-01 .. 1998-08-02.
+fn order_date(rng: &mut StdRng) -> i64 {
+    let year = rng.gen_range(1992..=1998);
+    let month = rng.gen_range(1..=12);
+    let day = rng.gen_range(1..=28);
+    (year * 10_000 + month * 100 + day) as i64
+}
+
+fn load_orders(
+    db: &mut Database,
+    customers: usize,
+    rng: &mut StdRng,
+) -> imp_engine::Result<Vec<(i64, i64)>> {
+    let schema = Schema::new(vec![
+        Field::new("o_orderkey", DataType::Int),
+        Field::new("o_custkey", DataType::Int),
+        Field::new("o_orderstatus", DataType::Str),
+        Field::new("o_totalprice", DataType::Float),
+        Field::new("o_orderdate", DataType::Int),
+        Field::new("o_orderpriority", DataType::Str),
+    ]);
+    let mut t = Table::new("orders", schema);
+    let n = customers * ORDERS_PER_CUSTOMER;
+    let mut keys = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    for k in 0..n as i64 {
+        // Two thirds of customers have orders (TPC-H leaves 1/3 without).
+        let cust = rng.gen_range(0..customers as i64);
+        let date = order_date(rng);
+        keys.push((k, date));
+        rows.push(Row::new(vec![
+            Value::Int(k),
+            Value::Int(cust),
+            Value::str(["F", "O", "P"][rng.gen_range(0..3)]),
+            Value::Float((rng.gen_range(1_000..500_000) as f64) / 100.0),
+            Value::Int(date),
+            Value::str(format!("{}-PRIORITY", rng.gen_range(1..=5))),
+        ]));
+    }
+    t.bulk_load(rows)?;
+    t.seal();
+    db.register_table(t)?;
+    Ok(keys)
+}
+
+fn load_lineitem(
+    db: &mut Database,
+    orders: &[(i64, i64)],
+    rng: &mut StdRng,
+) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("l_orderkey", DataType::Int),
+        Field::new("l_partkey", DataType::Int),
+        Field::new("l_suppkey", DataType::Int),
+        Field::new("l_linenumber", DataType::Int),
+        Field::new("l_quantity", DataType::Int),
+        Field::new("l_extendedprice", DataType::Float),
+        Field::new("l_discount", DataType::Float),
+        Field::new("l_tax", DataType::Float),
+        Field::new("l_returnflag", DataType::Str),
+        Field::new("l_shipdate", DataType::Int),
+    ]);
+    let mut t = Table::new("lineitem", schema);
+    let mut rows = Vec::new();
+    for (okey, odate) in orders {
+        let lines = rng.gen_range(1..=7);
+        for line in 0..lines {
+            let qty = rng.gen_range(1..=50) as i64;
+            let price = (rng.gen_range(90_000..1_100_000) as f64) / 100.0;
+            rows.push(Row::new(vec![
+                Value::Int(*okey),
+                Value::Int(rng.gen_range(0..10_000)),
+                Value::Int(rng.gen_range(0..1_000)),
+                Value::Int(line as i64),
+                Value::Int(qty),
+                Value::Float(price),
+                Value::Float(rng.gen_range(0..=10) as f64 / 100.0),
+                Value::Float(rng.gen_range(0..=8) as f64 / 100.0),
+                Value::str(RETURN_FLAGS[rng.gen_range(0..3)]),
+                Value::Int(odate + rng.gen_range(1..=90)),
+            ]));
+        }
+    }
+    t.bulk_load(rows)?;
+    t.seal();
+    db.register_table(t)
+}
+
+fn load_part(db: &mut Database, n: usize, rng: &mut StdRng) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("p_partkey", DataType::Int),
+        Field::new("p_name", DataType::Str),
+        Field::new("p_brand", DataType::Str),
+        Field::new("p_size", DataType::Int),
+        Field::new("p_retailprice", DataType::Float),
+    ]);
+    let mut t = Table::new("part", schema);
+    t.bulk_load((0..n as i64).map(|k| {
+        Row::new(vec![
+            Value::Int(k),
+            Value::str(format!("part-{k}")),
+            Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::Float((90_000 + (k % 200) * 100) as f64 / 100.0),
+        ])
+    }))?;
+    t.seal();
+    db.register_table(t)
+}
+
+fn load_supplier(db: &mut Database, n: usize, rng: &mut StdRng) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("s_suppkey", DataType::Int),
+        Field::new("s_name", DataType::Str),
+        Field::new("s_nationkey", DataType::Int),
+        Field::new("s_acctbal", DataType::Float),
+    ]);
+    let mut t = Table::new("supplier", schema);
+    t.bulk_load((0..n as i64).map(|k| {
+        Row::new(vec![
+            Value::Int(k),
+            Value::str(format!("Supplier#{k:09}")),
+            Value::Int(rng.gen_range(0..25)),
+            Value::Float((rng.gen_range(-99_999..999_999) as f64) / 100.0),
+        ])
+    }))?;
+    t.seal();
+    db.register_table(t)
+}
+
+fn load_partsupp(
+    db: &mut Database,
+    parts: usize,
+    suppliers: usize,
+    rng: &mut StdRng,
+) -> imp_engine::Result<()> {
+    let schema = Schema::new(vec![
+        Field::new("ps_partkey", DataType::Int),
+        Field::new("ps_suppkey", DataType::Int),
+        Field::new("ps_availqty", DataType::Int),
+        Field::new("ps_supplycost", DataType::Float),
+    ]);
+    let mut t = Table::new("partsupp", schema);
+    let mut rows = Vec::new();
+    for p in 0..parts as i64 {
+        for _ in 0..4 {
+            rows.push(Row::new(vec![
+                Value::Int(p),
+                Value::Int(rng.gen_range(0..suppliers as i64)),
+                Value::Int(rng.gen_range(1..10_000)),
+                Value::Float((rng.gen_range(100..100_000) as f64) / 100.0),
+            ]));
+        }
+    }
+    t.bulk_load(rows)?;
+    t.seal();
+    db.register_table(t)
+}
+
+/// TPC-H-style refresh streams: the benchmark's RF1 inserts new orders
+/// with their lineitems, RF2 deletes existing orders with their lineitems.
+/// Each returned operation touches roughly `orders_per_update` orders
+/// (≈ 4× that many lineitem rows).
+pub fn refresh_stream(
+    updates: usize,
+    orders_per_update: usize,
+    insert: bool,
+    max_orderkey: i64,
+    seed: u64,
+) -> Vec<crate::workload::WorkloadOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_key = max_orderkey + 1;
+    let mut out = Vec::with_capacity(updates);
+    for _ in 0..updates {
+        if insert {
+            // RF1: new orders plus 1..=7 lineitems each.
+            let mut order_rows = Vec::new();
+            let mut line_rows = Vec::new();
+            let mut touched = 0usize;
+            for _ in 0..orders_per_update {
+                let key = next_key;
+                next_key += 1;
+                let date = order_date(&mut rng);
+                order_rows.push(format!(
+                    "({key}, {}, 'O', {:.2}, {date}, '{}-PRIORITY')",
+                    rng.gen_range(0..1_000),
+                    (rng.gen_range(1_000..500_000) as f64) / 100.0,
+                    rng.gen_range(1..=5),
+                ));
+                for line in 0..rng.gen_range(1..=7) {
+                    line_rows.push(format!(
+                        "({key}, {}, {}, {line}, {}, {:.2}, 0.0{}, 0.02, '{}', {})",
+                        rng.gen_range(0..10_000),
+                        rng.gen_range(0..1_000),
+                        rng.gen_range(1..=50),
+                        (rng.gen_range(90_000..1_100_000) as f64) / 100.0,
+                        rng.gen_range(0..=9),
+                        RETURN_FLAGS[rng.gen_range(0..3)],
+                        date + rng.gen_range(1..=90),
+                    ));
+                    touched += 1;
+                }
+            }
+            out.push(crate::workload::WorkloadOp::Update {
+                sql: format!("INSERT INTO orders VALUES {}", order_rows.join(", ")),
+                rows: orders_per_update,
+            });
+            out.push(crate::workload::WorkloadOp::Update {
+                sql: format!("INSERT INTO lineitem VALUES {}", line_rows.join(", ")),
+                rows: touched,
+            });
+        } else {
+            // RF2: delete a window of order keys from both tables.
+            let start = rng.gen_range(0..max_orderkey.max(1));
+            let end = start + orders_per_update as i64;
+            out.push(crate::workload::WorkloadOp::Update {
+                sql: format!(
+                    "DELETE FROM lineitem WHERE l_orderkey >= {start} AND l_orderkey < {end}"
+                ),
+                rows: orders_per_update * 4,
+            });
+            out.push(crate::workload::WorkloadOp::Update {
+                sql: format!(
+                    "DELETE FROM orders WHERE o_orderkey >= {start} AND o_orderkey < {end}"
+                ),
+                rows: orders_per_update,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_all_tables() {
+        let mut db = Database::new();
+        load(&mut db, 0.01, 1).unwrap();
+        for t in [
+            "region", "nation", "customer", "orders", "lineitem", "part", "supplier",
+            "partsupp",
+        ] {
+            assert!(db.table(t).unwrap().row_count() > 0, "{t}");
+        }
+        assert_eq!(db.table("nation").unwrap().row_count(), 25);
+    }
+
+    #[test]
+    fn q10_style_query_runs() {
+        let mut db = Database::new();
+        load(&mut db, 0.01, 1).unwrap();
+        let r = db
+            .query(crate::queries::Q_SPACE)
+            .unwrap();
+        assert!(r.rows.len() <= 20);
+    }
+
+    #[test]
+    fn refresh_streams_parse_and_apply() {
+        let mut db = Database::new();
+        load(&mut db, 0.005, 2).unwrap();
+        let orders_before = db.table("orders").unwrap().row_count();
+        let max_key = orders_before as i64;
+        for op in refresh_stream(2, 3, true, max_key, 5) {
+            let crate::workload::WorkloadOp::Update { sql, .. } = op else {
+                panic!()
+            };
+            db.execute_sql(&sql).unwrap();
+        }
+        assert_eq!(db.table("orders").unwrap().row_count(), orders_before + 6);
+        for op in refresh_stream(2, 3, false, max_key, 7) {
+            let crate::workload::WorkloadOp::Update { sql, .. } = op else {
+                panic!()
+            };
+            db.execute_sql(&sql).unwrap();
+        }
+        assert!(db.table("orders").unwrap().row_count() < orders_before + 6);
+    }
+
+    #[test]
+    fn lineitems_reference_orders() {
+        let mut db = Database::new();
+        load(&mut db, 0.005, 2).unwrap();
+        let orders = db.table("orders").unwrap().row_count();
+        let lineitems = db.table("lineitem").unwrap().row_count();
+        assert!(lineitems > orders, "1..7 lineitems per order");
+        let r = db
+            .query(
+                "SELECT count(*) FROM lineitem JOIN orders ON (l_orderkey = o_orderkey)",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0].0[0], Value::Int(lineitems as i64));
+    }
+}

@@ -1,0 +1,314 @@
+//! Workload generators.
+//!
+//! * Mixed query/update streams of §8.1 — "each workload consists of 1000
+//!   operations … we refer to the ratio between queries and updates":
+//!   1U5Q, 1U1Q, 5U1Q, parameterized by delta size (rows per update).
+//! * Update streams (insert-only, delete-only, mixed) for the incremental
+//!   vs. full maintenance comparisons of §8.2/§8.3.
+//! * The top-k deletion strategies of §8.4.3: delete-minimal-groups,
+//!   delete-random, and R-M ratios (R random updates per M min-group
+//!   updates).
+
+use crate::queries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a mixed workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// A SELECT.
+    Query(String),
+    /// An update statement touching `rows` rows.
+    Update {
+        /// The SQL text (multi-row INSERT or a DELETE).
+        sql: String,
+        /// Rows the statement touches.
+        rows: usize,
+    },
+}
+
+/// A generated operation stream.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    /// The operations in execution order.
+    pub ops: Vec<WorkloadOp>,
+    /// Updates per cycle (the "U" of 5U1Q).
+    pub updates_per_cycle: usize,
+    /// Queries per cycle (the "Q" of 1U5Q).
+    pub queries_per_cycle: usize,
+    /// Rows per update statement.
+    pub delta_size: usize,
+}
+
+impl MixedWorkload {
+    /// Total operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Label like "1U5Q".
+    pub fn label(&self) -> String {
+        format!("{}U{}Q", self.updates_per_cycle, self.queries_per_cycle)
+    }
+}
+
+/// Build a §8.1 mixed workload over the synthetic `edb1` table.
+///
+/// Queries are `Q_endtoend` instances whose HAVING window is drawn from a
+/// small set of windows so sketches get reused across queries (the paper's
+/// workload reuses sketches via templates). Updates are multi-row INSERTs
+/// of `delta_size` rows (ids beyond the loaded range; `a` uniform over the
+/// group domain, `c` correlated).
+pub fn mixed_workload(
+    updates_per_cycle: usize,
+    queries_per_cycle: usize,
+    total_ops: usize,
+    delta_size: usize,
+    groups: i64,
+    start_id: usize,
+    seed: u64,
+) -> MixedWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(total_ops);
+    let mut next_id = start_id;
+    // A handful of HAVING windows over avg(c); identical windows reuse
+    // sketches. avg(c) ≈ a * coef(1), so windows centred inside the group
+    // domain select a thin, non-empty band of groups.
+    let c_slope = crate::synthetic::coef(1);
+    let windows: Vec<(i64, i64)> = (0..4)
+        .map(|i| {
+            let a_center = groups * (5 + i) / 10; // 50%..80% of the domain
+            let center = (a_center as f64 * c_slope) as i64;
+            (center - 40, center + 40)
+        })
+        .collect();
+    let cycle = updates_per_cycle + queries_per_cycle;
+    while ops.len() < total_ops {
+        let pos = ops.len() % cycle;
+        if pos < updates_per_cycle {
+            ops.push(insert_update(&mut rng, &mut next_id, delta_size, groups));
+        } else {
+            let (lo, hi) = windows[rng.gen_range(0..windows.len())];
+            ops.push(WorkloadOp::Query(queries::q_endtoend(lo, hi)));
+        }
+    }
+    MixedWorkload {
+        ops,
+        updates_per_cycle,
+        queries_per_cycle,
+        delta_size,
+    }
+}
+
+/// One multi-row INSERT into `edb1` following the synthetic correlation.
+fn insert_update(
+    rng: &mut StdRng,
+    next_id: &mut usize,
+    delta_size: usize,
+    groups: i64,
+) -> WorkloadOp {
+    let mut values = Vec::with_capacity(delta_size);
+    for _ in 0..delta_size {
+        let id = *next_id;
+        *next_id += 1;
+        let a = rng.gen_range(0..groups);
+        // Ten correlated attributes, same shape as synthetic::generate_rows.
+        let mut row = format!("({id}, {a}");
+        for k in 0..10 {
+            let v = (a as f64 * crate::synthetic::coef(k)
+                + crate::synthetic::gaussian(rng) * 25.0)
+                .round() as i64;
+            row.push_str(&format!(", {v}"));
+        }
+        row.push(')');
+        values.push(row);
+    }
+    WorkloadOp::Update {
+        sql: format!("INSERT INTO edb1 VALUES {}", values.join(", ")),
+        rows: delta_size,
+    }
+}
+
+/// Insert-only update stream for a synthetic table (§8.2/§8.3).
+pub fn insert_stream(
+    table: &str,
+    updates: usize,
+    delta_size: usize,
+    groups: i64,
+    start_id: usize,
+    seed: u64,
+) -> Vec<WorkloadOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_id = start_id;
+    let mut out = Vec::with_capacity(updates);
+    for _ in 0..updates {
+        let WorkloadOp::Update { sql, rows } =
+            insert_update(&mut rng, &mut next_id, delta_size, groups)
+        else {
+            unreachable!()
+        };
+        out.push(WorkloadOp::Update {
+            sql: sql.replace("INSERT INTO edb1", &format!("INSERT INTO {table}")),
+            rows,
+        });
+    }
+    out
+}
+
+/// Delete-only stream: each update deletes a random id window of about
+/// `delta_size` rows.
+pub fn delete_stream(
+    table: &str,
+    updates: usize,
+    delta_size: usize,
+    max_id: usize,
+    seed: u64,
+) -> Vec<WorkloadOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..updates)
+        .map(|_| {
+            let start = rng.gen_range(0..max_id.saturating_sub(delta_size).max(1));
+            WorkloadOp::Update {
+                sql: format!(
+                    "DELETE FROM {table} WHERE id >= {start} AND id < {}",
+                    start + delta_size
+                ),
+                rows: delta_size,
+            }
+        })
+        .collect()
+}
+
+/// Top-k deletion strategies of §8.4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopKDeleteStrategy {
+    /// "always delete the first 2 minimal groups".
+    MinGroups,
+    /// "always delete randomly tuples".
+    Random,
+    /// R random updates per M min-group updates (the paper's 2:1 / 4:1).
+    Ratio {
+        /// Random updates per block.
+        random: usize,
+        /// Min-group updates per block.
+        min_group: usize,
+    },
+}
+
+/// Generate the §8.4.3 deletion workload for a table grouped on `a`:
+/// updates of `rows_per_update` deletions following the strategy.
+pub fn topk_delete_stream(
+    table: &str,
+    strategy: TopKDeleteStrategy,
+    updates: usize,
+    rows_per_update: usize,
+    groups: i64,
+    max_id: usize,
+    seed: u64,
+) -> Vec<WorkloadOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_min_group = 0i64;
+    let mut out = Vec::with_capacity(updates);
+    for i in 0..updates {
+        let use_min = match strategy {
+            TopKDeleteStrategy::MinGroups => true,
+            TopKDeleteStrategy::Random => false,
+            TopKDeleteStrategy::Ratio { random, min_group } => {
+                i % (random + min_group) >= random
+            }
+        };
+        if use_min && next_min_group < groups {
+            // Delete the two smallest not-yet-deleted groups.
+            let g0 = next_min_group;
+            let g1 = next_min_group + 1;
+            next_min_group += 2;
+            out.push(WorkloadOp::Update {
+                sql: format!("DELETE FROM {table} WHERE a = {g0} OR a = {g1}"),
+                rows: rows_per_update,
+            });
+        } else {
+            let start = rng.gen_range(0..max_id.saturating_sub(rows_per_update).max(1));
+            out.push(WorkloadOp::Update {
+                sql: format!(
+                    "DELETE FROM {table} WHERE id >= {start} AND id < {}",
+                    start + rows_per_update
+                ),
+                rows: rows_per_update,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_respected() {
+        let w = mixed_workload(1, 5, 60, 20, 100, 10_000, 1);
+        assert_eq!(w.len(), 60);
+        let updates = w
+            .ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Update { .. }))
+            .count();
+        assert_eq!(updates, 10); // 1 update per 6-op cycle
+        assert_eq!(w.label(), "1U5Q");
+    }
+
+    #[test]
+    fn five_u_one_q() {
+        let w = mixed_workload(5, 1, 60, 1, 100, 0, 2);
+        let updates = w
+            .ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Update { .. }))
+            .count();
+        assert_eq!(updates, 50);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = mixed_workload(1, 1, 20, 5, 50, 0, 9);
+        let b = mixed_workload(1, 1, 20, 5, 50, 0, 9);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn insert_statements_parse() {
+        let w = insert_stream("edb1", 3, 4, 100, 500, 3);
+        for op in w {
+            let WorkloadOp::Update { sql, .. } = op else {
+                panic!()
+            };
+            imp_sql::parse_one(&sql).unwrap();
+        }
+    }
+
+    #[test]
+    fn topk_ratio_alternates() {
+        let ops = topk_delete_stream(
+            "t",
+            TopKDeleteStrategy::Ratio {
+                random: 2,
+                min_group: 1,
+            },
+            6,
+            10,
+            100,
+            1000,
+            4,
+        );
+        let min_deletes = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Update { sql, .. } if sql.contains("a =")))
+            .count();
+        assert_eq!(min_deletes, 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Engine errors.
+
+use imp_sql::SqlError;
+use imp_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while executing queries or updates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Frontend (parse / resolve) failure.
+    Sql(SqlError),
+    /// Storage failure.
+    Storage(StorageError),
+    /// Runtime evaluation failure.
+    Execution(String),
+    /// Statement kind not supported in this context.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Sql(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}

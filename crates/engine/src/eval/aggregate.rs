@@ -1,0 +1,298 @@
+//! Batch (non-incremental) grouping and aggregation.
+
+use super::{Bag, ExecStats};
+use crate::error::EngineError;
+use crate::Result;
+use imp_sql::{AggFunc, AggSpec, Expr};
+use imp_storage::{FxHashMap, Row, Value};
+
+/// Numeric accumulator that stays integral until it sees a float.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NumAcc {
+    int: i64,
+    float: f64,
+    is_float: bool,
+}
+
+impl NumAcc {
+    /// Add `v * mult`.
+    pub fn add(&mut self, v: &Value, mult: i64) -> Result<()> {
+        match v {
+            Value::Int(i) => {
+                if self.is_float {
+                    self.float += (*i as f64) * mult as f64;
+                } else {
+                    self.int = self
+                        .int
+                        .checked_add(i.checked_mul(mult).ok_or_else(overflow)?)
+                        .ok_or_else(overflow)?;
+                }
+            }
+            Value::Float(f) => {
+                if !self.is_float {
+                    self.float = self.int as f64;
+                    self.is_float = true;
+                }
+                self.float += f * mult as f64;
+            }
+            other => {
+                return Err(EngineError::Execution(format!(
+                    "cannot sum non-numeric value {other}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Current value.
+    pub fn value(&self) -> Value {
+        if self.is_float {
+            Value::Float(self.float)
+        } else {
+            Value::Int(self.int)
+        }
+    }
+
+    /// Current value as f64.
+    pub fn as_f64(&self) -> f64 {
+        if self.is_float {
+            self.float
+        } else {
+            self.int as f64
+        }
+    }
+
+    /// Raw parts `(int, float, is_float)` for state persistence.
+    pub fn to_parts(&self) -> (i64, f64, bool) {
+        (self.int, self.float, self.is_float)
+    }
+
+    /// Rebuild from persisted parts.
+    pub fn from_parts(int: i64, float: f64, is_float: bool) -> NumAcc {
+        NumAcc {
+            int,
+            float,
+            is_float,
+        }
+    }
+}
+
+fn overflow() -> EngineError {
+    EngineError::Execution("integer overflow in SUM".into())
+}
+
+/// Per-aggregate batch accumulator.
+#[derive(Debug, Clone)]
+enum AggAcc {
+    Sum { sum: NumAcc, non_null: i64 },
+    Count { count: i64 },
+    Avg { sum: NumAcc, non_null: i64 },
+    Min { cur: Option<Value> },
+    Max { cur: Option<Value> },
+}
+
+impl AggAcc {
+    fn new(func: AggFunc) -> AggAcc {
+        match func {
+            AggFunc::Sum => AggAcc::Sum {
+                sum: NumAcc::default(),
+                non_null: 0,
+            },
+            AggFunc::Count => AggAcc::Count { count: 0 },
+            AggFunc::Avg => AggAcc::Avg {
+                sum: NumAcc::default(),
+                non_null: 0,
+            },
+            AggFunc::Min => AggAcc::Min { cur: None },
+            AggFunc::Max => AggAcc::Max { cur: None },
+        }
+    }
+
+    fn update(&mut self, arg: Option<&Value>, mult: i64) -> Result<()> {
+        match self {
+            AggAcc::Count { count } => {
+                // count(*) counts rows; count(a) counts non-null values.
+                match arg {
+                    None => *count += mult,
+                    Some(v) if !v.is_null() => *count += mult,
+                    _ => {}
+                }
+            }
+            AggAcc::Sum { sum, non_null } | AggAcc::Avg { sum, non_null } => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        sum.add(v, mult)?;
+                        *non_null += mult;
+                    }
+                }
+            }
+            AggAcc::Min { cur } => {
+                if let Some(v) = arg {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggAcc::Max { cur } => {
+                if let Some(v) = arg {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggAcc::Count { count } => Value::Int(*count),
+            AggAcc::Sum { sum, non_null } => {
+                if *non_null == 0 {
+                    Value::Null
+                } else {
+                    sum.value()
+                }
+            }
+            AggAcc::Avg { sum, non_null } => {
+                if *non_null == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum.as_f64() / *non_null as f64)
+                }
+            }
+            AggAcc::Min { cur } | AggAcc::Max { cur } => {
+                cur.clone().unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+/// Group `rows` by `group_by` and compute `aggs` per group.
+pub fn aggregate(
+    rows: Bag,
+    group_by: &[Expr],
+    aggs: &[AggSpec],
+    stats: &mut ExecStats,
+) -> Result<Bag> {
+    let mut groups: FxHashMap<Row, Vec<AggAcc>> = FxHashMap::default();
+    for (row, m) in rows {
+        let key: Row = group_by
+            .iter()
+            .map(|g| g.eval(&row))
+            .collect::<std::result::Result<_, _>>()?;
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| AggAcc::new(a.func)).collect());
+        for (acc, spec) in accs.iter_mut().zip(aggs) {
+            let arg = match &spec.arg {
+                Some(e) => Some(e.eval(&row)?),
+                None => None,
+            };
+            acc.update(arg.as_ref(), m)?;
+        }
+    }
+    // Aggregation without GROUP BY yields one row even on empty input.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            Row::new(vec![]),
+            aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+        );
+    }
+    stats.agg_groups += groups.len() as u64;
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs) in groups {
+        let mut vals: Vec<Value> = key.values().to_vec();
+        for acc in &accs {
+            vals.push(acc.finish());
+        }
+        out.push((Row::new(vals), 1));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_storage::row;
+
+    fn spec(func: AggFunc, col: usize) -> AggSpec {
+        AggSpec {
+            func,
+            arg: Some(Expr::Col(col)),
+            name: format!("{}_{col}", func.name()),
+        }
+    }
+
+    #[test]
+    fn sum_count_avg_min_max() {
+        let rows: Bag = vec![
+            (row!["a", 3], 1),
+            (row!["a", 5], 2),
+            (row!["b", 7], 1),
+        ];
+        let aggs = vec![
+            spec(AggFunc::Sum, 1),
+            spec(AggFunc::Count, 1),
+            spec(AggFunc::Avg, 1),
+            spec(AggFunc::Min, 1),
+            spec(AggFunc::Max, 1),
+        ];
+        let mut st = ExecStats::default();
+        let mut out = aggregate(rows, &[Expr::Col(0)], &aggs, &mut st).unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                (row!["a", 13, 3, 13.0 / 3.0, 3, 5], 1),
+                (row!["b", 7, 1, 7.0, 7, 7], 1),
+            ]
+        );
+        assert_eq!(st.agg_groups, 2);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let aggs = vec![spec(AggFunc::Sum, 0), spec(AggFunc::Count, 0)];
+        let mut st = ExecStats::default();
+        let out = aggregate(vec![], &[], &aggs, &mut st).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0[0], Value::Null); // SUM of empty = NULL
+        assert_eq!(out[0].0[1], Value::Int(0)); // COUNT of empty = 0
+    }
+
+    #[test]
+    fn nulls_skipped() {
+        let rows: Bag = vec![
+            (Row::new(vec![Value::Null]), 1),
+            (Row::new(vec![Value::Int(4)]), 1),
+        ];
+        let aggs = vec![spec(AggFunc::Avg, 0), spec(AggFunc::Count, 0)];
+        let mut st = ExecStats::default();
+        let out = aggregate(rows, &[], &aggs, &mut st).unwrap();
+        assert_eq!(out[0].0[0], Value::Float(4.0));
+        assert_eq!(out[0].0[1], Value::Int(1));
+    }
+
+    #[test]
+    fn count_star_counts_multiplicity() {
+        let rows: Bag = vec![(row![1], 3)];
+        let aggs = vec![AggSpec {
+            func: AggFunc::Count,
+            arg: None,
+            name: "c".into(),
+        }];
+        let mut st = ExecStats::default();
+        let out = aggregate(rows, &[], &aggs, &mut st).unwrap();
+        assert_eq!(out[0].0[0], Value::Int(3));
+    }
+
+    #[test]
+    fn sum_widens_to_float() {
+        let rows: Bag = vec![(row![1], 1), (row![2.5], 1)];
+        let aggs = vec![spec(AggFunc::Sum, 0)];
+        let mut st = ExecStats::default();
+        let out = aggregate(rows, &[], &aggs, &mut st).unwrap();
+        assert_eq!(out[0].0[0], Value::Float(3.5));
+    }
+}

@@ -1,0 +1,140 @@
+//! Hash join / cross product over bags.
+
+use super::{Bag, ExecStats};
+use crate::Result;
+use imp_storage::{FxHashMap, Row, Value};
+
+/// Join two bags. Empty keys = cross product. Multiplicities multiply
+/// (`(t ◦ s)^{n·m}`, paper Fig. 4).
+pub fn join(
+    left: Bag,
+    right: Bag,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    stats: &mut ExecStats,
+) -> Result<Bag> {
+    if left_keys.is_empty() {
+        // Cross product.
+        let mut out = Vec::new();
+        for (l, n) in &left {
+            for (r, m) in &right {
+                out.push((l.concat(r), n * m));
+            }
+        }
+        return Ok(out);
+    }
+    // Build on the smaller side.
+    if right.len() <= left.len() {
+        hash_join(left, right, left_keys, right_keys, false, stats)
+    } else {
+        hash_join(right, left, right_keys, left_keys, true, stats)
+    }
+}
+
+fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
+    let mut k = Vec::with_capacity(keys.len());
+    for &i in keys {
+        let v = row[i].clone();
+        // SQL equi-join: NULL joins with nothing.
+        if v.is_null() {
+            return None;
+        }
+        k.push(v);
+    }
+    Some(k)
+}
+
+fn hash_join(
+    probe: Bag,
+    build: Bag,
+    probe_keys: &[usize],
+    build_keys: &[usize],
+    swapped: bool,
+    stats: &mut ExecStats,
+) -> Result<Bag> {
+    let mut table: FxHashMap<Vec<Value>, Vec<(Row, i64)>> = FxHashMap::default();
+    for (row, m) in build {
+        if let Some(k) = key_of(&row, build_keys) {
+            table.entry(k).or_default().push((row, m));
+        }
+    }
+    let mut out = Vec::new();
+    for (row, n) in probe {
+        stats.join_probes += 1;
+        let Some(k) = key_of(&row, probe_keys) else {
+            continue;
+        };
+        if let Some(matches) = table.get(&k) {
+            for (b, m) in matches {
+                // Preserve (left ◦ right) column order regardless of which
+                // side we built on.
+                let joined = if swapped { b.concat(&row) } else { row.concat(b) };
+                out.push((joined, n * m));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_storage::row;
+
+    #[test]
+    fn equi_join_matches_fig5() {
+        // ΔR = {(5,8)}, S = {(6,9),(7,8)}; join on b = d keeps (5,8,7,8).
+        let l: Bag = vec![(row![5, 8], 1)];
+        let r: Bag = vec![(row![6, 9], 1), (row![7, 8], 1)];
+        let mut stats = ExecStats::default();
+        let out = join(l, r, &[1], &[1], &mut stats).unwrap();
+        assert_eq!(out, vec![(row![5, 8, 7, 8], 1)]);
+    }
+
+    #[test]
+    fn multiplicities_multiply() {
+        let l: Bag = vec![(row![1], 2)];
+        let r: Bag = vec![(row![1], 3)];
+        let mut stats = ExecStats::default();
+        let out = join(l, r, &[0], &[0], &mut stats).unwrap();
+        assert_eq!(out, vec![(row![1, 1], 6)]);
+    }
+
+    #[test]
+    fn column_order_stable_when_build_side_swapped() {
+        // Left bigger than right and vice versa must both produce l ◦ r.
+        let l: Bag = vec![(row![1, 10], 1), (row![2, 20], 1), (row![3, 30], 1)];
+        let r: Bag = vec![(row![10, "x"], 1)];
+        let mut stats = ExecStats::default();
+        let a = join(l.clone(), r.clone(), &[1], &[0], &mut stats).unwrap();
+        assert_eq!(a, vec![(row![1, 10, 10, "x"], 1)]);
+        // Now right bigger: builds on left instead.
+        let r2: Bag = vec![
+            (row![10, "x"], 1),
+            (row![99, "y"], 1),
+            (row![98, "z"], 1),
+            (row![97, "w"], 1),
+        ];
+        let b = join(l, r2, &[1], &[0], &mut stats).unwrap();
+        assert_eq!(b, vec![(row![1, 10, 10, "x"], 1)]);
+    }
+
+    #[test]
+    fn nulls_never_join() {
+        let l: Bag = vec![(Row::new(vec![Value::Null]), 1)];
+        let r: Bag = vec![(Row::new(vec![Value::Null]), 1)];
+        let mut stats = ExecStats::default();
+        let out = join(l, r, &[0], &[0], &mut stats).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cross_product() {
+        let l: Bag = vec![(row![1], 1), (row![2], 1)];
+        let r: Bag = vec![(row!["a"], 2)];
+        let mut stats = ExecStats::default();
+        let out = join(l, r, &[], &[], &mut stats).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, 2);
+    }
+}

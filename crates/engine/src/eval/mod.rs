@@ -1,0 +1,159 @@
+//! Plan evaluation (bag semantics, Fig. 4 of the paper).
+
+mod aggregate;
+mod join;
+mod ranges;
+mod scan;
+mod topk;
+
+pub use aggregate::NumAcc;
+pub use ranges::{extract_prune_ranges, PruneRanges};
+pub use topk::top_k;
+
+use crate::database::Database;
+use crate::Result;
+use imp_sql::{Expr, LogicalPlan};
+use imp_storage::Row;
+
+/// A bag of rows: each row with a positive multiplicity.
+pub type Bag = Vec<(Row, i64)>;
+
+/// Execution counters. `rows_skipped` counts live rows inside chunks that
+/// zone-map pruning never touched — the quantity data skipping saves.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows materialized by scans.
+    pub rows_scanned: u64,
+    /// Rows skipped via zone-map chunk pruning.
+    pub rows_skipped: u64,
+    /// Hash-join probe operations.
+    pub join_probes: u64,
+    /// Groups produced by aggregations.
+    pub agg_groups: u64,
+}
+
+impl ExecStats {
+    /// Merge counters from a sub-execution.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_skipped += other.rows_skipped;
+        self.join_probes += other.join_probes;
+        self.agg_groups += other.agg_groups;
+    }
+}
+
+/// Evaluate `plan` against `db`.
+pub fn execute(plan: &LogicalPlan, db: &Database, stats: &mut ExecStats) -> Result<Bag> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => scan::scan(db, table, None, stats),
+        LogicalPlan::Filter { input, predicate } => {
+            // A constant-false predicate (empty sketch) needs no scan.
+            if matches!(predicate, Expr::Lit(imp_storage::Value::Bool(false))) {
+                return Ok(Vec::new());
+            }
+            // Push range constraints into a directly-scanned table so the
+            // zone maps can skip chunks (this is what makes the sketch
+            // use-rewrite fast, paper §1 / §8).
+            if let LogicalPlan::Scan { table, .. } = input.as_ref() {
+                let prune = extract_prune_ranges(predicate);
+                let rows = scan::scan(db, table, prune.as_ref(), stats)?;
+                return filter_bag(rows, predicate);
+            }
+            let rows = execute(input, db, stats)?;
+            filter_bag(rows, predicate)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rows = execute(input, db, stats)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for (row, m) in rows {
+                let vals = exprs
+                    .iter()
+                    .map(|e| e.eval(&row))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                out.push((Row::new(vals), m));
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = execute(left, db, stats)?;
+            let r = execute(right, db, stats)?;
+            join::join(l, r, left_keys, right_keys, stats)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let rows = execute(input, db, stats)?;
+            aggregate::aggregate(rows, group_by, aggs, stats)
+        }
+        LogicalPlan::Distinct { input } => {
+            let rows = execute(input, db, stats)?;
+            let mut seen: std::collections::BTreeMap<Row, ()> = Default::default();
+            let mut out = Vec::new();
+            for (row, _) in rows {
+                if seen.insert(row.clone(), ()).is_none() {
+                    out.push((row, 1));
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut rows = execute(input, db, stats)?;
+            rows.sort_by(|a, b| imp_sql::plan::compare_rows(&a.0, &b.0, keys));
+            Ok(rows)
+        }
+        LogicalPlan::TopK { input, keys, k } => {
+            let rows = execute(input, db, stats)?;
+            topk::top_k(rows, keys, *k)
+        }
+        LogicalPlan::Except { left, right, all } => {
+            let l = execute(left, db, stats)?;
+            let r = execute(right, db, stats)?;
+            Ok(except(l, r, *all))
+        }
+    }
+}
+
+/// Bag / set difference. `EXCEPT ALL`: multiplicity `max(L(t) − R(t), 0)`;
+/// `EXCEPT`: `t` survives with multiplicity 1 iff `L(t) > 0 ∧ R(t) = 0`.
+pub fn except(left: Bag, right: Bag, all: bool) -> Bag {
+    let mut counts: std::collections::BTreeMap<Row, i64> = Default::default();
+    for (row, m) in left {
+        *counts.entry(row).or_insert(0) += m;
+    }
+    let mut suppressed: imp_storage::FxHashMap<Row, i64> = Default::default();
+    for (row, m) in right {
+        *suppressed.entry(row).or_insert(0) += m;
+    }
+    counts
+        .into_iter()
+        .filter_map(|(row, l)| {
+            let r = suppressed.get(&row).copied().unwrap_or(0);
+            if all {
+                let m = l - r;
+                (m > 0).then_some((row, m))
+            } else {
+                (l > 0 && r == 0).then_some((row, 1))
+            }
+        })
+        .collect()
+}
+
+/// Apply a predicate to a bag.
+pub fn filter_bag(rows: Bag, predicate: &Expr) -> Result<Bag> {
+    let mut out = Vec::new();
+    for (row, m) in rows {
+        if predicate.eval_predicate(&row)? {
+            out.push((row, m));
+        }
+    }
+    Ok(out)
+}
+

@@ -1,0 +1,43 @@
+//! Table access with zone-map pruning.
+
+use super::{Bag, ExecStats, PruneRanges};
+use crate::database::Database;
+use crate::Result;
+
+/// Scan a table, optionally pruning chunks via zone maps.
+pub fn scan(
+    db: &Database,
+    table: &str,
+    prune: Option<&PruneRanges>,
+    stats: &mut ExecStats,
+) -> Result<Bag> {
+    let t = db.table(table)?;
+    let mut out = Vec::with_capacity(t.row_count());
+    let mut scanned = 0u64;
+    let mut skipped = 0u64;
+    match prune {
+        Some(p) => {
+            t.scan(
+                Some((p.column, &p.ranges)),
+                |row| {
+                    scanned += 1;
+                    out.push((row, 1));
+                },
+                |n| skipped += n as u64,
+            );
+        }
+        None => {
+            t.scan(
+                None,
+                |row| {
+                    scanned += 1;
+                    out.push((row, 1));
+                },
+                |_| {},
+            );
+        }
+    }
+    stats.rows_scanned += scanned;
+    stats.rows_skipped += skipped;
+    Ok(out)
+}

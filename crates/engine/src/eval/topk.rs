@@ -1,0 +1,77 @@
+//! Batch top-k: `τ_{k,O}(R)` of paper Fig. 4.
+//!
+//! Returns the first `k` tuples in sort order; a tuple straddling the
+//! boundary is emitted with its clipped multiplicity
+//! (`m = min(R(t), k − pos(t, R, O))`).
+
+use super::Bag;
+use crate::Result;
+use imp_sql::plan::compare_rows;
+use imp_sql::SortKey;
+
+/// Take the top `k` rows of `rows` ordered by `keys`.
+pub fn top_k(mut rows: Bag, keys: &[SortKey], k: u64) -> Result<Bag> {
+    // Sort by keys, tie-break on the full row so output is deterministic
+    // ("arbitrary, but deterministic order" for incomparable tuples,
+    // paper §5.2.7).
+    rows.sort_by(|a, b| compare_rows(&a.0, &b.0, keys).then_with(|| a.0.cmp(&b.0)));
+    let mut out = Vec::new();
+    let mut remaining = k as i64;
+    for (row, m) in rows {
+        if remaining <= 0 {
+            break;
+        }
+        let take = m.min(remaining);
+        out.push((row, take));
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_storage::row;
+
+    fn keys() -> Vec<SortKey> {
+        vec![SortKey {
+            column: 0,
+            asc: true,
+        }]
+    }
+
+    #[test]
+    fn takes_first_k() {
+        let rows: Bag = vec![(row![3], 1), (row![1], 1), (row![2], 1)];
+        let out = top_k(rows, &keys(), 2).unwrap();
+        assert_eq!(out, vec![(row![1], 1), (row![2], 1)]);
+    }
+
+    #[test]
+    fn clips_boundary_multiplicity() {
+        let rows: Bag = vec![(row![1], 5), (row![2], 5)];
+        let out = top_k(rows, &keys(), 7).unwrap();
+        assert_eq!(out, vec![(row![1], 5), (row![2], 2)]);
+    }
+
+    #[test]
+    fn descending() {
+        let rows: Bag = vec![(row![3], 1), (row![1], 1), (row![2], 1)];
+        let out = top_k(
+            rows,
+            &[SortKey {
+                column: 0,
+                asc: false,
+            }],
+            1,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(row![3], 1)]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let rows: Bag = vec![(row![1], 1)];
+        assert!(top_k(rows, &keys(), 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # imp-engine
+//!
+//! The backend DBMS substrate IMP runs against. The paper evaluates
+//! against PostgreSQL; here the backend is an in-process, in-memory,
+//! bag-semantics relational engine with exactly the capabilities IMP
+//! exercises:
+//!
+//! * evaluate full queries (the NS baseline and use-rewritten queries),
+//! * evaluate capture queries (full maintenance),
+//! * evaluate `Δℛ ⋈ 𝒮` joins on behalf of the incremental engine,
+//! * execute updates under snapshot versioning and serve per-table deltas.
+//!
+//! Scans prune horizontal chunks through zone maps when the predicate
+//! carries range constraints — this is what turns a provenance sketch into
+//! actual data skipping.
+
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod histogram;
+pub mod update;
+
+pub use database::{Database, QueryResult};
+pub use error::EngineError;
+pub use eval::{execute, Bag, ExecStats};
+pub use histogram::equi_depth_cuts;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

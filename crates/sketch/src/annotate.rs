@@ -1,0 +1,95 @@
+//! The `annotate` operator (Def. 4.4) applied to deltas.
+//!
+//! `annotate(R, Φ)` tags each tuple with the singleton set containing the
+//! range its partition-attribute value belongs to. Annotated deltas
+//! `Δ𝒟 = annotate(ΔR, Φ)` are the input of the incremental maintenance
+//! procedure (Def. 4.5).
+
+use crate::partition::PartitionSet;
+use imp_storage::{BitVec, DeltaRecord, Row};
+
+/// One annotated delta tuple `Δ±⟨t, P⟩ⁿ` with signed multiplicity
+/// (`mult > 0` ⇔ `Δ+`, `mult < 0` ⇔ `Δ-`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedDeltaRow {
+    /// The tuple.
+    pub row: Row,
+    /// Its sketch annotation over the global fragment space.
+    pub annot: BitVec,
+    /// Signed multiplicity.
+    pub mult: i64,
+}
+
+/// Annotation bits for one base-table row.
+pub fn annotation_for_row(pset: &PartitionSet, table: &str, row: &Row) -> BitVec {
+    let mut bits = BitVec::new(pset.total_fragments());
+    if let Some((idx, offset, p)) = pset.for_table(table) {
+        debug_assert!(idx < pset.len());
+        let frag = p.fragment_of(&row[p.column]);
+        bits.set(offset + frag, true);
+    }
+    bits
+}
+
+/// Annotate a table's delta records (`Δℛ = annotate(ΔR, Φ)`).
+pub fn annotate_delta(
+    pset: &PartitionSet,
+    table: &str,
+    records: &[DeltaRecord],
+) -> Vec<AnnotatedDeltaRow> {
+    records
+        .iter()
+        .map(|r| AnnotatedDeltaRow {
+            annot: annotation_for_row(pset, table, &r.row),
+            row: r.row.clone(),
+            mult: r.op.sign() * r.mult as i64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RangePartition;
+    use imp_storage::{row, DeltaOp, Value};
+
+    fn pset() -> PartitionSet {
+        PartitionSet::new(vec![RangePartition::new(
+            "sales",
+            "price",
+            2,
+            vec![Value::Int(601), Value::Int(1001), Value::Int(1501)],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    #[test]
+    fn example_4_2() {
+        // Δ+s8 = (8, HP, 1299, 1) annotated with {ρ3} (price 1299 ∈ ρ3).
+        let ps = pset();
+        let mut rec = imp_storage::DeltaLog::new();
+        rec.append(2, DeltaOp::Insert, row![8, "HP", 1299, 1], 1);
+        let ann = annotate_delta(&ps, "sales", rec.all());
+        assert_eq!(ann.len(), 1);
+        assert_eq!(ann[0].mult, 1);
+        assert_eq!(ann[0].annot.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn deletions_get_negative_multiplicity() {
+        let ps = pset();
+        let mut rec = imp_storage::DeltaLog::new();
+        rec.append(2, DeltaOp::Delete, row![3, "Apple", 1199, 1], 2);
+        let ann = annotate_delta(&ps, "sales", rec.all());
+        assert_eq!(ann[0].mult, -2);
+    }
+
+    #[test]
+    fn unpartitioned_table_gets_empty_annotation() {
+        let ps = pset();
+        let r = row![1, 2];
+        let bits = annotation_for_row(&ps, "other", &r);
+        assert!(bits.is_zero());
+    }
+}

@@ -1,0 +1,37 @@
+//! # imp-sketch
+//!
+//! Provenance-based data skipping (PBDS) — the substrate from Niu et al.,
+//! "Provenance-based Data Skipping" (PVLDB'21, cited as [37]) that the IMP
+//! paper builds on:
+//!
+//! * [`partition`] — range partitions `F_{φ,a}(R)` (Def. 4.1) and
+//!   [`partition::PartitionSet`]s assigning a global fragment-id space to
+//!   the partitions of all tables a query touches.
+//! * [`sketch`] — provenance sketches as bitvectors over fragments
+//!   (Def. 4.2), with deltas (`ΔP`, §4.2) and merged-range extraction.
+//! * [`capture`] — batch *annotated* evaluation of a query, producing its
+//!   accurate sketch `S(F(Q(𝒟)))`. Re-running capture is exactly the
+//!   "full maintenance" baseline of §8.
+//! * [`use_rewrite`] — instrument a query to skip data outside a sketch
+//!   (the `WHERE … BETWEEN … OR … BETWEEN …` rewrite of §1, with adjacent
+//!   ranges merged per footnote 2).
+//! * [`safety`] — conservative safe-attribute analysis (§4.4, §7.4).
+
+pub mod annotate;
+pub mod capture;
+pub mod error;
+pub mod partition;
+pub mod safety;
+pub mod sketch;
+pub mod use_rewrite;
+
+pub use annotate::{annotate_delta, AnnotatedDeltaRow};
+pub use capture::{capture, AnnotBag, CaptureResult};
+pub use error::SketchError;
+pub use partition::{PartitionSet, RangePartition};
+pub use safety::{safe_attributes, SafeAttribute};
+pub use sketch::{SketchDelta, SketchSet};
+pub use use_rewrite::apply_sketch_filter;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SketchError>;

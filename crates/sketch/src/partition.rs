@@ -1,0 +1,278 @@
+//! Range partitions (Def. 4.1) and global fragment-id spaces.
+
+use crate::error::SketchError;
+use crate::Result;
+use imp_engine::{equi_depth_cuts, Database};
+use imp_storage::Value;
+use std::sync::Arc;
+
+/// A range partition `F_{φ,a}(R)` of one table on one attribute.
+///
+/// The partition is represented by strictly increasing *cut points*
+/// `c₁ < … < c_{n−1}`; fragment `i` covers `[cᵢ, cᵢ₊₁)` with the first and
+/// last fragments unbounded toward the domain limits, so the fragments
+/// cover the *whole* domain, not just its active part (paper §7.4 — this
+/// is what keeps future inserts inside some fragment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePartition {
+    /// Partitioned table.
+    pub table: String,
+    /// Partition attribute name.
+    pub attribute: String,
+    /// Position of the attribute in the base-table schema.
+    pub column: usize,
+    cuts: Vec<Value>,
+}
+
+impl RangePartition {
+    /// Build from explicit cut points (must be strictly increasing and
+    /// non-NULL).
+    pub fn new(
+        table: impl Into<String>,
+        attribute: impl Into<String>,
+        column: usize,
+        cuts: Vec<Value>,
+    ) -> Result<RangePartition> {
+        for w in cuts.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SketchError::InvalidPartition(format!(
+                    "cut points must be strictly increasing: {} !< {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if cuts.iter().any(Value::is_null) {
+            return Err(SketchError::InvalidPartition(
+                "cut points must be non-NULL".into(),
+            ));
+        }
+        Ok(RangePartition {
+            table: table.into().to_ascii_lowercase(),
+            attribute: attribute.into(),
+            column,
+            cuts,
+        })
+    }
+
+    /// Build a partition with `fragments` equi-depth fragments from the
+    /// current contents of `table.attribute` (paper §7.4: "we use the
+    /// bounds of equi-depth histograms … as ranges").
+    pub fn equi_depth(
+        db: &Database,
+        table: &str,
+        attribute: &str,
+        fragments: usize,
+    ) -> Result<RangePartition> {
+        let schema = db.table(table)?.schema().clone();
+        let column = schema.index_of(attribute).ok_or_else(|| {
+            SketchError::InvalidPartition(format!("unknown attribute {table}.{attribute}"))
+        })?;
+        let cuts = equi_depth_cuts(db, table, attribute, fragments)?;
+        RangePartition::new(table, attribute, column, cuts)
+    }
+
+    /// Number of fragments (`|φ|`).
+    pub fn fragment_count(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Fragment a value belongs to. NULLs land in fragment 0 by convention.
+    pub fn fragment_of(&self, v: &Value) -> usize {
+        if v.is_null() {
+            return 0;
+        }
+        // Number of cut points <= v.
+        self.cuts.partition_point(|c| c <= v)
+    }
+
+    /// Bounds of fragment `i`: inclusive lower, exclusive upper; `None`
+    /// means unbounded (domain edge).
+    pub fn fragment_bounds(&self, i: usize) -> (Option<&Value>, Option<&Value>) {
+        let lo = if i == 0 { None } else { Some(&self.cuts[i - 1]) };
+        let hi = self.cuts.get(i);
+        (lo, hi)
+    }
+
+    /// The raw cut points.
+    pub fn cuts(&self) -> &[Value] {
+        &self.cuts
+    }
+
+    /// Heap footprint of the boundary list — the "memory of ranges"
+    /// quantity of paper Fig. 18.
+    pub fn heap_size(&self) -> usize {
+        self.cuts.capacity() * std::mem::size_of::<Value>()
+            + self.cuts.iter().map(Value::heap_size).sum::<usize>()
+            + self.table.len()
+            + self.attribute.len()
+    }
+}
+
+/// The partitions `Φ` of every table a query touches, with a contiguous
+/// global fragment-id space (partition `p`'s fragment `f` maps to
+/// `offset(p) + f`). Tuple annotations and merge-operator state are
+/// bitvectors / counters over this space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSet {
+    partitions: Vec<Arc<RangePartition>>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl PartitionSet {
+    /// Build from partitions (at most one per table).
+    pub fn new(partitions: Vec<RangePartition>) -> Result<PartitionSet> {
+        for (i, p) in partitions.iter().enumerate() {
+            for q in &partitions[i + 1..] {
+                if p.table == q.table {
+                    return Err(SketchError::InvalidPartition(format!(
+                        "duplicate partition for table {}",
+                        p.table
+                    )));
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(partitions.len());
+        let mut total = 0usize;
+        for p in &partitions {
+            offsets.push(total);
+            total += p.fragment_count();
+        }
+        Ok(PartitionSet {
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            offsets,
+            total,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True iff no table is partitioned.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Total fragments across all partitions (`p` in the complexity
+    /// analysis, §5.3).
+    pub fn total_fragments(&self) -> usize {
+        self.total
+    }
+
+    /// All partitions with their global offsets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Arc<RangePartition>)> {
+        self.offsets.iter().copied().zip(self.partitions.iter())
+    }
+
+    /// Partition (index, offset, partition) for a table, if any.
+    pub fn for_table(&self, table: &str) -> Option<(usize, usize, &Arc<RangePartition>)> {
+        let t = table.to_ascii_lowercase();
+        self.partitions
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.table == t)
+            .map(|(i, p)| (i, self.offsets[i], p))
+    }
+
+    /// Global fragment id for `(partition index, fragment)`.
+    pub fn global_id(&self, partition: usize, fragment: usize) -> usize {
+        debug_assert!(fragment < self.partitions[partition].fragment_count());
+        self.offsets[partition] + fragment
+    }
+
+    /// Map a global fragment id back to `(partition index, fragment)`.
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        debug_assert!(global < self.total);
+        let p = self.offsets.partition_point(|&o| o <= global) - 1;
+        (p, global - self.offsets[p])
+    }
+
+    /// Partition by index.
+    pub fn partition(&self, i: usize) -> &Arc<RangePartition> {
+        &self.partitions[i]
+    }
+
+    /// Heap footprint of all boundary lists (Fig. 18 "memory of ranges").
+    pub fn heap_size(&self) -> usize {
+        self.partitions.iter().map(|p| p.heap_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running-example partition φ_price of Ex. 1.1:
+    /// ρ1=[1,600], ρ2=[601,1000], ρ3=[1001,1500], ρ4=[1501,10000].
+    pub fn phi_price() -> RangePartition {
+        RangePartition::new(
+            "sales",
+            "price",
+            2,
+            vec![Value::Int(601), Value::Int(1001), Value::Int(1501)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fragment_lookup_matches_example() {
+        let p = phi_price();
+        assert_eq!(p.fragment_count(), 4);
+        assert_eq!(p.fragment_of(&Value::Int(349)), 0); // ρ1: Lenovo 349
+        assert_eq!(p.fragment_of(&Value::Int(999)), 1); // ρ2: HP 999
+        assert_eq!(p.fragment_of(&Value::Int(1199)), 2); // ρ3: MacBook Air
+        assert_eq!(p.fragment_of(&Value::Int(3875)), 3); // ρ4: MacBook Pro
+        assert_eq!(p.fragment_of(&Value::Int(601)), 1); // boundary: inclusive lower
+        assert_eq!(p.fragment_of(&Value::Int(600)), 0);
+    }
+
+    #[test]
+    fn whole_domain_covered() {
+        let p = phi_price();
+        assert_eq!(p.fragment_of(&Value::Int(i64::MIN)), 0);
+        assert_eq!(p.fragment_of(&Value::Int(i64::MAX)), 3);
+        assert_eq!(p.fragment_of(&Value::Null), 0);
+    }
+
+    #[test]
+    fn bounds() {
+        let p = phi_price();
+        assert_eq!(p.fragment_bounds(0), (None, Some(&Value::Int(601))));
+        assert_eq!(
+            p.fragment_bounds(2),
+            (Some(&Value::Int(1001)), Some(&Value::Int(1501)))
+        );
+        assert_eq!(p.fragment_bounds(3), (Some(&Value::Int(1501)), None));
+    }
+
+    #[test]
+    fn rejects_bad_cuts() {
+        assert!(RangePartition::new("t", "a", 0, vec![Value::Int(5), Value::Int(5)]).is_err());
+        assert!(RangePartition::new("t", "a", 0, vec![Value::Int(5), Value::Int(1)]).is_err());
+        assert!(RangePartition::new("t", "a", 0, vec![Value::Null]).is_err());
+    }
+
+    #[test]
+    fn partition_set_global_ids() {
+        // Fig. 5: φ_a has 2 fragments (f1,f2), φ_c has 2 (g1,g2).
+        let pa = RangePartition::new("r", "a", 0, vec![Value::Int(6)]).unwrap();
+        let pc = RangePartition::new("s", "c", 0, vec![Value::Int(7)]).unwrap();
+        let ps = PartitionSet::new(vec![pa, pc]).unwrap();
+        assert_eq!(ps.total_fragments(), 4);
+        assert_eq!(ps.global_id(0, 1), 1); // f2
+        assert_eq!(ps.global_id(1, 0), 2); // g1
+        assert_eq!(ps.locate(3), (1, 1)); // g2
+        let (idx, off, p) = ps.for_table("s").unwrap();
+        assert_eq!((idx, off), (1, 2));
+        assert_eq!(p.attribute, "c");
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let pa = RangePartition::new("r", "a", 0, vec![]).unwrap();
+        let pb = RangePartition::new("r", "b", 1, vec![]).unwrap();
+        assert!(PartitionSet::new(vec![pa, pb]).is_err());
+    }
+}

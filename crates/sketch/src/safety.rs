@@ -1,0 +1,314 @@
+//! Safe-attribute analysis.
+//!
+//! An attribute `a` is *safe* for a query `Q` if every sketch based on some
+//! range partition on `a` is safe — i.e. `Q(D_P) = Q(D)` (Def. 4.2, §4.4).
+//! The paper defers to the test of [37]; we implement the conservative core
+//! of that test:
+//!
+//! * **Monotone SPJ queries** (no aggregation / top-k): every base column
+//!   is safe — the provenance of each output tuple is the set of input
+//!   tuples joining into it, and evaluating over any superset of those
+//!   inputs reproduces the output (extra tuples only add output tuples that
+//!   the full query also produces).
+//! * **Aggregation (with HAVING) / top-k over aggregation**: the group-by
+//!   attributes *of the grouped table* are safe. Fragments of a partition
+//!   on a group-by attribute contain whole groups, so the sketch's data
+//!   never contains a partial group whose re-aggregated value could
+//!   (in)correctly pass HAVING or reorder top-k.
+//! * **Top-k without aggregation**: every base column is safe — all true
+//!   top-k rows are in the sketch data and still beat any extra rows.
+//!
+//! Attributes outside these rules (e.g. the aggregated attribute of a
+//! joined table, as in paper Fig. 5's `φ_c`) are reported as
+//! `assumed_only`: the caller may still build a sketch on them, matching
+//! the paper's "we assume that all attributes used in Φ are safe" (§4.4),
+//! but has to opt in explicitly.
+
+use imp_sql::{Expr, LogicalPlan};
+
+/// One attribute judged safe for sketching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafeAttribute {
+    /// Base table.
+    pub table: String,
+    /// Attribute name in the base table schema.
+    pub attribute: String,
+    /// Column position in the base table schema.
+    pub column: usize,
+}
+
+/// Compute the provably safe attributes of a plan.
+pub fn safe_attributes(plan: &LogicalPlan) -> Vec<SafeAttribute> {
+    if contains_except(plan) {
+        // Set difference is non-monotone: adding tuples can *remove*
+        // results, so no attribute is provably safe.
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    analyze(plan, &mut out);
+    out.sort_by(|a, b| (&a.table, &a.attribute).cmp(&(&b.table, &b.attribute)));
+    out.dedup();
+    out
+}
+
+fn contains_except(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Except { .. } => true,
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. } => contains_except(input),
+        LogicalPlan::Join { left, right, .. } => {
+            contains_except(left) || contains_except(right)
+        }
+    }
+}
+
+/// Is `table.attribute` provably safe for `plan`?
+pub fn is_safe(plan: &LogicalPlan, table: &str, attribute: &str) -> bool {
+    let t = table.to_ascii_lowercase();
+    safe_attributes(plan)
+        .iter()
+        .any(|s| s.table == t && s.attribute.eq_ignore_ascii_case(attribute))
+}
+
+fn analyze(plan: &LogicalPlan, out: &mut Vec<SafeAttribute>) {
+    match find_aggregate(plan) {
+        Some((agg_input, group_by)) => {
+            // Group-by attributes traced to base columns are safe.
+            for g in group_by {
+                if let Expr::Col(c) = g {
+                    trace_column(agg_input, *c, out);
+                }
+            }
+        }
+        None => {
+            // Monotone SPJ / plain top-k: every base column is safe.
+            collect_all_base_columns(plan, out);
+        }
+    }
+}
+
+/// Locate the (topmost) Aggregate node reachable through unary operators.
+fn find_aggregate(plan: &LogicalPlan) -> Option<(&LogicalPlan, &[Expr])> {
+    match plan {
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => Some((input.as_ref(), group_by.as_slice())),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. } => find_aggregate(input),
+        LogicalPlan::Join { .. } | LogicalPlan::Scan { .. } | LogicalPlan::Except { .. } => {
+            None
+        }
+    }
+}
+
+/// Trace output column `col` of `plan` back to a base-table column, if the
+/// mapping is the identity through the operators on the way.
+fn trace_column(plan: &LogicalPlan, col: usize, out: &mut Vec<SafeAttribute>) {
+    match plan {
+        LogicalPlan::Scan { table, schema } => {
+            if col < schema.arity() {
+                out.push(SafeAttribute {
+                    table: table.clone(),
+                    attribute: schema.field(col).name.clone(),
+                    column: col,
+                });
+            }
+        }
+        LogicalPlan::Except { .. } => {
+            // unreachable: contains_except short-circuits, kept defensive.
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. } => trace_column(input, col, out),
+        LogicalPlan::Project { input, exprs, .. } => {
+            if let Some(Expr::Col(c)) = exprs.get(col) {
+                trace_column(input, *c, out);
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let la = left.schema().arity();
+            if col < la {
+                trace_column(left, col, out);
+                // A join key is equated with its partner on the other
+                // side: partitioning the other table on the partner
+                // attribute aligns fragments with groups too.
+                for (lk, rk) in left_keys.iter().zip(right_keys) {
+                    if *lk == col {
+                        trace_column(right, *rk, out);
+                    }
+                }
+            } else {
+                let rcol = col - la;
+                trace_column(right, rcol, out);
+                for (lk, rk) in left_keys.iter().zip(right_keys) {
+                    if *rk == rcol {
+                        trace_column(left, *lk, out);
+                    }
+                }
+            }
+        }
+        LogicalPlan::Aggregate { .. } => {
+            // Nested aggregation below the traced column: stop (not safe
+            // to claim).
+        }
+    }
+}
+
+fn collect_all_base_columns(plan: &LogicalPlan, out: &mut Vec<SafeAttribute>) {
+    match plan {
+        LogicalPlan::Scan { table, schema } => {
+            for (i, f) in schema.fields().iter().enumerate() {
+                out.push(SafeAttribute {
+                    table: table.clone(),
+                    attribute: f.name.clone(),
+                    column: i,
+                });
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. } => collect_all_base_columns(input, out),
+        LogicalPlan::Join { left, right, .. } => {
+            collect_all_base_columns(left, out);
+            collect_all_base_columns(right, out);
+        }
+        LogicalPlan::Except { .. } => {
+            // unreachable: contains_except short-circuits, kept defensive.
+        }
+        LogicalPlan::Aggregate { .. } => unreachable!("handled by analyze"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_engine::Database;
+    use imp_storage::{DataType, Field, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "sales",
+            Schema::new(vec![
+                Field::new("sid", DataType::Int),
+                Field::new("brand", DataType::Str),
+                Field::new("price", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "r",
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Schema::new(vec![
+                Field::new("c", DataType::Int),
+                Field::new("d", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn group_by_attribute_is_safe_for_having_query() {
+        let db = db();
+        let plan = db
+            .plan_sql(
+                "SELECT brand, sum(price) FROM sales GROUP BY brand \
+                 HAVING sum(price) > 100",
+            )
+            .unwrap();
+        assert!(is_safe(&plan, "sales", "brand"));
+        assert!(!is_safe(&plan, "sales", "price"));
+    }
+
+    #[test]
+    fn spj_query_all_attributes_safe() {
+        let db = db();
+        let plan = db
+            .plan_sql("SELECT a, d FROM r JOIN s ON (b = c) WHERE a > 1")
+            .unwrap();
+        for attr in ["a", "b"] {
+            assert!(is_safe(&plan, "r", attr), "{attr}");
+        }
+        for attr in ["c", "d"] {
+            assert!(is_safe(&plan, "s", attr), "{attr}");
+        }
+    }
+
+    #[test]
+    fn join_key_transfers_safety() {
+        // Group by r.a over r ⋈ s on b = c: b safe (on r), and its join
+        // partner c safe on s — but only if b is group-by... b is not
+        // group-by here, so only a is safe.
+        let db = db();
+        let plan = db
+            .plan_sql(
+                "SELECT a, sum(d) FROM r JOIN s ON (b = c) GROUP BY a \
+                 HAVING sum(d) > 5",
+            )
+            .unwrap();
+        assert!(is_safe(&plan, "r", "a"));
+        assert!(!is_safe(&plan, "r", "b"));
+        assert!(!is_safe(&plan, "s", "c"));
+        assert!(!is_safe(&plan, "s", "d"));
+    }
+
+    #[test]
+    fn group_by_join_key_covers_both_sides() {
+        let db = db();
+        let plan = db
+            .plan_sql(
+                "SELECT b, sum(d) FROM r JOIN s ON (b = c) GROUP BY b \
+                 HAVING sum(d) > 5",
+            )
+            .unwrap();
+        assert!(is_safe(&plan, "r", "b"));
+        assert!(is_safe(&plan, "s", "c")); // partner of the group-by key
+    }
+
+    #[test]
+    fn topk_without_aggregation_all_safe() {
+        let db = db();
+        let plan = db
+            .plan_sql("SELECT price FROM sales ORDER BY price DESC LIMIT 3")
+            .unwrap();
+        assert!(is_safe(&plan, "sales", "price"));
+        assert!(is_safe(&plan, "sales", "brand"));
+    }
+
+    #[test]
+    fn topk_over_aggregation_only_group_by_safe() {
+        let db = db();
+        let plan = db
+            .plan_sql(
+                "SELECT brand, sum(price) AS t FROM sales GROUP BY brand \
+                 ORDER BY t DESC LIMIT 2",
+            )
+            .unwrap();
+        assert!(is_safe(&plan, "sales", "brand"));
+        assert!(!is_safe(&plan, "sales", "price"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Provenance sketches and sketch deltas.
+
+use crate::partition::PartitionSet;
+use imp_storage::{BitVec, Value};
+use std::sync::Arc;
+
+/// A provenance sketch over a [`PartitionSet`]'s global fragment space
+/// (Def. 4.2). Covers *all* partitioned tables of the query at once; the
+/// per-table sketch is the slice of bits belonging to that table's
+/// partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSet {
+    pset: Arc<PartitionSet>,
+    bits: BitVec,
+}
+
+impl SketchSet {
+    /// Empty sketch (no fragment marked).
+    pub fn empty(pset: Arc<PartitionSet>) -> SketchSet {
+        let bits = BitVec::new(pset.total_fragments());
+        SketchSet { pset, bits }
+    }
+
+    /// Sketch from raw bits.
+    pub fn from_bits(pset: Arc<PartitionSet>, bits: BitVec) -> SketchSet {
+        assert_eq!(bits.len(), pset.total_fragments());
+        SketchSet { pset, bits }
+    }
+
+    /// The partition set.
+    pub fn partitions(&self) -> &Arc<PartitionSet> {
+        &self.pset
+    }
+
+    /// Raw bits.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Number of fragments in the sketch.
+    pub fn fragment_count(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Is `other` (same pset) fully contained in `self`? Over-approximation
+    /// check of Thm. 6.1.
+    pub fn covers(&self, other: &SketchSet) -> bool {
+        other.bits.is_subset(&self.bits)
+    }
+
+    /// Mark a fragment.
+    pub fn insert(&mut self, global_fragment: usize) {
+        self.bits.set(global_fragment, true);
+    }
+
+    /// Unmark a fragment.
+    pub fn remove(&mut self, global_fragment: usize) {
+        self.bits.set(global_fragment, false);
+    }
+
+    /// Is the fragment marked?
+    pub fn contains(&self, global_fragment: usize) -> bool {
+        self.bits.get(global_fragment)
+    }
+
+    /// Apply a delta (`P ∪• ΔP`, §4.2): deletions first, then insertions.
+    pub fn apply_delta(&mut self, delta: &SketchDelta) {
+        for &f in &delta.removed {
+            self.bits.set(f, false);
+        }
+        for &f in &delta.added {
+            self.bits.set(f, true);
+        }
+    }
+
+    /// Marked fragments of one partition, as local fragment indices.
+    pub fn fragments_of_partition(&self, partition: usize) -> Vec<usize> {
+        let off = self.pset.global_id(partition, 0);
+        let n = self.pset.partition(partition).fragment_count();
+        (0..n).filter(|f| self.bits.get(off + f)).collect()
+    }
+
+    /// Merged value ranges of one partition's marked fragments — adjacent
+    /// fragments coalesce into one range (paper §1 fn. 2: "the conditions
+    /// for adjacent ranges in a sketch can be merged"). Each range is
+    /// `(inclusive lo, exclusive hi)`, `None` = unbounded.
+    pub fn merged_ranges(&self, partition: usize) -> Vec<(Option<Value>, Option<Value>)> {
+        let frags = self.fragments_of_partition(partition);
+        let p = self.pset.partition(partition);
+        let mut out: Vec<(Option<Value>, Option<Value>)> = Vec::new();
+        let mut run_start: Option<usize> = None;
+        let mut prev: Option<usize> = None;
+        let flush = |start: usize, end: usize, out: &mut Vec<_>| {
+            let (lo, _) = p.fragment_bounds(start);
+            let (_, hi) = p.fragment_bounds(end);
+            out.push((lo.cloned(), hi.cloned()));
+        };
+        for f in frags {
+            match (run_start, prev) {
+                (None, _) => {
+                    run_start = Some(f);
+                }
+                (Some(_), Some(pv)) if f == pv + 1 => {}
+                (Some(s), Some(pv)) => {
+                    flush(s, pv, &mut out);
+                    run_start = Some(f);
+                }
+                _ => unreachable!(),
+            }
+            prev = Some(f);
+        }
+        if let (Some(s), Some(pv)) = (run_start, prev) {
+            flush(s, pv, &mut out);
+        }
+        out
+    }
+
+    /// Heap footprint of the bitvector — the "memory of sketches" quantity
+    /// of Fig. 18.
+    pub fn heap_size(&self) -> usize {
+        self.bits.heap_size()
+    }
+}
+
+/// A sketch delta `ΔP` (§4.2): fragments to insert / remove, in global ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SketchDelta {
+    /// `Δ+ρ` fragments.
+    pub added: Vec<usize>,
+    /// `Δ-ρ` fragments.
+    pub removed: Vec<usize>,
+}
+
+impl SketchDelta {
+    /// No change.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of changed fragments.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RangePartition;
+
+    fn price_pset() -> Arc<PartitionSet> {
+        Arc::new(
+            PartitionSet::new(vec![RangePartition::new(
+                "sales",
+                "price",
+                2,
+                vec![Value::Int(601), Value::Int(1001), Value::Int(1501)],
+            )
+            .unwrap()])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn example_1_1_sketch() {
+        // P = {ρ3, ρ4} for Q_top.
+        let mut s = SketchSet::empty(price_pset());
+        s.insert(2);
+        s.insert(3);
+        assert_eq!(s.fragment_count(), 2);
+        assert_eq!(s.fragments_of_partition(0), vec![2, 3]);
+        // Adjacent ρ3,ρ4 merge into [1001, ∞) — i.e. BETWEEN 1001 AND 10000
+        // in the paper's bounded-domain rendering.
+        let ranges = s.merged_ranges(0);
+        assert_eq!(ranges, vec![(Some(Value::Int(1001)), None)]);
+    }
+
+    #[test]
+    fn non_adjacent_ranges_stay_separate() {
+        let mut s = SketchSet::empty(price_pset());
+        s.insert(0);
+        s.insert(2);
+        let ranges = s.merged_ranges(0);
+        assert_eq!(
+            ranges,
+            vec![
+                (None, Some(Value::Int(601))),
+                (Some(Value::Int(1001)), Some(Value::Int(1501))),
+            ]
+        );
+    }
+
+    #[test]
+    fn apply_delta_ex_5_2() {
+        // Ex. 5.2: count of ρ1 drops to 0 → ΔP = {Δ-ρ1}.
+        let mut s = SketchSet::empty(price_pset());
+        s.insert(0);
+        s.insert(1);
+        s.apply_delta(&SketchDelta {
+            added: vec![],
+            removed: vec![0],
+        });
+        assert_eq!(s.fragments_of_partition(0), vec![1]);
+    }
+
+    #[test]
+    fn covers_checks_subset() {
+        let mut big = SketchSet::empty(price_pset());
+        big.insert(1);
+        big.insert(2);
+        let mut small = SketchSet::empty(price_pset());
+        small.insert(2);
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the sketch layer: partition totality, annotate
+//! consistency, merged-range equivalence, and capture/use safety on safe
+//! attributes.
+
+use imp_engine::Database;
+use imp_sketch::{apply_sketch_filter, capture, PartitionSet, RangePartition, SketchSet};
+use imp_storage::{row, BitVec, DataType, Field, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every value lands in exactly one fragment, and fragments tile the
+    /// domain in order.
+    #[test]
+    fn partition_is_total_and_monotone(
+        cuts in prop::collection::btree_set(-1000i64..1000, 0..20),
+        probes in prop::collection::vec(-2000i64..2000, 1..50),
+    ) {
+        let p = RangePartition::new(
+            "t", "a", 0,
+            cuts.iter().copied().map(Value::Int).collect(),
+        ).unwrap();
+        let mut sorted = probes.clone();
+        sorted.sort();
+        let mut last_frag = 0usize;
+        for v in sorted {
+            let f = p.fragment_of(&Value::Int(v));
+            prop_assert!(f < p.fragment_count());
+            prop_assert!(f >= last_frag, "fragments must be monotone in the value");
+            last_frag = f;
+            // The value lies within its fragment's bounds.
+            let (lo, hi) = p.fragment_bounds(f);
+            if let Some(lo) = lo {
+                prop_assert!(Value::Int(v) >= *lo);
+            }
+            if let Some(hi) = hi {
+                prop_assert!(Value::Int(v) < *hi);
+            }
+        }
+    }
+
+    /// `merged_ranges` covers exactly the marked fragments: a value matches
+    /// some merged range iff its fragment is in the sketch.
+    #[test]
+    fn merged_ranges_equivalent_to_fragments(
+        cuts in prop::collection::btree_set(-100i64..100, 1..12),
+        marked in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+        probes in prop::collection::vec(-150i64..150, 1..60),
+    ) {
+        let p = RangePartition::new(
+            "t", "a", 0,
+            cuts.iter().copied().map(Value::Int).collect(),
+        ).unwrap();
+        let n = p.fragment_count();
+        let pset = Arc::new(PartitionSet::new(vec![p]).unwrap());
+        let mut sketch = SketchSet::empty(Arc::clone(&pset));
+        for m in &marked {
+            sketch.insert(m.index(n));
+        }
+        let ranges = sketch.merged_ranges(0);
+        for v in probes {
+            let val = Value::Int(v);
+            let frag = pset.partition(0).fragment_of(&val);
+            let in_sketch = sketch.contains(frag);
+            let in_ranges = ranges.iter().any(|(lo, hi)| {
+                lo.as_ref().is_none_or(|l| val >= *l)
+                    && hi.as_ref().is_none_or(|h| val < *h)
+            });
+            prop_assert_eq!(in_sketch, in_ranges, "value {} disagrees", v);
+        }
+    }
+
+    /// Capture on a safe (group-by) attribute always yields a safe sketch:
+    /// the rewritten query equals the full query.
+    #[test]
+    fn capture_yields_safe_sketch(
+        rows in prop::collection::vec((0i64..10, -30i64..30), 1..80),
+        cuts in prop::collection::btree_set(1i64..10, 0..4),
+        threshold in -50i64..80,
+    ) {
+        let mut db = Database::new();
+        db.create_table("t", Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ])).unwrap();
+        db.table_mut("t").unwrap()
+            .bulk_load(rows.iter().map(|(g, v)| row![*g, *v])).unwrap();
+        let plan = db.plan_sql(&format!(
+            "SELECT g, sum(v) AS sv FROM t GROUP BY g HAVING sum(v) > {threshold}"
+        )).unwrap();
+        let pset = Arc::new(PartitionSet::new(vec![
+            RangePartition::new("t", "g", 0, cuts.into_iter().map(Value::Int).collect()).unwrap(),
+        ]).unwrap());
+        let cap = capture(&plan, &db, &pset).unwrap();
+        // Capture result == direct evaluation.
+        let direct = db.execute_plan(&plan).unwrap();
+        prop_assert_eq!(
+            imp_engine::database::canonical_bag(&cap.result),
+            direct.canonical()
+        );
+        // Safety of the use rewrite.
+        let rewritten = apply_sketch_filter(&plan, &cap.sketch).unwrap();
+        prop_assert_eq!(
+            db.execute_plan(&rewritten).unwrap().canonical(),
+            direct.canonical()
+        );
+    }
+
+    /// Any over-approximation of a safe sketch is safe (Niu et al., used
+    /// by Thm. 6.1): adding arbitrary fragments never changes the result.
+    #[test]
+    fn over_approximation_preserves_safety(
+        rows in prop::collection::vec((0i64..10, -30i64..30), 1..60),
+        extra in prop::collection::vec(any::<prop::sample::Index>(), 0..5),
+    ) {
+        let mut db = Database::new();
+        db.create_table("t", Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ])).unwrap();
+        db.table_mut("t").unwrap()
+            .bulk_load(rows.iter().map(|(g, v)| row![*g, *v])).unwrap();
+        let plan = db.plan_sql(
+            "SELECT g, count(v) AS c FROM t GROUP BY g HAVING count(v) > 2"
+        ).unwrap();
+        let pset = Arc::new(PartitionSet::new(vec![
+            RangePartition::new("t", "g", 0,
+                vec![Value::Int(3), Value::Int(6)]).unwrap(),
+        ]).unwrap());
+        let cap = capture(&plan, &db, &pset).unwrap();
+        let mut bits = cap.sketch.bits().clone();
+        for e in &extra {
+            bits.set(e.index(bits.len()), true);
+        }
+        let bigger = SketchSet::from_bits(Arc::clone(&pset), bits);
+        let rewritten = apply_sketch_filter(&plan, &bigger).unwrap();
+        prop_assert_eq!(
+            db.execute_plan(&rewritten).unwrap().canonical(),
+            db.execute_plan(&plan).unwrap().canonical()
+        );
+    }
+}
+
+#[test]
+fn annotation_matches_partition_lookup() {
+    let pset = PartitionSet::new(vec![
+        RangePartition::new("r", "a", 0, vec![Value::Int(5)]).unwrap(),
+        RangePartition::new("s", "c", 1, vec![Value::Int(0)]).unwrap(),
+    ])
+    .unwrap();
+    // r row with a = 7 → fragment 1 of partition 0 → global 1.
+    let bits = imp_sketch::annotate::annotation_for_row(&pset, "r", &row![7, 0]);
+    assert_eq!(bits, BitVec::singleton(4, 1));
+    // s row with c (column 1) = -3 → fragment 0 of partition 1 → global 2.
+    let bits = imp_sketch::annotate::annotation_for_row(&pset, "s", &row![0, -3]);
+    assert_eq!(bits, BitVec::singleton(4, 2));
+}

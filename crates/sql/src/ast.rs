@@ -1,0 +1,385 @@
+//! Abstract syntax tree produced by the parser.
+
+use imp_storage::{DataType, Value};
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Literal rows.
+        rows: Vec<Vec<AstExpr>>,
+    },
+    /// `DELETE FROM t [WHERE pred]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        filter: Option<AstExpr>,
+    },
+    /// `UPDATE t SET a = e, ... [WHERE pred]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments.
+        sets: Vec<(String, AstExpr)>,
+        /// Optional predicate.
+        filter: Option<AstExpr>,
+    },
+    /// `EXPLAIN <select>`: render the resolved logical plan.
+    Explain(SelectStmt),
+    /// `CREATE TABLE t (col type, ...)`
+    CreateTable {
+        /// New table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+    },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// FROM clause (comma-separated refs are implicit cross joins).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub filter: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// HAVING predicate.
+    pub having: Option<AstExpr>,
+    /// ORDER BY keys (expression, ascending?).
+    pub order_by: Vec<(AstExpr, bool)>,
+    /// LIMIT k.
+    pub limit: Option<u64>,
+    /// SELECT DISTINCT?
+    pub distinct: bool,
+    /// `EXCEPT [ALL] <select>` suffix (set difference; the boolean is the
+    /// ALL quantifier). A future-work operator in the paper (§9): the
+    /// backend engine evaluates it, the incremental engine does not
+    /// maintain sketches over it.
+    pub except: Option<(Box<SelectStmt>, bool)>,
+}
+
+/// One projection entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table with optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// Derived table: `(SELECT ...) alias`.
+    Subquery {
+        /// The inner query.
+        query: Box<SelectStmt>,
+        /// Mandatory alias.
+        alias: String,
+    },
+    /// `left JOIN right ON cond` (inner join).
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join condition.
+        on: AstExpr,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An unresolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference `[qualifier.]name`.
+    Column {
+        /// Optional table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// Lower bound (inclusive).
+        low: Box<AstExpr>,
+        /// Upper bound (inclusive).
+        high: Box<AstExpr>,
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// IS NOT NULL?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// Candidate values.
+        list: Vec<AstExpr>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// Function call — aggregates (`sum`, `count`, `avg`, `min`, `max`)
+    /// and the scalar functions the workloads use.
+    FuncCall {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments; empty plus `star=true` means `count(*)`.
+        args: Vec<AstExpr>,
+        /// `f(*)`?
+        star: bool,
+    },
+}
+
+impl AstExpr {
+    /// Convenience constructor for binary expressions.
+    pub fn binary(op: BinOp, left: AstExpr, right: AstExpr) -> AstExpr {
+        AstExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Column without qualifier.
+    pub fn col(name: impl Into<String>) -> AstExpr {
+        AstExpr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> AstExpr {
+        AstExpr::Literal(v.into())
+    }
+
+    /// Does this expression (sub)tree contain an aggregate function call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::FuncCall { name, .. } if is_aggregate_name(name) => true,
+            AstExpr::FuncCall { args, .. } => args.iter().any(AstExpr::contains_aggregate),
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Unary { expr, .. } => expr.contains_aggregate(),
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            AstExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+            AstExpr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(AstExpr::contains_aggregate)
+            }
+            AstExpr::Column { .. } | AstExpr::Literal(_) => false,
+        }
+    }
+}
+
+/// Is `name` one of the supported aggregate functions?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "sum" | "count" | "avg" | "min" | "max")
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Column { qualifier, name } => {
+                if let Some(q) = qualifier {
+                    write!(f, "{q}.")?;
+                }
+                write!(f, "{name}")
+            }
+            AstExpr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            AstExpr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            AstExpr::Unary { op, expr } => match op {
+                UnOp::Neg => write!(f, "(-{expr})"),
+                UnOp::Not => write!(f, "(NOT {expr})"),
+            },
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "({expr} NOT BETWEEN {low} AND {high})")
+                } else {
+                    write!(f, "({expr} BETWEEN {low} AND {high})")
+                }
+            }
+            AstExpr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "({expr} IS NOT NULL)")
+                } else {
+                    write!(f, "({expr} IS NULL)")
+                }
+            }
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            AstExpr::FuncCall { name, args, star } => {
+                write!(f, "{name}(")?;
+                if *star {
+                    write!(f, "*")?;
+                } else {
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let e = AstExpr::binary(
+            BinOp::And,
+            AstExpr::binary(BinOp::Gt, AstExpr::col("a"), AstExpr::lit(3)),
+            AstExpr::Between {
+                expr: Box::new(AstExpr::col("b")),
+                low: Box::new(AstExpr::lit(1)),
+                high: Box::new(AstExpr::lit(10)),
+                negated: false,
+            },
+        );
+        assert_eq!(e.to_string(), "((a > 3) AND (b BETWEEN 1 AND 10))");
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::FuncCall {
+            name: "sum".into(),
+            args: vec![AstExpr::col("x")],
+            star: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = AstExpr::binary(BinOp::Gt, agg, AstExpr::lit(5));
+        assert!(nested.contains_aggregate());
+        assert!(!AstExpr::col("x").contains_aggregate());
+    }
+}

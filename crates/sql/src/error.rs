@@ -1,0 +1,42 @@
+//! SQL frontend errors.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, or name resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexer error with byte offset.
+    Lex {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// Parser error.
+    Parse(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column.
+    UnknownColumn(String),
+    /// A column reference matched several in-scope columns.
+    AmbiguousColumn(String),
+    /// Aggregate used where not allowed, bad arity, etc.
+    Semantic(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, offset } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

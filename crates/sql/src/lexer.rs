@@ -1,0 +1,398 @@
+//! SQL lexer.
+//!
+//! Hand-written tokenizer: identifiers are case-insensitive keywords when
+//! they match the keyword table, strings use single quotes with `''`
+//! escaping, numbers are i64 or f64 literals.
+
+use crate::error::SqlError;
+use crate::Result;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (original case preserved; comparison is case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($name:ident => $text:literal),* $(,)?) => {
+        /// Reserved words recognized by the lexer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($name),*
+        }
+
+        impl Keyword {
+            fn from_str(s: &str) -> Option<Keyword> {
+                let upper = s.to_ascii_uppercase();
+                match upper.as_str() {
+                    $($text => Some(Keyword::$name),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT", From => "FROM", Where => "WHERE", Group => "GROUP",
+    By => "BY", Having => "HAVING", Order => "ORDER", Limit => "LIMIT",
+    As => "AS", Join => "JOIN", Inner => "INNER", On => "ON", And => "AND",
+    Or => "OR", Not => "NOT", Between => "BETWEEN", Is => "IS",
+    Null => "NULL", True => "TRUE", False => "FALSE", Insert => "INSERT",
+    Into => "INTO", Values => "VALUES", Delete => "DELETE", Update => "UPDATE",
+    Set => "SET", Create => "CREATE", Table => "TABLE", Asc => "ASC",
+    Desc => "DESC", Distinct => "DISTINCT", In => "IN",
+    Int => "INT", Float => "FLOAT", Text => "TEXT", Bool => "BOOL",
+    Except => "EXCEPT", All => "ALL", Explain => "EXPLAIN",
+}
+
+/// Tokenize `input` into a vector ending with [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        message: "unexpected '!'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // advance over a full UTF-8 code point
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| SqlError::Lex {
+                        message: format!("bad float literal {text}: {e}"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| SqlError::Lex {
+                        message: format!("bad int literal {text}: {e}"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Keyword::from_str(word) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(word.to_string())),
+                }
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    message: format!("unexpected character '{other}'"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let t = tokenize("SELECT brand FROM sales").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("brand".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("sales".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let t = tokenize("select SeLeCt").unwrap();
+        assert_eq!(t[0], Token::Keyword(Keyword::Select));
+        assert_eq!(t[1], Token::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 1e3 7").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Int(7),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT -- comment\n 1").unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(tokenize("SELECT @"), Err(SqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,444 @@
+//! Logical plans: the bag relational algebra of paper Fig. 4.
+//!
+//! Plans are trees of the operators the paper's incremental semantics
+//! covers: table access, selection `σ`, projection `Π`, cross product /
+//! join `⋈`, aggregation `γ` (SUM / COUNT / AVG / MIN / MAX), duplicate
+//! removal `δ`, and top-k `τ_{k,O}` (ORDER BY + LIMIT).
+
+use crate::expr::Expr;
+use imp_storage::{DataType, Field, Schema, Value};
+use std::fmt;
+
+/// Supported aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `sum(a)`
+    Sum,
+    /// `count(a)` / `count(*)`
+    Count,
+    /// `avg(a)`
+    Avg,
+    /// `min(a)`
+    Min,
+    /// `max(a)`
+    Max,
+}
+
+impl AggFunc {
+    /// Lowercase SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parse a lowercase function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name {
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One aggregation `f(arg) → name` inside an Aggregate node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument expression over the aggregate's input (`None` = `count(*)`).
+    pub arg: Option<Expr>,
+    /// Output attribute name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Output type given the input schema.
+    pub fn output_type(&self, input: &Schema) -> DataType {
+        match self.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => self
+                .arg
+                .as_ref()
+                .map(|e| infer_type(e, input))
+                .unwrap_or(DataType::Int),
+        }
+    }
+}
+
+/// A sort key: output-column position plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column position in the node's input.
+    pub column: usize,
+    /// Ascending?
+    pub asc: bool,
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base table access.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Table schema with fields qualified by the table alias.
+        schema: Schema,
+    },
+    /// Selection `σ_pred`.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Projection `Π_exprs`.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Projection expressions over the input schema.
+        exprs: Vec<Expr>,
+        /// Output schema (names/aliases recorded here).
+        schema: Schema,
+    },
+    /// Equi-join (empty keys = cross product).
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Equi-key columns on the left input.
+        left_keys: Vec<usize>,
+        /// Equi-key columns on the right input (parallel to `left_keys`).
+        right_keys: Vec<usize>,
+    },
+    /// Grouping + aggregation `γ_{aggs; group_by}`.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions over the input schema.
+        group_by: Vec<Expr>,
+        /// Aggregations.
+        aggs: Vec<AggSpec>,
+        /// Output schema: group columns then aggregate columns.
+        schema: Schema,
+    },
+    /// Duplicate removal `δ`.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Top-k `τ_{k,O}`: first `k` tuples in `keys` order (empty keys =
+    /// plain LIMIT).
+    TopK {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys over the input schema.
+        keys: Vec<SortKey>,
+        /// Row budget.
+        k: u64,
+    },
+    /// Full sort (ORDER BY without LIMIT).
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys over the input schema.
+        keys: Vec<SortKey>,
+    },
+    /// Set difference `left EXCEPT [ALL] right` (paper §9 future work:
+    /// evaluated by the backend, not maintained incrementally).
+    Except {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input (same arity).
+        right: Box<LogicalPlan>,
+        /// Bag semantics (`EXCEPT ALL`) vs set semantics (`EXCEPT`).
+        all: bool,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema.clone(),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema.clone(),
+            LogicalPlan::Join { left, right, .. } => left.schema().join(&right.schema()),
+            LogicalPlan::Aggregate { schema, .. } => schema.clone(),
+            LogicalPlan::Distinct { input } => input.schema(),
+            LogicalPlan::TopK { input, .. } => input.schema(),
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Except { left, .. } => left.schema(),
+        }
+    }
+
+    /// Names of all base tables referenced (used to route updates to the
+    /// sketches that may be affected; paper §2 "based on which tables are
+    /// referenced by the sketch's query").
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::Scan { table, .. } => {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::TopK { input, .. }
+            | LogicalPlan::Sort { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::Except { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
+    /// Number of operators in the plan (`Q^n` in the proof of Thm. 6.1).
+    pub fn operator_count(&self) -> usize {
+        1 + match self {
+            LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::TopK { input, .. }
+            | LogicalPlan::Sort { input, .. } => input.operator_count(),
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::Except { left, right, .. } => {
+                left.operator_count() + right.operator_count()
+            }
+        }
+    }
+
+    /// Pretty indented EXPLAIN-style rendering.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table, .. } => {
+                out.push_str(&format!("{pad}Scan {table}\n"));
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs, schema } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(e, f)| format!("{e} AS {}", f.name))
+                    .collect();
+                out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                if left_keys.is_empty() {
+                    out.push_str(&format!("{pad}CrossJoin\n"));
+                } else {
+                    let keys: Vec<String> = left_keys
+                        .iter()
+                        .zip(right_keys)
+                        .map(|(l, r)| format!("#{l}=#{r}"))
+                        .collect();
+                    out.push_str(&format!("{pad}Join on {}\n", keys.join(" AND ")));
+                }
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let g: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs
+                    .iter()
+                    .map(|s| match &s.arg {
+                        Some(e) => format!("{}({e}) AS {}", s.func.name(), s.name),
+                        None => format!("count(*) AS {}", s.name),
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group=[{}] aggs=[{}]\n",
+                    g.join(", "),
+                    a.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::TopK { input, keys, k } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|s| format!("#{}{}", s.column, if s.asc { "" } else { " DESC" }))
+                    .collect();
+                out.push_str(&format!("{pad}TopK k={k} order=[{}]\n", ks.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|s| format!("#{}{}", s.column, if s.asc { "" } else { " DESC" }))
+                    .collect();
+                out.push_str(&format!("{pad}Sort order=[{}]\n", ks.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Except { left, right, all } => {
+                out.push_str(&format!(
+                    "{pad}Except{}\n",
+                    if *all { " ALL" } else { "" }
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Infer the value type of an expression over a schema (best effort;
+/// execution is dynamically typed, this feeds schema metadata only).
+pub fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
+    use crate::ast::BinOp::*;
+    match expr {
+        Expr::Col(i) => schema
+            .fields()
+            .get(*i)
+            .map(|f| f.dtype)
+            .unwrap_or(DataType::Int),
+        Expr::Lit(v) => v.data_type().unwrap_or(DataType::Int),
+        Expr::Binary { op, left, right } => match op {
+            Add | Sub | Mul | Div | Mod => {
+                let l = infer_type(left, schema);
+                let r = infer_type(right, schema);
+                if l == DataType::Float || r == DataType::Float {
+                    DataType::Float
+                } else {
+                    DataType::Int
+                }
+            }
+            _ => DataType::Bool,
+        },
+        Expr::Unary { op, expr } => match op {
+            crate::ast::UnOp::Neg => infer_type(expr, schema),
+            crate::ast::UnOp::Not => DataType::Bool,
+        },
+        Expr::IsNull { .. } | Expr::InList { .. } => DataType::Bool,
+    }
+}
+
+/// Derive a reasonable output field for a projection expression.
+pub fn field_for_expr(expr: &Expr, input: &Schema, alias: Option<&str>, idx: usize) -> Field {
+    let dtype = infer_type(expr, input);
+    let name = match alias {
+        Some(a) => a.to_string(),
+        None => match expr {
+            Expr::Col(i) => input.field(*i).name.clone(),
+            _ => format!("col{idx}"),
+        },
+    };
+    let mut f = Field::nullable(name, dtype);
+    if alias.is_none() {
+        if let Expr::Col(i) = expr {
+            f.qualifier = input.field(*i).qualifier.clone();
+            f.nullable = input.field(*i).nullable;
+        }
+    }
+    f
+}
+
+/// A literal ordering helper shared by Sort / TopK implementations.
+pub fn compare_rows(a: &imp_storage::Row, b: &imp_storage::Row, keys: &[SortKey]) -> std::cmp::Ordering {
+    for k in keys {
+        let ord = a[k.column].cmp(&b[k.column]);
+        let ord = if k.asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Extract the order-by key values of a row (used by incremental top-k).
+pub fn sort_key_values(row: &imp_storage::Row, keys: &[SortKey]) -> Vec<Value> {
+    keys.iter().map(|k| row[k.column].clone()).collect()
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_storage::row;
+
+    #[test]
+    fn compare_rows_respects_direction() {
+        let keys = [
+            SortKey { column: 0, asc: true },
+            SortKey {
+                column: 1,
+                asc: false,
+            },
+        ];
+        let a = row![1, 5];
+        let b = row![1, 9];
+        assert_eq!(compare_rows(&a, &b, &keys), std::cmp::Ordering::Greater);
+        assert_eq!(compare_rows(&a, &a, &keys), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn tables_deduplicated() {
+        let scan = |t: &str| LogicalPlan::Scan {
+            table: t.into(),
+            schema: Schema::empty(),
+        };
+        let p = LogicalPlan::Join {
+            left: Box::new(scan("r")),
+            right: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("s")),
+                right: Box::new(scan("r")),
+                left_keys: vec![],
+                right_keys: vec![],
+            }),
+            left_keys: vec![],
+            right_keys: vec![],
+        };
+        assert_eq!(p.tables(), vec!["r".to_string(), "s".to_string()]);
+        assert_eq!(p.operator_count(), 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Query templates.
+//!
+//! "IMP stores sketches in a hash-table where the key is a query template
+//! for which the sketch was created … a query template refers to a version
+//! of a query Q where constants in selection conditions are replaced with
+//! placeholders such that two queries that only differ in these constants
+//! have the same key. This is done to be able to efficiently prefilter
+//! candidate sketches" (paper §7.1).
+
+use crate::ast::{AstExpr, SelectItem, SelectStmt, TableRef};
+use std::fmt;
+use std::hash::Hash;
+
+/// A canonical, constant-free rendering of a SELECT statement, usable as a
+/// hash key for the sketch store.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryTemplate(String);
+
+impl QueryTemplate {
+    /// Build the template of a statement.
+    pub fn of(stmt: &SelectStmt) -> QueryTemplate {
+        let mut s = String::new();
+        render_select(stmt, &mut s);
+        QueryTemplate(s)
+    }
+
+    /// The canonical text (placeholders rendered as `?`).
+    pub fn text(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for QueryTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn render_select(stmt: &SelectStmt, out: &mut String) {
+    out.push_str("SELECT ");
+    if stmt.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in stmt.projection.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::Expr { expr, alias } => {
+                render_expr(expr, out);
+                if let Some(a) = alias {
+                    out.push_str(" AS ");
+                    out.push_str(&a.to_ascii_lowercase());
+                }
+            }
+        }
+    }
+    out.push_str(" FROM ");
+    for (i, t) in stmt.from.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_table_ref(t, out);
+    }
+    if let Some(w) = &stmt.filter {
+        out.push_str(" WHERE ");
+        render_expr(w, out);
+    }
+    if !stmt.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, g) in stmt.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_expr(g, out);
+        }
+    }
+    if let Some(h) = &stmt.having {
+        out.push_str(" HAVING ");
+        render_expr(h, out);
+    }
+    if !stmt.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, (e, asc)) in stmt.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_expr(e, out);
+            if !asc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(k) = stmt.limit {
+        // LIMIT constant is part of the template: a top-10 sketch is not
+        // interchangeable with a top-100 sketch.
+        out.push_str(&format!(" LIMIT {k}"));
+    }
+    if let Some((rhs, all)) = &stmt.except {
+        out.push_str(if *all { " EXCEPT ALL " } else { " EXCEPT " });
+        render_select(rhs, out);
+    }
+}
+
+fn render_table_ref(t: &TableRef, out: &mut String) {
+    match t {
+        TableRef::Table { name, alias } => {
+            out.push_str(&name.to_ascii_lowercase());
+            if let Some(a) = alias {
+                out.push(' ');
+                out.push_str(&a.to_ascii_lowercase());
+            }
+        }
+        TableRef::Subquery { query, alias } => {
+            out.push('(');
+            render_select(query, out);
+            out.push_str(") ");
+            out.push_str(&alias.to_ascii_lowercase());
+        }
+        TableRef::Join { left, right, on } => {
+            render_table_ref(left, out);
+            out.push_str(" JOIN ");
+            render_table_ref(right, out);
+            out.push_str(" ON ");
+            render_expr(on, out);
+        }
+    }
+}
+
+fn render_expr(e: &AstExpr, out: &mut String) {
+    match e {
+        AstExpr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                out.push_str(&q.to_ascii_lowercase());
+                out.push('.');
+            }
+            out.push_str(&name.to_ascii_lowercase());
+        }
+        // The whole point: constants become placeholders.
+        AstExpr::Literal(_) => out.push('?'),
+        AstExpr::Binary { op, left, right } => {
+            out.push('(');
+            render_expr(left, out);
+            out.push_str(op.symbol());
+            render_expr(right, out);
+            out.push(')');
+        }
+        AstExpr::Unary { op, expr } => {
+            out.push('(');
+            out.push_str(match op {
+                crate::ast::UnOp::Neg => "-",
+                crate::ast::UnOp::Not => "NOT ",
+            });
+            render_expr(expr, out);
+            out.push(')');
+        }
+        AstExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            out.push('(');
+            render_expr(expr, out);
+            out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            render_expr(low, out);
+            out.push_str(" AND ");
+            render_expr(high, out);
+            out.push(')');
+        }
+        AstExpr::IsNull { expr, negated } => {
+            out.push('(');
+            render_expr(expr, out);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+            out.push(')');
+        }
+        AstExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            out.push('(');
+            render_expr(expr, out);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, x) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_expr(x, out);
+            }
+            out.push_str("))");
+        }
+        AstExpr::FuncCall { name, args, star } => {
+            out.push_str(name);
+            out.push('(');
+            if *star {
+                out.push('*');
+            } else {
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_expr(a, out);
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_one, Statement};
+
+    fn tmpl(sql: &str) -> QueryTemplate {
+        let Statement::Select(s) = parse_one(sql).unwrap() else {
+            panic!()
+        };
+        QueryTemplate::of(&s)
+    }
+
+    #[test]
+    fn constants_do_not_matter() {
+        let a = tmpl("SELECT a, avg(c) FROM t GROUP BY a HAVING avg(c) > 100");
+        let b = tmpl("SELECT a, avg(c) FROM t GROUP BY a HAVING avg(c) > 999");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_matters() {
+        let a = tmpl("SELECT a FROM t WHERE b > 1");
+        let b = tmpl("SELECT a FROM t WHERE b < 1");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn case_insensitive_idents() {
+        let a = tmpl("SELECT A FROM T WHERE B > 1");
+        let b = tmpl("select a from t where b > 2");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn limit_is_part_of_template() {
+        let a = tmpl("SELECT a FROM t ORDER BY a LIMIT 10");
+        let b = tmpl("SELECT a FROM t ORDER BY a LIMIT 20");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn renders_placeholders() {
+        let t = tmpl("SELECT a FROM t WHERE b BETWEEN 2 AND 7");
+        assert!(t.text().contains("BETWEEN ? AND ?"), "{t}");
+    }
+}

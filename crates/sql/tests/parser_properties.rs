@@ -1,0 +1,108 @@
+//! Property tests for the SQL frontend: expression display/re-parse
+//! stability, template invariance under constant substitution, and
+//! precedence laws.
+
+use imp_sql::ast::{AstExpr, BinOp, SelectItem, Statement};
+use imp_sql::{parse_one, QueryTemplate};
+use proptest::prelude::*;
+
+/// Generate arithmetic/comparison expressions as SQL text.
+fn arb_expr_sql() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|i| i.to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), prop::sample::select(vec!["+", "-", "*", "/"]), inner)
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Display of a parsed expression re-parses to the same AST.
+    #[test]
+    fn expr_display_reparses(e in arb_expr_sql(), cmp in prop::sample::select(vec!["<", ">", "="])) {
+        let sql = format!("SELECT * FROM t WHERE {e} {cmp} 5");
+        let Statement::Select(s1) = parse_one(&sql).unwrap() else { unreachable!() };
+        let printed = s1.filter.as_ref().unwrap().to_string();
+        let sql2 = format!("SELECT * FROM t WHERE {printed}");
+        let Statement::Select(s2) = parse_one(&sql2).unwrap() else { unreachable!() };
+        prop_assert_eq!(s1.filter, s2.filter);
+    }
+
+    /// Templates are invariant under replacing constants.
+    #[test]
+    fn template_constant_invariance(c1 in 0i64..10_000, c2 in 0i64..10_000, k in 1u64..100) {
+        let q1 = format!(
+            "SELECT a, sum(b) AS s FROM t WHERE c > {c1} GROUP BY a \
+             HAVING sum(b) < {c2} ORDER BY s LIMIT {k}"
+        );
+        let q2 = format!(
+            "SELECT a, sum(b) AS s FROM t WHERE c > {} GROUP BY a \
+             HAVING sum(b) < {} ORDER BY s LIMIT {k}",
+            (c1 * 7 + 13) % 10_000,
+            (c2 * 3 + 7) % 10_000,
+        );
+        let Statement::Select(s1) = parse_one(&q1).unwrap() else { unreachable!() };
+        let Statement::Select(s2) = parse_one(&q2).unwrap() else { unreachable!() };
+        prop_assert_eq!(QueryTemplate::of(&s1), QueryTemplate::of(&s2));
+    }
+
+    /// Multiplication binds tighter than addition, which binds tighter
+    /// than comparison.
+    #[test]
+    fn precedence_structure(a in 1i64..50, b in 1i64..50, c in 1i64..50) {
+        let sql = format!("SELECT * FROM t WHERE {a} + {b} * {c} > 0");
+        let Statement::Select(s) = parse_one(&sql).unwrap() else { unreachable!() };
+        let AstExpr::Binary { op: BinOp::Gt, left, .. } = s.filter.unwrap() else {
+            return Err(TestCaseError::fail("expected comparison at top"));
+        };
+        let AstExpr::Binary { op: BinOp::Add, right, .. } = *left else {
+            return Err(TestCaseError::fail("expected + below comparison"));
+        };
+        let is_mul = matches!(*right, AstExpr::Binary { op: BinOp::Mul, .. });
+        prop_assert!(is_mul);
+    }
+
+    /// Parsing never panics on fuzzed ASCII input.
+    #[test]
+    fn parser_total_on_ascii(s in "[ -~]{0,80}") {
+        let _ = imp_sql::parse(&s);
+    }
+
+    /// String literal escaping round-trips through the lexer.
+    #[test]
+    fn string_literal_roundtrip(s in "[a-zA-Z0-9' ]{0,20}") {
+        let escaped = s.replace('\'', "''");
+        let sql = format!("SELECT * FROM t WHERE x = '{escaped}'");
+        let Statement::Select(sel) = parse_one(&sql).unwrap() else { unreachable!() };
+        let Some(AstExpr::Binary { right, .. }) = sel.filter else {
+            return Err(TestCaseError::fail("expected filter"));
+        };
+        let AstExpr::Literal(imp_storage::Value::Str(lit)) = *right else {
+            return Err(TestCaseError::fail("expected string literal"));
+        };
+        prop_assert_eq!(lit.as_ref(), s.as_str());
+    }
+}
+
+#[test]
+fn select_items_preserved_in_order() {
+    let Statement::Select(s) =
+        parse_one("SELECT z, y AS why, x + 1 ex FROM t").unwrap()
+    else {
+        unreachable!()
+    };
+    let names: Vec<Option<String>> = s
+        .projection
+        .iter()
+        .map(|i| match i {
+            SelectItem::Expr { alias, .. } => alias.clone(),
+            SelectItem::Wildcard => None,
+        })
+        .collect();
+    assert_eq!(names, vec![None, Some("why".into()), Some("ex".into())]);
+}

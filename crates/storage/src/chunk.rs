@@ -1,0 +1,257 @@
+//! Horizontal data chunks with zone maps.
+//!
+//! Tables are split into fixed-capacity horizontal chunks stored column-wise
+//! (paper §7.1). Each chunk carries a [`ZoneMap`] — per-column min/max —
+//! which is the physical-design hook that makes provenance-based data
+//! skipping actually skip I/O: the *use rewrite* emits range predicates and
+//! the scan prunes chunks whose zone maps cannot satisfy them (cf. zone
+//! maps / small materialized aggregates, Moerkotte VLDB'98, cited as [32]).
+
+use crate::bitvec::BitVec;
+use crate::column::ColumnData;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// Per-column min/max statistics of a chunk.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    /// `Some((min, max))` per column; `None` when the column is all-NULL.
+    pub ranges: Vec<Option<(Value, Value)>>,
+}
+
+impl ZoneMap {
+    /// Can any row of the chunk have `column ∈ [lo, hi]` (inclusive,
+    /// `None` = unbounded)? `true` means "cannot prune".
+    pub fn may_overlap(&self, column: usize, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        match &self.ranges[column] {
+            None => false, // all NULL: no value can match a range predicate
+            Some((cmin, cmax)) => {
+                if let Some(lo) = lo {
+                    if cmax < lo {
+                        return false;
+                    }
+                }
+                if let Some(hi) = hi {
+                    if cmin > hi {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// An immutable horizontal slice of a table, stored column-wise.
+#[derive(Debug, Clone)]
+pub struct DataChunk {
+    columns: Vec<ColumnData>,
+    len: usize,
+    zone_map: ZoneMap,
+    /// Tombstones: set bits mark logically deleted rows. Lazily allocated.
+    deleted: Option<BitVec>,
+    live: usize,
+}
+
+impl DataChunk {
+    /// Build a chunk from fully populated columns.
+    fn from_columns(columns: Vec<ColumnData>) -> DataChunk {
+        let len = columns.first().map_or(0, ColumnData::len);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        let zone_map = ZoneMap {
+            ranges: columns.iter().map(ColumnData::min_max).collect(),
+        };
+        DataChunk {
+            columns,
+            len,
+            zone_map,
+            deleted: None,
+            live: len,
+        }
+    }
+
+    /// Total rows (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the chunk stores no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows not deleted.
+    pub fn live_rows(&self) -> usize {
+        self.live
+    }
+
+    /// The chunk's zone map.
+    pub fn zone_map(&self) -> &ZoneMap {
+        &self.zone_map
+    }
+
+    /// Is row `idx` visible (not tombstoned)?
+    pub fn is_live(&self, idx: usize) -> bool {
+        match &self.deleted {
+            Some(d) => !d.get(idx),
+            None => true,
+        }
+    }
+
+    /// Mark row `idx` deleted. Returns false when it was already dead.
+    pub fn delete(&mut self, idx: usize) -> bool {
+        let d = self
+            .deleted
+            .get_or_insert_with(|| BitVec::new(self.len));
+        if d.get(idx) {
+            return false;
+        }
+        d.set(idx, true);
+        self.live -= 1;
+        true
+    }
+
+    /// Materialize row `idx` (whether live or not).
+    pub fn row(&self, idx: usize) -> Row {
+        self.columns.iter().map(|c| c.get(idx)).collect()
+    }
+
+    /// Value of one cell.
+    pub fn value(&self, column: usize, idx: usize) -> Value {
+        self.columns[column].get(idx)
+    }
+
+    /// Iterate over live rows as `(index, Row)`.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, Row)> + '_ {
+        (0..self.len).filter(|&i| self.is_live(i)).map(|i| (i, self.row(i)))
+    }
+
+    /// Approximate heap footprint.
+    pub fn heap_size(&self) -> usize {
+        self.columns.iter().map(ColumnData::heap_size).sum::<usize>()
+            + self.deleted.as_ref().map_or(0, BitVec::heap_size)
+    }
+}
+
+/// Accumulates rows and seals them into [`DataChunk`]s.
+#[derive(Debug)]
+pub struct ChunkBuilder {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl ChunkBuilder {
+    /// New builder for a schema.
+    pub fn new(schema: &Schema) -> ChunkBuilder {
+        ChunkBuilder {
+            columns: schema
+                .fields()
+                .iter()
+                .map(|f| ColumnData::new(f.dtype))
+                .collect(),
+            schema: schema.clone(),
+            rows: 0,
+        }
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: &Row) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(crate::StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: row.arity(),
+            });
+        }
+        for (col, val) in self.columns.iter_mut().zip(row.values()) {
+            col.push(val)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True iff nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Seal the buffered rows into a chunk, resetting the builder.
+    pub fn finish(&mut self) -> DataChunk {
+        let columns = std::mem::replace(
+            &mut self.columns,
+            self.schema
+                .fields()
+                .iter()
+                .map(|f| ColumnData::new(f.dtype))
+                .collect(),
+        );
+        self.rows = 0;
+        DataChunk::from_columns(columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ])
+    }
+
+    fn chunk() -> DataChunk {
+        let mut b = ChunkBuilder::new(&schema());
+        b.push(&row![1, "x"]).unwrap();
+        b.push(&row![5, "y"]).unwrap();
+        b.push(&row![3, "z"]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn zone_map_built() {
+        let c = chunk();
+        assert_eq!(
+            c.zone_map().ranges[0],
+            Some((Value::Int(1), Value::Int(5)))
+        );
+    }
+
+    #[test]
+    fn zone_map_pruning() {
+        let c = chunk();
+        let zm = c.zone_map();
+        assert!(zm.may_overlap(0, Some(&Value::Int(2)), Some(&Value::Int(4))));
+        assert!(!zm.may_overlap(0, Some(&Value::Int(6)), None));
+        assert!(!zm.may_overlap(0, None, Some(&Value::Int(0))));
+        assert!(zm.may_overlap(0, None, None));
+    }
+
+    #[test]
+    fn tombstones() {
+        let mut c = chunk();
+        assert_eq!(c.live_rows(), 3);
+        assert!(c.delete(1));
+        assert!(!c.delete(1));
+        assert_eq!(c.live_rows(), 2);
+        let rows: Vec<_> = c.iter_live().map(|(_, r)| r).collect();
+        assert_eq!(rows, vec![row![1, "x"], row![3, "z"]]);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut b = ChunkBuilder::new(&schema());
+        assert!(b.push(&row![1]).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Length-prefixed binary codec.
+//!
+//! The paper's system "can persist the state that it maintains for its
+//! incremental operators in the database. This enables the system to
+//! continue incremental maintenance from a consistent state, e.g., when the
+//! database is restarted, or when we are running out of memory and need to
+//! evict the operator states for a query" (§2). This module is that
+//! persistence format: a small, self-describing, versioned binary encoding
+//! for [`Value`], [`Row`], and [`BitVec`], built on the `bytes` crate.
+//! Higher layers (sketch store, operator state) compose these primitives.
+
+use crate::bitvec::BitVec;
+use crate::error::StorageError;
+use crate::row::Row;
+use crate::value::Value;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format version written at the head of every top-level encoding.
+pub const CODEC_VERSION: u8 = 1;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Serialize one value.
+pub fn encode_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(StorageError::Corrupt(format!(
+            "need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserialize one value.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        TAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            need(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_STR => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|e| StorageError::Corrupt(format!("invalid utf8: {e}")))?;
+            Ok(Value::str(s))
+        }
+        t => Err(StorageError::Corrupt(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Serialize a row.
+pub fn encode_row(buf: &mut BytesMut, row: &Row) {
+    buf.put_u32_le(row.arity() as u32);
+    for v in row.values() {
+        encode_value(buf, v);
+    }
+}
+
+/// Deserialize a row.
+pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    if n > 1 << 20 {
+        return Err(StorageError::Corrupt(format!("implausible arity {n}")));
+    }
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(decode_value(buf)?);
+    }
+    Ok(Row::new(vals))
+}
+
+/// Serialize a bitvector.
+pub fn encode_bitvec(buf: &mut BytesMut, bits: &BitVec) {
+    buf.put_u64_le(bits.len() as u64);
+    for w in bits.words() {
+        buf.put_u64_le(*w);
+    }
+}
+
+/// Deserialize a bitvector.
+pub fn decode_bitvec(buf: &mut Bytes) -> Result<BitVec> {
+    need(buf, 8)?;
+    let len = buf.get_u64_le() as usize;
+    if len > 1 << 32 {
+        return Err(StorageError::Corrupt(format!("implausible bitvec len {len}")));
+    }
+    let words = len.div_ceil(64);
+    need(buf, words * 8)?;
+    let mut w = Vec::with_capacity(words);
+    for _ in 0..words {
+        w.push(buf.get_u64_le());
+    }
+    Ok(BitVec::from_raw(len, w))
+}
+
+/// Serialize a string.
+pub fn encode_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Deserialize a string.
+pub fn decode_str(buf: &mut Bytes) -> Result<String> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    let b = buf.copy_to_bytes(len);
+    String::from_utf8(b.to_vec()).map_err(|e| StorageError::Corrupt(format!("invalid utf8: {e}")))
+}
+
+/// Serialize `u64`.
+pub fn encode_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Deserialize `u64`.
+pub fn decode_u64(buf: &mut Bytes) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Serialize `i64`.
+pub fn encode_i64(buf: &mut BytesMut, v: i64) {
+    buf.put_i64_le(v);
+}
+
+/// Deserialize `i64`.
+pub fn decode_i64(buf: &mut Bytes) -> Result<i64> {
+    need(buf, 8)?;
+    Ok(buf.get_i64_le())
+}
+
+/// Serialize `f64`.
+pub fn encode_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_f64_le(v);
+}
+
+/// Deserialize `f64`.
+pub fn decode_f64(buf: &mut Bytes) -> Result<f64> {
+    need(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+/// Write the codec header (format version).
+pub fn encode_header(buf: &mut BytesMut) {
+    buf.put_u8(CODEC_VERSION);
+}
+
+/// Check the codec header.
+pub fn decode_header(buf: &mut Bytes) -> Result<()> {
+    need(buf, 1)?;
+    let v = buf.get_u8();
+    if v != CODEC_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported codec version {v} (expected {CODEC_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &v);
+        let mut b = buf.freeze();
+        assert_eq!(decode_value(&mut b).unwrap(), v);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Int(-42));
+        roundtrip_value(Value::Float(2.5));
+        roundtrip_value(Value::str("héllo"));
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let r = row![1, 2.5, "x", true];
+        let mut buf = BytesMut::new();
+        encode_row(&mut buf, &r);
+        let mut b = buf.freeze();
+        assert_eq!(decode_row(&mut b).unwrap(), r);
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        let bits = BitVec::from_bits(130, [0, 64, 129]);
+        let mut buf = BytesMut::new();
+        encode_bitvec(&mut buf, &bits);
+        let mut b = buf.freeze();
+        assert_eq!(decode_bitvec(&mut b).unwrap(), bits);
+    }
+
+    #[test]
+    fn truncated_input_is_error_not_panic() {
+        let mut buf = BytesMut::new();
+        encode_row(&mut buf, &row![1, "abc"]);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut b = full.slice(..cut);
+            assert!(decode_row(&mut b).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut b = Bytes::from_static(&[99]);
+        assert!(decode_value(&mut b).is_err());
+    }
+
+    #[test]
+    fn header_version_check() {
+        let mut buf = BytesMut::new();
+        encode_header(&mut buf);
+        let mut ok = buf.freeze();
+        assert!(decode_header(&mut ok).is_ok());
+        let mut bad = Bytes::from_static(&[42]);
+        assert!(decode_header(&mut bad).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed column vectors with null bitmaps.
+
+use crate::bitvec::BitVec;
+use crate::error::StorageError;
+use crate::value::{DataType, Value};
+use crate::Result;
+use std::sync::Arc;
+
+/// The typed payload of a column.
+#[derive(Debug, Clone)]
+enum TypedVec {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<Arc<str>>),
+}
+
+/// A single column of a [`crate::DataChunk`], stored as a typed vector plus
+/// an optional validity bitmap (absent ⇔ the column holds no NULLs).
+///
+/// The paper (§7.1) stores data "in a columnar representation for
+/// horizontal chunks of a table"; this is that representation.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    values: TypedVec,
+    /// Set bits mark NULL positions. Lazily allocated on first NULL.
+    nulls: Option<BitVec>,
+    dtype: DataType,
+}
+
+impl ColumnData {
+    /// Empty column of the given type.
+    pub fn new(dtype: DataType) -> ColumnData {
+        ColumnData {
+            values: match dtype {
+                DataType::Bool => TypedVec::Bool(Vec::new()),
+                DataType::Int => TypedVec::Int(Vec::new()),
+                DataType::Float => TypedVec::Float(Vec::new()),
+                DataType::Str => TypedVec::Str(Vec::new()),
+            },
+            nulls: None,
+            dtype,
+        }
+    }
+
+    /// Column type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Number of entries (including NULLs).
+    pub fn len(&self) -> usize {
+        match &self.values {
+            TypedVec::Bool(v) => v.len(),
+            TypedVec::Int(v) => v.len(),
+            TypedVec::Float(v) => v.len(),
+            TypedVec::Str(v) => v.len(),
+        }
+    }
+
+    /// True iff the column holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value. `Int` values coerce into `Float` columns (SQL-style
+    /// numeric widening); every other mismatch is an error.
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            let len = self.len();
+            // Push a placeholder and mark the slot as NULL.
+            match &mut self.values {
+                TypedVec::Bool(v) => v.push(false),
+                TypedVec::Int(v) => v.push(0),
+                TypedVec::Float(v) => v.push(0.0),
+                TypedVec::Str(v) => v.push(Arc::from("")),
+            }
+            let nulls = self.nulls.get_or_insert_with(|| BitVec::new(0));
+            // Grow the bitmap to cover the new slot.
+            let mut grown = BitVec::new(len + 1);
+            for i in nulls.iter_ones() {
+                grown.set(i, true);
+            }
+            grown.set(len, true);
+            *nulls = grown;
+            return Ok(());
+        }
+        match (&mut self.values, value) {
+            (TypedVec::Bool(v), Value::Bool(b)) => v.push(*b),
+            (TypedVec::Int(v), Value::Int(i)) => v.push(*i),
+            (TypedVec::Float(v), Value::Float(f)) => v.push(*f),
+            (TypedVec::Float(v), Value::Int(i)) => v.push(*i as f64),
+            (TypedVec::Str(v), Value::Str(s)) => v.push(s.clone()),
+            _ => {
+                return Err(StorageError::TypeMismatch {
+                    expected: self.dtype,
+                    found: value.data_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the value at `idx`.
+    pub fn get(&self, idx: usize) -> Value {
+        if let Some(nulls) = &self.nulls {
+            if idx < nulls.len() && nulls.get(idx) {
+                return Value::Null;
+            }
+        }
+        match &self.values {
+            TypedVec::Bool(v) => Value::Bool(v[idx]),
+            TypedVec::Int(v) => Value::Int(v[idx]),
+            TypedVec::Float(v) => Value::Float(v[idx]),
+            TypedVec::Str(v) => Value::Str(v[idx].clone()),
+        }
+    }
+
+    /// Min and max non-NULL values (zone-map input); `None` when all NULL
+    /// or empty.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for i in 0..self.len() {
+            let v = self.get(i);
+            if v.is_null() {
+                continue;
+            }
+            match &mut min {
+                None => min = Some(v.clone()),
+                Some(m) if v < *m => *m = v.clone(),
+                _ => {}
+            }
+            match &mut max {
+                None => max = Some(v),
+                Some(m) => {
+                    if v > *m {
+                        *m = v;
+                    }
+                }
+            }
+        }
+        min.zip(max)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        let data = match &self.values {
+            TypedVec::Bool(v) => v.capacity(),
+            TypedVec::Int(v) => v.capacity() * 8,
+            TypedVec::Float(v) => v.capacity() * 8,
+            TypedVec::Str(v) => v.capacity() * std::mem::size_of::<Arc<str>>()
+                + v.iter().map(|s| s.len()).sum::<usize>(),
+        };
+        data + self.nulls.as_ref().map_or(0, BitVec::heap_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(&Value::Int(1)).unwrap();
+        c.push(&Value::Int(-5)).unwrap();
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Int(-5));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn nulls_tracked() {
+        let mut c = ColumnData::new(DataType::Str);
+        c.push(&Value::str("x")).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::str("y")).unwrap();
+        assert_eq!(c.get(0), Value::str("x"));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::str("y"));
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let mut c = ColumnData::new(DataType::Float);
+        c.push(&Value::Int(2)).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = ColumnData::new(DataType::Int);
+        let err = c.push(&Value::str("nope")).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn min_max_skips_nulls() {
+        let mut c = ColumnData::new(DataType::Int);
+        for v in [Value::Null, Value::Int(5), Value::Int(-2), Value::Null] {
+            c.push(&v).unwrap();
+        }
+        assert_eq!(c.min_max(), Some((Value::Int(-2), Value::Int(5))));
+        let empty = ColumnData::new(DataType::Int);
+        assert_eq!(empty.min_max(), None);
+    }
+}

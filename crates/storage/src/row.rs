@@ -1,0 +1,128 @@
+//! Tuples (rows) of the bag-relational data model.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// An immutable n-ary tuple.
+///
+/// Rows are reference counted: cloning a `Row` is O(1), which matters
+/// because incremental maintenance shuttles the same delta tuples through
+/// several operators (paper §5) and stores them in operator state.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Row(Arc<[Value]>);
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row(values.into())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at position `i` (panics when out of bounds — resolution makes
+    /// indices trusted by construction).
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Concatenate two rows (`t ◦ s` in the paper's cross-product rule).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v.into())
+    }
+
+    /// Project onto the given positions (`t.A`).
+    pub fn project(&self, positions: &[usize]) -> Row {
+        Row(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiments).
+    pub fn heap_size(&self) -> usize {
+        std::mem::size_of::<Value>() * self.0.len()
+            + self.0.iter().map(Value::heap_size).sum::<usize>()
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+/// Convenience macro: `row![1, 2.5, "x"]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = row![1, "x"];
+        let b = row![2.5];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c[2], Value::Float(2.5));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p, row![2.5, 1]);
+    }
+
+    #[test]
+    fn rows_are_hashable_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Row, i64> = HashMap::new();
+        *m.entry(row![1, "a"]).or_insert(0) += 2;
+        *m.entry(row![1, "a"]).or_insert(0) += 3;
+        assert_eq!(m[&row![1, "a"]], 5);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = row![1, 2, 3];
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+}

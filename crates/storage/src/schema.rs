@@ -1,0 +1,201 @@
+//! Relation schemas.
+
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name (unqualified).
+    pub name: String,
+    /// Optional relation qualifier (set on derived schemas by the planner
+    /// so `R.a` and `S.a` stay distinguishable after a join).
+    pub qualifier: Option<String>,
+    /// Value type.
+    pub dtype: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Non-nullable field without a qualifier.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            qualifier: None,
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// Nullable variant.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            nullable: true,
+            ..Field::new(name, dtype)
+        }
+    }
+
+    /// Same field with a qualifier attached.
+    pub fn qualified(mut self, q: impl Into<String>) -> Field {
+        self.qualifier = Some(q.into());
+        self
+    }
+
+    /// Does `name` (and optional qualifier) refer to this field?
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(q) = &self.qualifier {
+            write!(f, "{q}.")?;
+        }
+        write!(f, "{} {}", self.name, self.dtype)?;
+        if self.nullable {
+            write!(f, " null")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of fields. Cheap to clone (Arc-backed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Schema {
+        Schema::new(vec![])
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Position of the (optionally qualified) column, if unambiguous.
+    ///
+    /// Returns `Err(true)` for ambiguous names and `Err(false)` for unknown
+    /// names; the SQL resolver turns these into user-facing errors.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize, bool> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(true);
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or(false)
+    }
+
+    /// Position of an unqualified column name (convenience for tests).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.resolve(None, name).ok()
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.to_vec();
+        fields.extend_from_slice(&other.fields);
+        Schema::new(fields)
+    }
+
+    /// Re-qualify every field (e.g. for `FROM (subquery) alias`).
+    pub fn with_qualifier(&self, q: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| f.clone().qualified(q.to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fld}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int).qualified("r"),
+            Field::new("b", DataType::Float).qualified("r"),
+            Field::new("a", DataType::Int).qualified("s"),
+        ])
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = abc();
+        assert_eq!(s.resolve(Some("r"), "a"), Ok(0));
+        assert_eq!(s.resolve(Some("s"), "a"), Ok(2));
+        assert_eq!(s.resolve(Some("r"), "b"), Ok(1));
+    }
+
+    #[test]
+    fn resolve_unqualified_ambiguous() {
+        let s = abc();
+        assert_eq!(s.resolve(None, "a"), Err(true)); // ambiguous
+        assert_eq!(s.resolve(None, "b"), Ok(1));
+        assert_eq!(s.resolve(None, "zzz"), Err(false)); // unknown
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let s = abc();
+        assert_eq!(s.resolve(Some("R"), "A"), Ok(0));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = abc().join(&Schema::new(vec![Field::new("c", DataType::Str)]));
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.field(3).name, "c");
+    }
+}

@@ -1,0 +1,91 @@
+//! Crime hotspots: the paper's real-world scenario (§8.2.2) — CQ1 (crimes
+//! per beat and year) and CQ2 (areas with more than 1000 crimes) over a
+//! Chicago-crimes-like dataset, with incremental maintenance as new
+//! incidents stream in.
+//!
+//! ```sh
+//! cargo run --release --example crime_hotspots
+//! ```
+
+use imp::core::maintain::SketchMaintainer;
+use imp::core::ops::OpConfig;
+use imp::data::crimes;
+use imp::data::queries::{CRIMES_CQ1, CRIMES_CQ2};
+use imp::engine::Database;
+use imp::sketch::{apply_sketch_filter, PartitionSet, RangePartition};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let rows = 100_000;
+    let mut db = Database::new();
+    crimes::load(&mut db, rows, 11).unwrap();
+    println!("crimes table: {rows} incidents, {} beats", crimes::BEATS);
+
+    // Partition on `beat` (a group-by attribute of both queries → safe).
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::equi_depth(&db, "crimes", "beat", 100).unwrap(),
+        ])
+        .unwrap(),
+    );
+
+    for (name, sql) in [("CQ1", CRIMES_CQ1), ("CQ2", CRIMES_CQ2)] {
+        let plan = db.plan_sql(sql).unwrap();
+        let t = Instant::now();
+        let (m, result) =
+            SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+                .unwrap();
+        println!(
+            "\n{name}: captured in {:?}; {} result rows; sketch covers {}/{} fragments",
+            t.elapsed(),
+            result.len(),
+            m.sketch().fragment_count(),
+            pset.total_fragments(),
+        );
+        // Answer the query through the sketch.
+        let rewritten = apply_sketch_filter(&plan, m.sketch()).unwrap();
+        let full = db.execute_plan(&plan).unwrap();
+        let skipped = db.execute_plan(&rewritten).unwrap();
+        println!(
+            "{name}: full scan reads {} rows; sketch scan reads {} (skips {})",
+            full.stats.rows_scanned, skipped.stats.rows_scanned, skipped.stats.rows_skipped,
+        );
+        assert_eq!(full.canonical(), skipped.canonical());
+    }
+
+    // Stream new incidents for the top Zipf beats; maintain CQ2.
+    let plan = db.plan_sql(CRIMES_CQ2).unwrap();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let before = m.sketch().fragment_count();
+    for batch in 0..5 {
+        let values: Vec<String> = (0..200)
+            .map(|i| {
+                let id = rows as i64 * 10 + batch * 1000 + i;
+                // A burst of incidents in a quiet tail beat.
+                let beat = 180i64;
+                let district = beat * crimes::DISTRICTS / crimes::BEATS;
+                let ward = beat * crimes::WARDS / crimes::BEATS;
+                let ca = beat * crimes::COMMUNITY_AREAS / crimes::BEATS;
+                format!("({id}, 2024, {beat}, {district}, {ward}, {ca}, 'THEFT', false)")
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO crimes VALUES {}", values.join(", ")))
+            .unwrap();
+        let t = Instant::now();
+        let report = m.maintain(&db).unwrap();
+        println!(
+            "batch {batch}: maintained in {:?} (Δ+{:?} Δ-{:?})",
+            t.elapsed(),
+            report.sketch_delta.added,
+            report.sketch_delta.removed,
+        );
+    }
+    println!(
+        "CQ2 sketch fragments: {before} -> {} (hotspot beat crossed the \
+         1000-incident threshold)",
+        m.sketch().fragment_count()
+    );
+}

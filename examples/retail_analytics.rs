@@ -1,0 +1,97 @@
+//! Retail analytics: a mixed dashboard workload over a synthetic sales
+//! fact table, comparing the no-sketch baseline against IMP with lazy and
+//! eager maintenance (the scenario the paper's introduction motivates:
+//! recurring HAVING/top-k dashboards over data that keeps changing).
+//!
+//! ```sh
+//! cargo run --release --example retail_analytics
+//! ```
+
+use imp::data::synthetic::{load, SyntheticConfig};
+use imp::data::workload::{mixed_workload, WorkloadOp};
+use imp::engine::Database;
+use imp::{Imp, ImpConfig, MaintenanceStrategy};
+use std::time::Instant;
+
+const ROWS: usize = 20_000;
+const GROUPS: i64 = 1_000;
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    load(
+        &mut db,
+        &SyntheticConfig {
+            rows: ROWS,
+            groups: GROUPS,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+fn main() {
+    // A 1U1Q dashboard: every refresh is preceded by a batch of sales.
+    let workload = mixed_workload(1, 1, 200, 50, GROUPS, ROWS, 42);
+    println!(
+        "workload: {} ops ({} updates x {} rows, {} queries)",
+        workload.len(),
+        workload
+            .ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Update { .. }))
+            .count(),
+        workload.delta_size,
+        workload
+            .ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Query(_)))
+            .count(),
+    );
+
+    // Baseline: every query runs against the full table.
+    let mut db = fresh_db();
+    let t = Instant::now();
+    for op in &workload.ops {
+        match op {
+            WorkloadOp::Query(sql) => {
+                db.query(sql).unwrap();
+            }
+            WorkloadOp::Update { sql, .. } => {
+                db.execute_sql(sql).unwrap();
+            }
+        }
+    }
+    let ns = t.elapsed();
+    println!("no sketches  : {ns:?}");
+
+    // IMP, lazy: sketches maintained when a query needs them.
+    for (label, strategy) in [
+        ("IMP (lazy)  ", MaintenanceStrategy::Lazy),
+        ("IMP (eager) ", MaintenanceStrategy::Eager { batch_size: 50 }),
+    ] {
+        let mut imp = Imp::new(
+            fresh_db(),
+            ImpConfig {
+                strategy,
+                fragments: 100,
+                ..ImpConfig::default()
+            },
+        );
+        let t = Instant::now();
+        for op in &workload.ops {
+            match op {
+                WorkloadOp::Query(sql) | WorkloadOp::Update { sql, .. } => {
+                    imp.execute(sql).unwrap();
+                }
+            }
+        }
+        let d = t.elapsed();
+        println!(
+            "{label}: {d:?}  ({:.1}x vs baseline, {} sketches stored, {:.0} KB state)",
+            ns.as_secs_f64() / d.as_secs_f64(),
+            imp.sketch_count(),
+            imp.store_heap_size() as f64 / 1e3,
+        );
+    }
+}

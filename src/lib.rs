@@ -1,0 +1,63 @@
+//! # imp
+//!
+//! Facade crate for **IMP — In-memory Incremental Maintenance of
+//! Provenance Sketches** (EDBT 2026 reproduction). Re-exports the public
+//! API of the workspace crates:
+//!
+//! * [`storage`] — columnar storage, bitvectors, snapshot-versioned deltas.
+//! * [`sql`] — SQL frontend, logical plans, query templates.
+//! * [`engine`] — the in-memory backend database.
+//! * [`sketch`] — provenance-based data skipping (partitions, sketches,
+//!   capture, use-rewrite, safety).
+//! * [`core`] — the incremental maintenance engine and the [`Imp`]
+//!   middleware.
+//! * [`data`] — dataset and workload generators for the evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use imp::{Imp, ImpConfig, ImpResponse};
+//! use imp::engine::Database;
+//! use imp::storage::{row, DataType, Field, Schema};
+//!
+//! // A backend database with the paper's running-example table.
+//! let mut db = Database::new();
+//! db.create_table("sales", Schema::new(vec![
+//!     Field::new("sid", DataType::Int),
+//!     Field::new("brand", DataType::Str),
+//!     Field::new("price", DataType::Int),
+//!     Field::new("numsold", DataType::Int),
+//! ])).unwrap();
+//! db.table_mut("sales").unwrap().bulk_load([
+//!     row![1, "Lenovo", 349, 1], row![2, "Lenovo", 449, 2],
+//!     row![3, "Apple", 1199, 1], row![4, "Apple", 3875, 1],
+//!     row![5, "Dell", 1345, 1], row![6, "HP", 999, 4],
+//!     row![7, "HP", 899, 1],
+//! ]).unwrap();
+//!
+//! // IMP sits between the user and the database.
+//! let mut imp = Imp::new(db, ImpConfig { fragments: 4, ..Default::default() });
+//! let q = "SELECT brand, SUM(price * numsold) AS rev FROM sales \
+//!          GROUP BY brand HAVING SUM(price * numsold) > 5000";
+//! let ImpResponse::Rows { result, .. } = imp.execute(q).unwrap() else { panic!() };
+//! assert_eq!(result.canonical(), vec![(row!["Apple", 5074], 1)]);
+//!
+//! // Updates keep sketches maintainable incrementally.
+//! imp.execute("INSERT INTO sales VALUES (8, 'HP', 1299, 1)").unwrap();
+//! let ImpResponse::Rows { result, .. } = imp.execute(q).unwrap() else { panic!() };
+//! assert_eq!(result.rows.len(), 2); // Apple and (now) HP
+//! ```
+
+pub use imp_core as core;
+pub use imp_data as data;
+pub use imp_engine as engine;
+pub use imp_sketch as sketch;
+pub use imp_sql as sql;
+pub use imp_storage as storage;
+
+pub use imp_core::{
+    Imp, ImpConfig, ImpResponse, MaintReport, MaintenanceStrategy, QueryMode, SketchMaintainer,
+};
+pub use imp_engine::{Database, QueryResult};
+pub use imp_sketch::{PartitionSet, RangePartition, SketchSet};
+pub use imp_sql::QueryTemplate;

@@ -1,0 +1,128 @@
+//! Broad differential SQL coverage: a battery of diverse queries run both
+//! through the IMP middleware and directly against a replica backend,
+//! interleaved with updates (including TPC-H refresh streams). Results
+//! must agree at every step.
+
+use imp::data::tpch;
+use imp::data::workload::WorkloadOp;
+use imp::engine::Database;
+use imp::{Imp, ImpConfig, ImpResponse};
+
+const TPCH_QUERIES: &[&str] = &[
+    // Aggregation + HAVING over one table.
+    "SELECT l_orderkey, sum(l_quantity) AS q FROM lineitem \
+     GROUP BY l_orderkey HAVING sum(l_quantity) > 100",
+    // Aggregation + HAVING over a join.
+    "SELECT o_custkey, sum(l_extendedprice) AS rev \
+     FROM orders JOIN lineitem ON (o_orderkey = l_orderkey) \
+     GROUP BY o_custkey HAVING sum(l_extendedprice) > 40000",
+    // Top-k over aggregation.
+    "SELECT l_orderkey, sum(l_extendedprice) AS v FROM lineitem \
+     GROUP BY l_orderkey ORDER BY v DESC LIMIT 5",
+    // MIN/MAX aggregates.
+    "SELECT l_returnflag, min(l_quantity) AS mn, max(l_quantity) AS mx \
+     FROM lineitem GROUP BY l_returnflag",
+    // Multi-way comma join with WHERE keys (Q10 shape).
+    "SELECT c_custkey, sum(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM customer, orders, lineitem \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+       AND l_returnflag = 'R' \
+     GROUP BY c_custkey ORDER BY revenue DESC LIMIT 10",
+    // DISTINCT.
+    "SELECT DISTINCT o_orderstatus FROM orders",
+    // Plain SPJ with BETWEEN.
+    "SELECT o_orderkey, o_totalprice FROM orders \
+     WHERE o_orderdate BETWEEN 19940101 AND 19941231 AND o_totalprice > 4000",
+    // count(*) global.
+    "SELECT count(*) FROM lineitem WHERE l_discount > 0.05",
+    // EXCEPT (future-work operator; engine-evaluated).
+    "SELECT o_custkey FROM orders WHERE o_totalprice > 3000 \
+     EXCEPT SELECT o_custkey FROM orders WHERE o_orderstatus = 'F'",
+];
+
+/// Compare two canonical bags, tolerating float round-off: different
+/// evaluation paths (capture vs direct) sum lineitem prices in different
+/// orders, and float addition is not associative.
+fn assert_bags_approx_eq(
+    got: &[(imp::storage::Row, i64)],
+    expected: &[(imp::storage::Row, i64)],
+    context: &str,
+) {
+    assert_eq!(got.len(), expected.len(), "{context}: row counts differ");
+    for ((gr, gm), (er, em)) in got.iter().zip(expected) {
+        assert_eq!(gm, em, "{context}: multiplicities differ for {gr}");
+        assert_eq!(gr.arity(), er.arity(), "{context}");
+        for (gv, ev) in gr.values().iter().zip(er.values()) {
+            match (gv, ev) {
+                (imp::storage::Value::Float(a), imp::storage::Value::Float(b)) => {
+                    let tol = 1e-9 * (1.0 + a.abs().max(b.abs()));
+                    assert!(
+                        (a - b).abs() <= tol,
+                        "{context}: {a} vs {b} beyond tolerance in {gr}"
+                    );
+                }
+                _ => assert_eq!(gv, ev, "{context}: {gr} vs {er}"),
+            }
+        }
+    }
+}
+
+fn check_all(imp: &mut Imp, truth: &Database, step: &str) {
+    for sql in TPCH_QUERIES {
+        let expected = truth.query(sql).unwrap().canonical();
+        let ImpResponse::Rows { result, .. } = imp.execute(sql).unwrap() else {
+            panic!("{step}: non-rows response for {sql}")
+        };
+        assert_bags_approx_eq(
+            &result.canonical(),
+            &expected,
+            &format!("{step}: {sql}"),
+        );
+    }
+}
+
+#[test]
+fn tpch_battery_with_refresh_streams() {
+    let mut truth = Database::new();
+    tpch::load(&mut truth, 0.01, 3).unwrap();
+    let mut db = Database::new();
+    tpch::load(&mut db, 0.01, 3).unwrap();
+    let max_key = db.table("orders").unwrap().row_count() as i64;
+    let mut imp = Imp::new(db, ImpConfig::default());
+
+    check_all(&mut imp, &truth, "initial");
+
+    // RF1: inserts.
+    for op in tpch::refresh_stream(2, 5, true, max_key, 11) {
+        let WorkloadOp::Update { sql, .. } = op else { panic!() };
+        truth.execute_sql(&sql).unwrap();
+        imp.execute(&sql).unwrap();
+    }
+    check_all(&mut imp, &truth, "after RF1");
+
+    // RF2: deletes.
+    for op in tpch::refresh_stream(2, 5, false, max_key, 13) {
+        let WorkloadOp::Update { sql, .. } = op else { panic!() };
+        truth.execute_sql(&sql).unwrap();
+        imp.execute(&sql).unwrap();
+    }
+    check_all(&mut imp, &truth, "after RF2");
+
+    // Second pass reuses sketches (no behavioural change expected).
+    check_all(&mut imp, &truth, "sketch reuse");
+}
+
+#[test]
+fn repeated_queries_converge_to_sketch_reuse() {
+    let mut db = Database::new();
+    tpch::load(&mut db, 0.01, 3).unwrap();
+    let mut imp = Imp::new(db, ImpConfig::default());
+    let sql = TPCH_QUERIES[0];
+    imp.execute(sql).unwrap();
+    let captured = imp.sketch_count();
+    for _ in 0..5 {
+        imp.execute(sql).unwrap();
+    }
+    // No additional captures for repeats of the same query.
+    assert_eq!(imp.sketch_count(), captured);
+}
