@@ -37,7 +37,7 @@ fn bench_scan_vs_skip(c: &mut Criterion) {
     let plan = db.plan_sql(&sql).unwrap();
     let pset = Arc::new(
         PartitionSet::new(vec![
-            RangePartition::equi_depth(&db, "edb1", "a", 100).unwrap(),
+            RangePartition::equi_depth(&db, "edb1", "a", 100).unwrap()
         ])
         .unwrap(),
     );

@@ -42,8 +42,7 @@ fn bench_capture_vs_maintain(c: &mut Criterion) {
     let sql = imp_data::queries::q_groups("t", 1_600);
     let plan = db.plan_sql(&sql).unwrap();
     let pset = Arc::new(
-        PartitionSet::new(vec![RangePartition::equi_depth(&db, "t", "a", 100).unwrap()])
-            .unwrap(),
+        PartitionSet::new(vec![RangePartition::equi_depth(&db, "t", "a", 100).unwrap()]).unwrap(),
     );
 
     c.bench_function("full_maintenance_capture", |bench| {
@@ -78,7 +77,7 @@ fn bench_ablation_bloom(c: &mut Criterion) {
         let plan = db.plan_sql(&sql).unwrap();
         let pset = Arc::new(
             PartitionSet::new(vec![
-                RangePartition::equi_depth(&db, &name, "a", 100).unwrap(),
+                RangePartition::equi_depth(&db, &name, "a", 100).unwrap()
             ])
             .unwrap(),
         );
@@ -111,18 +110,13 @@ fn bench_ablation_pushdown(c: &mut Criterion) {
         let plan = db.plan_sql(&sql).unwrap();
         let pset = Arc::new(
             PartitionSet::new(vec![
-                RangePartition::equi_depth(&db, &name, "a", 100).unwrap(),
+                RangePartition::equi_depth(&db, &name, "a", 100).unwrap()
             ])
             .unwrap(),
         );
-        let (mut m, _) = SketchMaintainer::capture(
-            &plan,
-            &db,
-            Arc::clone(&pset),
-            OpConfig::default(),
-            pushdown,
-        )
-        .unwrap();
+        let (mut m, _) =
+            SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), pushdown)
+                .unwrap();
         let ups = insert_stream(&name, 4096, 100, GROUPS, ROWS * 10, 9);
         let mut i = 0usize;
         c.bench_function(&format!("selpd_maintain_{label}"), |bench| {

@@ -30,9 +30,7 @@ fn main() {
     let rows = scaled(20_000, 2_000);
     let groups = 1_000i64;
     let total_ops = scaled(240, 24); // paper: 1000 (set IMP_BENCH_SCALE≈4)
-    println!(
-        "Fig. 8 — mixed workloads over edb1 ({rows} rows, {groups} groups, {total_ops} ops)"
-    );
+    println!("Fig. 8 — mixed workloads over edb1 ({rows} rows, {groups} groups, {total_ops} ops)");
 
     let ratios: [(usize, usize); 3] = [(1, 5), (1, 1), (5, 1)];
     let delta_sizes = [1usize, 20, 200, 2000];
@@ -71,9 +69,7 @@ fn main() {
     }
     print_table(
         "Fig. 8: total workload runtime",
-        &[
-            "ratio", "delta", "NS", "FM", "IMP", "FM/IMP", "NS/IMP",
-        ],
+        &["ratio", "delta", "NS", "FM", "IMP", "FM/IMP", "NS/IMP"],
         &out_rows,
     );
 }

@@ -29,8 +29,8 @@ fn lineitem_inserts(n_updates: usize, delta: usize, seed: u64) -> Vec<WorkloadOp
                         rng.gen_range(1..50),
                         (rng.gen_range(90_000..1_100_000) as f64) / 100.0,
                         rng.gen_range(0..=9),
-                        ["R", "A", "N"][rng.gen_range(0..3)],
-                        19_940_000 + rng.gen_range(101..1231),
+                        ["R", "A", "N"][rng.gen_range(0..3usize)],
+                        19_940_000i64 + rng.gen_range(101i64..1231),
                     )
                 })
                 .collect();
@@ -48,7 +48,7 @@ fn lineitem_deletes(n_updates: usize, delta: usize, seed: u64) -> Vec<WorkloadOp
         .map(|_| {
             // ~4 lineitems per order: delete a key window of delta/4 orders.
             let width = (delta / 4).max(1);
-            let start = rng.gen_range(0..4_000);
+            let start = rng.gen_range(0i64..4_000);
             WorkloadOp::Update {
                 sql: format!(
                     "DELETE FROM lineitem WHERE l_orderkey >= {start} AND l_orderkey < {}",
@@ -67,9 +67,21 @@ fn run_scale(label: &str, tpch_scale: f64) {
     println!("\n-- TPC-H {label}: lineitem = {li} rows --");
 
     let queries: [(&str, &str, (&str, &str)); 3] = [
-        ("Q_single (agg+HAVING)", queries::TPCH_SINGLE, ("lineitem", "l_orderkey")),
-        ("Q_having (join+HAVING)", queries::TPCH_HAVING, ("orders", "o_custkey")),
-        ("Q_topk (agg+top-10)", queries::TPCH_TOPK, ("lineitem", "l_orderkey")),
+        (
+            "Q_single (agg+HAVING)",
+            queries::TPCH_SINGLE,
+            ("lineitem", "l_orderkey"),
+        ),
+        (
+            "Q_having (join+HAVING)",
+            queries::TPCH_HAVING,
+            ("orders", "o_custkey"),
+        ),
+        (
+            "Q_topk (agg+top-10)",
+            queries::TPCH_TOPK,
+            ("lineitem", "l_orderkey"),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, sql, (ptable, pattr)) in queries {
@@ -108,16 +120,10 @@ fn main() {
     let mut rows = Vec::new();
     for delta in [10usize, 100, 1000] {
         let ins = lineitem_inserts(reps(), delta, 7 + delta as u64);
-        let m_ins =
-            measure_inc_vs_full(&mut db, &plan, &pset, &ins, OpConfig::default());
+        let m_ins = measure_inc_vs_full(&mut db, &plan, &pset, &ins, OpConfig::default());
         let del = lineitem_deletes(reps(), delta, 9 + delta as u64);
-        let m_del =
-            measure_inc_vs_full(&mut db, &plan, &pset, &del, OpConfig::default());
-        rows.push(vec![
-            delta.to_string(),
-            ms(m_ins.imp_ms),
-            ms(m_del.imp_ms),
-        ]);
+        let m_del = measure_inc_vs_full(&mut db, &plan, &pset, &del, OpConfig::default());
+        rows.push(vec![delta.to_string(), ms(m_ins.imp_ms), ms(m_del.imp_ms)]);
     }
     print_table(
         "Fig. 9c: insert vs delete maintenance time (IMP)",

@@ -25,9 +25,7 @@ fn crime_inserts(n_updates: usize, delta: usize, start_id: usize, seed: u64) -> 
                     let ca = beat * imp_data::crimes::COMMUNITY_AREAS / imp_data::crimes::BEATS;
                     let year = rng.gen_range(2001..2025);
                     id += 1;
-                    format!(
-                        "({id}, {year}, {beat}, {district}, {ward}, {ca}, 'THEFT', false)"
-                    )
+                    format!("({id}, {year}, {beat}, {district}, {ward}, {ca}, 'THEFT', false)")
                 })
                 .collect();
             WorkloadOp::Update {

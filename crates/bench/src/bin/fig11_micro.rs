@@ -14,9 +14,9 @@
 
 use imp_bench::*;
 use imp_core::ops::OpConfig;
+use imp_data::queries;
 use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
 use imp_data::workload::insert_stream;
-use imp_data::queries;
 use imp_engine::Database;
 
 fn db_with(rows: usize, groups: i64, name: &str) -> Database {
@@ -70,7 +70,12 @@ fn sweep(
             format!("{pct}%"),
             ms(m.imp_ms),
             ms(m.fm_ms),
-            if m.imp_ms > m.fm_ms { "FM wins" } else { "IMP wins" }.to_string(),
+            if m.imp_ms > m.fm_ms {
+                "FM wins"
+            } else {
+                "IMP wins"
+            }
+            .to_string(),
         ]);
     }
 }
@@ -141,7 +146,11 @@ fn exp_join_1n() {
     // 1-n joins: n = rows/groups partners per key in the main table.
     let rows = scaled(20_000, 2_000);
     let (mut real, mut brk) = (vec![], vec![]);
-    for (label, groups) in [("1-20", (rows / 20) as i64), ("1-200", (rows / 200) as i64), ("1-2000", (rows / 2000).max(1) as i64)] {
+    for (label, groups) in [
+        ("1-20", (rows / 20) as i64),
+        ("1-200", (rows / 200) as i64),
+        ("1-2000", (rows / 2000).max(1) as i64),
+    ] {
         let name = format!("j{groups}");
         let mut db = db_with(rows, groups, &name);
         load_join_helper(&mut db, "tjoinhelp", groups, 100, 1, 5).unwrap();

@@ -11,9 +11,9 @@
 use imp_bench::*;
 use imp_core::maintain::SketchMaintainer;
 use imp_core::ops::OpConfig;
+use imp_data::queries;
 use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
 use imp_data::workload::{insert_stream, WorkloadOp};
-use imp_data::queries;
 use imp_engine::Database;
 use std::sync::Arc;
 
@@ -115,8 +115,7 @@ fn exp_bloom() {
                 };
                 let ups = insert_stream(&name, reps(), delta, groups, rows * 8, 3);
                 let (mut m, _) =
-                    SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true)
-                        .unwrap();
+                    SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
                 let mut times = Vec::new();
                 let mut pruned = 0u64;
                 for op in &ups {
@@ -162,8 +161,7 @@ fn exp_space() {
             minmax_buffer: buffer,
             ..OpConfig::default()
         };
-        let (m, _) =
-            SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
+        let (m, _) = SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
         let (entries, bytes) = m.topk_state().unwrap_or((0, 0));
         out.push(vec![
             buffer.map_or("all".to_string(), |b| b.to_string()),

@@ -9,9 +9,9 @@
 use imp_bench::*;
 use imp_core::maintain::SketchMaintainer;
 use imp_core::ops::OpConfig;
+use imp_data::queries;
 use imp_data::synthetic::{load, SyntheticConfig};
 use imp_data::workload::{topk_delete_stream, TopKDeleteStrategy, WorkloadOp};
-use imp_data::queries;
 use imp_engine::Database;
 use std::sync::Arc;
 
@@ -97,7 +97,10 @@ fn main() {
         &mut out15,
     );
     run_strategy(
-        TopKDeleteStrategy::Ratio { random: 2, min_group: 1 },
+        TopKDeleteStrategy::Ratio {
+            random: 2,
+            min_group: 1,
+        },
         "2:1",
         rows,
         groups,
@@ -105,7 +108,10 @@ fn main() {
         &mut out15,
     );
     run_strategy(
-        TopKDeleteStrategy::Ratio { random: 4, min_group: 1 },
+        TopKDeleteStrategy::Ratio {
+            random: 4,
+            min_group: 1,
+        },
         "4:1",
         rows,
         groups,

@@ -8,9 +8,9 @@
 use imp_bench::*;
 use imp_core::maintain::SketchMaintainer;
 use imp_core::ops::OpConfig;
+use imp_data::queries;
 use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
 use imp_data::workload::{insert_stream, WorkloadOp};
-use imp_data::queries;
 use imp_engine::Database;
 use std::sync::Arc;
 

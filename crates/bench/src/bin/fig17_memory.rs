@@ -8,9 +8,9 @@
 use imp_bench::*;
 use imp_core::maintain::SketchMaintainer;
 use imp_core::ops::OpConfig;
+use imp_data::queries;
 use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
 use imp_data::workload::{insert_stream, WorkloadOp};
-use imp_data::queries;
 use imp_engine::Database;
 use std::sync::Arc;
 
@@ -47,7 +47,9 @@ fn main() {
         for delta in [100usize, 1000] {
             let ups = insert_stream(&name, 1, delta, groups, rows * 4, 3);
             for op in &ups {
-                let WorkloadOp::Update { sql, .. } = op else { continue };
+                let WorkloadOp::Update { sql, .. } = op else {
+                    continue;
+                };
                 db.execute_sql(sql).unwrap();
             }
             m.maintain(&db).unwrap();
@@ -87,7 +89,9 @@ fn main() {
     for delta in [100usize, 1000] {
         let ups = insert_stream("tmj", 1, delta, groups, rows * 4, 3);
         for op in &ups {
-            let WorkloadOp::Update { sql, .. } = op else { continue };
+            let WorkloadOp::Update { sql, .. } = op else {
+                continue;
+            };
             db.execute_sql(sql).unwrap();
         }
         m.maintain(&db).unwrap();

@@ -94,9 +94,10 @@ pub fn pset_for(
     fragments: usize,
 ) -> Arc<PartitionSet> {
     Arc::new(
-        PartitionSet::new(vec![
-            RangePartition::equi_depth(db, table, attribute, fragments).unwrap(),
-        ])
+        PartitionSet::new(vec![RangePartition::equi_depth(
+            db, table, attribute, fragments,
+        )
+        .unwrap()])
         .unwrap(),
     )
 }
@@ -211,18 +212,14 @@ pub fn run_fm(db: &mut Database, ops: &[WorkloadOp], pset_table: (&str, &str, us
                             *sketch = cap.sketch;
                             *version = db.version();
                         }
-                        let rewritten =
-                            imp_sketch::apply_sketch_filter(&plan, sketch).unwrap();
+                        let rewritten = imp_sketch::apply_sketch_filter(&plan, sketch).unwrap();
                         db.execute_plan(&rewritten).unwrap();
                     }
                     _ => {
                         let (table, attr, frags) = pset_table;
                         let pset = pset_for(db, table, attr, frags);
                         let cap = capture(&plan, db, &pset).unwrap();
-                        store.insert(
-                            template,
-                            (plan, pset, cap.sketch, db.version()),
-                        );
+                        store.insert(template, (plan, pset, cap.sketch, db.version()));
                     }
                 }
             }

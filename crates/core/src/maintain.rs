@@ -184,8 +184,7 @@ impl SketchMaintainer {
             let records = db.delta_since(table, self.last_version)?;
             metrics.delta_rows_fetched += records.len() as u64;
             let annotated = annotate_delta(&self.pset, table, records);
-            let filtered =
-                self.apply_pushdown(table, annotated, Some(&mut metrics));
+            let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
             let normalized = crate::delta::normalize_delta(filtered);
             any |= !normalized.is_empty();
             deltas.insert(table.clone(), normalized);

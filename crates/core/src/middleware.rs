@@ -322,9 +322,10 @@ impl Imp {
                 let report = entry.maintainer.maintain(&self.db)?;
                 entry.pending_rows = 0;
                 if self.config.retain_sketch_versions {
-                    entry
-                        .versions
-                        .insert(entry.maintainer.version(), entry.maintainer.sketch().bits().clone());
+                    entry.versions.insert(
+                        entry.maintainer.version(),
+                        entry.maintainer.sketch().bits().clone(),
+                    );
                 }
                 reports.push(report);
             }
@@ -389,10 +390,7 @@ impl Imp {
         // reuse condition (from [37]; here: structural subsumption) against
         // every stored candidate.
         if let Some(entries) = self.store.get_mut(&template) {
-            if let Some(entry) = entries
-                .iter_mut()
-                .find(|e| plan_subsumes(&e.plan, &plan))
-            {
+            if let Some(entry) = entries.iter_mut().find(|e| plan_subsumes(&e.plan, &plan)) {
                 restore_if_evicted(entry)?;
                 let mode = if entry.maintainer.is_stale(&self.db) {
                     let report = entry.maintainer.maintain(&self.db)?;
@@ -570,7 +568,7 @@ fn order_result(plan: &LogicalPlan, mut rows: Bag) -> Bag {
 /// accept when all literals match except in HAVING-style filters above the
 /// aggregation, where the new predicate may only be *more* selective
 /// (e.g. a sketch for `HAVING sum(x) > 5000` answers `HAVING sum(x) > 6000`,
-/// cf. [37]'s reuse test).
+/// cf. \[37\]'s reuse test).
 pub fn plan_subsumes(stored: &LogicalPlan, new: &LogicalPlan) -> bool {
     match (stored, new) {
         (
@@ -724,9 +722,15 @@ mod tests {
     #[test]
     fn subsumption_directions() {
         let db = db();
-        let base = plan(&db, "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 100");
+        let base = plan(
+            &db,
+            "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 100",
+        );
         // More selective HAVING (larger >-threshold): reusable.
-        let tighter = plan(&db, "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 200");
+        let tighter = plan(
+            &db,
+            "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 200",
+        );
         assert!(plan_subsumes(&base, &tighter));
         // Less selective: not reusable.
         assert!(!plan_subsumes(&tighter, &base));
@@ -753,8 +757,14 @@ mod tests {
     #[test]
     fn subsumption_handles_less_than_direction() {
         let db = db();
-        let base = plan(&db, "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) < 100");
-        let tighter = plan(&db, "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) < 50");
+        let base = plan(
+            &db,
+            "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) < 100",
+        );
+        let tighter = plan(
+            &db,
+            "SELECT g, avg(v) AS a FROM t GROUP BY g HAVING avg(v) < 50",
+        );
         assert!(plan_subsumes(&base, &tighter));
         assert!(!plan_subsumes(&tighter, &base));
     }
@@ -780,11 +790,16 @@ mod tests {
 
     #[test]
     fn store_keeps_multiple_candidates_per_template() {
-        let mut imp = Imp::new(db(), ImpConfig { fragments: 5, ..Default::default() });
+        let mut imp = Imp::new(
+            db(),
+            ImpConfig {
+                fragments: 5,
+                ..Default::default()
+            },
+        );
         // Thresholds in *decreasing* selectivity so none subsumes the next.
         for th in [400, 300, 200, 100] {
-            let sql =
-                format!("SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > {th}");
+            let sql = format!("SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > {th}");
             imp.execute(&sql).unwrap();
         }
         assert_eq!(imp.sketch_count(), 4);

@@ -286,8 +286,7 @@ impl OrderedAcc {
     }
 
     fn heap_size(&self) -> usize {
-        self.tree.len()
-            * (std::mem::size_of::<Value>() + std::mem::size_of::<i64>() + 48)
+        self.tree.len() * (std::mem::size_of::<Value>() + std::mem::size_of::<i64>() + 48)
             + self.tree.keys().map(Value::heap_size).sum::<usize>()
     }
 }

@@ -219,8 +219,7 @@ impl JoinOp {
 
         // Term 3: − ΔQ₁ ⋈ ΔQ₂ (fully in memory).
         if !dl_f.is_empty() && !dr_f.is_empty() {
-            let mut dr_hash: FxHashMap<Vec<Value>, Vec<&AnnotatedDeltaRow>> =
-                FxHashMap::default();
+            let mut dr_hash: FxHashMap<Vec<Value>, Vec<&AnnotatedDeltaRow>> = FxHashMap::default();
             for d in &dr_f {
                 if let Some(k) = key_of(&d.row, &self.right_keys) {
                     dr_hash.entry(k).or_default().push(d);
@@ -278,10 +277,7 @@ impl JoinOp {
 }
 
 /// Evaluate one (stateless) join side against the backend: a DB round trip.
-fn eval_side(
-    plan: &LogicalPlan,
-    ctx: &mut MaintCtx<'_>,
-) -> Result<Vec<(Row, BitVec, i64)>> {
+fn eval_side(plan: &LogicalPlan, ctx: &mut MaintCtx<'_>) -> Result<Vec<(Row, BitVec, i64)>> {
     ctx.metrics.db_roundtrips += 1;
     let mut scanned = 0u64;
     let bag = eval_annot(plan, ctx.db, ctx.pset, &mut scanned)?;

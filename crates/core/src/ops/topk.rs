@@ -123,9 +123,7 @@ impl TopKOp {
             ctx.metrics.rows_processed += 1;
             let key = OrderKey::new(&d.row, &self.keys);
             if d.mult > 0 {
-                if self.truncated
-                    && self.horizon().is_some_and(|h| key > *h)
-                {
+                if self.truncated && self.horizon().is_some_and(|h| key > *h) {
                     // Beyond the horizon of a truncated buffer: cannot be
                     // in the top-k before a recapture happens (same prefix
                     // invariant as the bounded MIN/MAX state).
@@ -191,11 +189,7 @@ impl TopKOp {
 
         // Buffer exhausted below k with evicted entries outstanding?
         if self.truncated {
-            let total: i64 = self
-                .state
-                .values()
-                .flat_map(|e| e.values())
-                .sum();
+            let total: i64 = self.state.values().flat_map(|e| e.values()).sum();
             if total < self.k as i64 {
                 ctx.needs_recapture = true;
             }
@@ -218,7 +212,11 @@ impl TopKOp {
             });
         }
         for (row, annot, m) in new_topk {
-            out.push(AnnotatedDeltaRow { row, annot, mult: m });
+            out.push(AnnotatedDeltaRow {
+                row,
+                annot,
+                mult: m,
+            });
         }
         Ok(crate::delta::normalize_delta(out))
     }

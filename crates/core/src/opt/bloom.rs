@@ -2,7 +2,7 @@
 //!
 //! "IMP maintains bloom filters on the join attributes for both sides of
 //! equi-joins that are used to filter out rows from Δℛ (and Δ𝒮) that do
-//! not have any join partners in the other table. If according to [the]
+//! not have any join partners in the other table. If according to \[the\]
 //! bloom filter no rows from the delta have join partners then we can
 //! avoid the round trip to the database completely."
 //!

@@ -1,7 +1,7 @@
 //! Selection push-down into delta retrieval (paper §7.2).
 //!
 //! "If a query involves a selection and all operators in the subtree
-//! rooted at [the] selection are stateless, then we can avoid fetching
+//! rooted at \[the\] selection are stateless, then we can avoid fetching
 //! delta tuples from the database that do not fulfill the selection's
 //! condition … we can push the selection conditions into the query that
 //! retrieves the delta."
@@ -42,8 +42,7 @@ fn walk(plan: &LogicalPlan, out: &mut Vec<(String, Expr)>) {
         | LogicalPlan::Distinct { input }
         | LogicalPlan::Sort { input, .. }
         | LogicalPlan::TopK { input, .. } => walk(input, out),
-        LogicalPlan::Join { left, right, .. }
-        | LogicalPlan::Except { left, right, .. } => {
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::Except { left, right, .. } => {
             walk(left, out);
             walk(right, out);
         }

@@ -34,8 +34,6 @@ pub enum MaintenanceStrategy {
     Lazy,
 }
 
-
-
 /// Periodic background maintenance worker.
 pub struct BackgroundMaintainer {
     stop: Sender<()>,

@@ -177,12 +177,15 @@ fn fig5_two_table_join_example() {
 
 #[test]
 fn middleware_lifecycle_capture_use_maintain() {
-    let mut imp = Imp::new(sales_db(), ImpConfig {
-        partition_overrides: vec![("sales".into(), "price".into())],
-        allow_unsafe_attributes: true,
-        fragments: 4,
-        ..ImpConfig::default()
-    });
+    let mut imp = Imp::new(
+        sales_db(),
+        ImpConfig {
+            partition_overrides: vec![("sales".into(), "price".into())],
+            allow_unsafe_attributes: true,
+            fragments: 4,
+            ..ImpConfig::default()
+        },
+    );
     // First query captures.
     let ImpResponse::Rows { result, mode } = imp.execute(QTOP).unwrap() else {
         panic!()
@@ -211,13 +214,16 @@ fn middleware_lifecycle_capture_use_maintain() {
 
 #[test]
 fn middleware_eager_strategy_maintains_on_update() {
-    let mut imp = Imp::new(sales_db(), ImpConfig {
-        strategy: MaintenanceStrategy::Eager { batch_size: 1 },
-        partition_overrides: vec![("sales".into(), "price".into())],
-        allow_unsafe_attributes: true,
-        fragments: 4,
-        ..ImpConfig::default()
-    });
+    let mut imp = Imp::new(
+        sales_db(),
+        ImpConfig {
+            strategy: MaintenanceStrategy::Eager { batch_size: 1 },
+            partition_overrides: vec![("sales".into(), "price".into())],
+            allow_unsafe_attributes: true,
+            fragments: 4,
+            ..ImpConfig::default()
+        },
+    );
     imp.execute(QTOP).unwrap();
     let ImpResponse::Affected { maintenance, .. } = imp
         .execute("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
@@ -236,12 +242,15 @@ fn middleware_eager_strategy_maintains_on_update() {
 #[test]
 fn middleware_reuses_sketch_for_more_selective_constant() {
     // A sketch for HAVING > 5000 may answer HAVING > 6000 (subsumption).
-    let mut imp = Imp::new(sales_db(), ImpConfig {
-        partition_overrides: vec![("sales".into(), "price".into())],
-        allow_unsafe_attributes: true,
-        fragments: 4,
-        ..ImpConfig::default()
-    });
+    let mut imp = Imp::new(
+        sales_db(),
+        ImpConfig {
+            partition_overrides: vec![("sales".into(), "price".into())],
+            allow_unsafe_attributes: true,
+            fragments: 4,
+            ..ImpConfig::default()
+        },
+    );
     imp.execute(QTOP).unwrap();
     let q6000 = QTOP.replace("5000", "6000");
     let ImpResponse::Rows { result, mode } = imp.execute(&q6000).unwrap() else {
@@ -249,8 +258,8 @@ fn middleware_reuses_sketch_for_more_selective_constant() {
     };
     assert!(matches!(mode, QueryMode::UsedFresh), "{mode:?}");
     assert!(result.rows.is_empty()); // Apple's 5074 < 6000
-    // A *less* selective constant must NOT reuse (captures a new sketch
-    // under the same template — replacing the old entry).
+                                     // A *less* selective constant must NOT reuse (captures a new sketch
+                                     // under the same template — replacing the old entry).
     let q4000 = QTOP.replace("5000", "4000");
     let ImpResponse::Rows { mode, .. } = imp.execute(&q4000).unwrap() else {
         panic!()
@@ -289,11 +298,8 @@ fn state_persistence_roundtrip() {
 fn unsupported_plan_shapes_rejected() {
     // Aggregation below a join is outside the supported fragment.
     let mut db = sales_db();
-    db.create_table(
-        "t2",
-        Schema::new(vec![Field::new("brand", DataType::Str)]),
-    )
-    .unwrap();
+    db.create_table("t2", Schema::new(vec![Field::new("brand", DataType::Str)]))
+        .unwrap();
     let plan = db
         .plan_sql(
             "SELECT x.brand, cnt FROM \
@@ -364,13 +370,9 @@ fn bounded_minmax_triggers_recapture() {
         .plan_sql("SELECT g, min(v) AS mv FROM t GROUP BY g HAVING min(v) < 100")
         .unwrap();
     let pset = Arc::new(
-        PartitionSet::new(vec![RangePartition::new(
-            "t",
-            "g",
-            0,
-            vec![Value::Int(1)],
-        )
-        .unwrap()])
+        PartitionSet::new(vec![
+            RangePartition::new("t", "g", 0, vec![Value::Int(1)]).unwrap()
+        ])
         .unwrap(),
     );
     let config = OpConfig {
@@ -381,7 +383,8 @@ fn bounded_minmax_triggers_recapture() {
         SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), config, true).unwrap();
     // Delete the 4 smallest even values: exhausts the 3-value buffer of
     // group 0 → recapture.
-    db.execute_sql("DELETE FROM t WHERE g = 0 AND v < 8").unwrap();
+    db.execute_sql("DELETE FROM t WHERE g = 0 AND v < 8")
+        .unwrap();
     let report = m.maintain(&db).unwrap();
     assert!(report.recaptured);
     let batch = capture(&plan, &db, &pset).unwrap();
@@ -417,10 +420,7 @@ fn randomized_updates_match_recapture() {
     let sql = "SELECT g, sum(v) AS sv FROM t GROUP BY g HAVING sum(v) > 900";
     let plan = db.plan_sql(sql).unwrap();
     let pset = Arc::new(
-        PartitionSet::new(vec![
-            RangePartition::equi_depth(&db, "t", "g", 5).unwrap()
-        ])
-        .unwrap(),
+        PartitionSet::new(vec![RangePartition::equi_depth(&db, "t", "g", 5).unwrap()]).unwrap(),
     );
     let (mut m, _) =
         SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
@@ -445,8 +445,7 @@ fn randomized_updates_match_recapture() {
         let batch = capture(&plan, &db, &pset).unwrap();
         assert_eq!(m.sketch(), &batch.sketch, "diverged at step {step}");
         // Safety: rewritten query over the sketch == full query.
-        let rewritten =
-            imp_sketch::apply_sketch_filter(&plan, m.sketch()).unwrap();
+        let rewritten = imp_sketch::apply_sketch_filter(&plan, m.sketch()).unwrap();
         assert_eq!(
             db.execute_plan(&rewritten).unwrap().canonical(),
             db.execute_plan(&plan).unwrap().canonical(),

@@ -116,8 +116,7 @@ pub fn schema(cfg: &SyntheticConfig) -> Schema {
 
 /// Create + bulk-load the table into `db`.
 pub fn load(db: &mut Database, cfg: &SyntheticConfig) -> imp_engine::Result<()> {
-    let mut table =
-        Table::with_chunk_capacity(cfg.name.clone(), schema(cfg), cfg.chunk_capacity);
+    let mut table = Table::with_chunk_capacity(cfg.name.clone(), schema(cfg), cfg.chunk_capacity);
     table.bulk_load(generate_rows(cfg))?;
     table.seal();
     db.register_table(table)?;
@@ -143,7 +142,7 @@ pub fn load_join_helper(
     let mut table = Table::new(name.to_string(), schema);
     let mut rows = Vec::new();
     for key in 0..main_groups {
-        if rng.gen_range(0..100) < selectivity_pct {
+        if rng.gen_range(0..100u32) < selectivity_pct {
             for _ in 0..partners_per_key {
                 rows.push(Row::new(vec![
                     Value::Int(key),

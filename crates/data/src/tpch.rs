@@ -111,11 +111,7 @@ fn load_nation(db: &mut Database) -> imp_engine::Result<()> {
     db.register_table(t)
 }
 
-fn load_customer(
-    db: &mut Database,
-    n: usize,
-    rng: &mut StdRng,
-) -> imp_engine::Result<()> {
+fn load_customer(db: &mut Database, n: usize, rng: &mut StdRng) -> imp_engine::Result<()> {
     let schema = Schema::new(vec![
         Field::new("c_custkey", DataType::Int),
         Field::new("c_name", DataType::Str),
@@ -185,7 +181,7 @@ fn load_orders(
         rows.push(Row::new(vec![
             Value::Int(k),
             Value::Int(cust),
-            Value::str(["F", "O", "P"][rng.gen_range(0..3)]),
+            Value::str(["F", "O", "P"][rng.gen_range(0..3usize)]),
             Value::Float((rng.gen_range(1_000..500_000) as f64) / 100.0),
             Value::Int(date),
             Value::str(format!("{}-PRIORITY", rng.gen_range(1..=5))),
@@ -230,8 +226,8 @@ fn load_lineitem(
                 Value::Float(price),
                 Value::Float(rng.gen_range(0..=10) as f64 / 100.0),
                 Value::Float(rng.gen_range(0..=8) as f64 / 100.0),
-                Value::str(RETURN_FLAGS[rng.gen_range(0..3)]),
-                Value::Int(odate + rng.gen_range(1..=90)),
+                Value::str(RETURN_FLAGS[rng.gen_range(0..3usize)]),
+                Value::Int(odate + rng.gen_range(1i64..=90)),
             ]));
         }
     }
@@ -253,7 +249,11 @@ fn load_part(db: &mut Database, n: usize, rng: &mut StdRng) -> imp_engine::Resul
         Row::new(vec![
             Value::Int(k),
             Value::str(format!("part-{k}")),
-            Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
+            Value::str(format!(
+                "Brand#{}{}",
+                rng.gen_range(1..=5),
+                rng.gen_range(1..=5)
+            )),
             Value::Int(rng.gen_range(1..=50)),
             Value::Float((90_000 + (k % 200) * 100) as f64 / 100.0),
         ])
@@ -349,8 +349,8 @@ pub fn refresh_stream(
                         rng.gen_range(1..=50),
                         (rng.gen_range(90_000..1_100_000) as f64) / 100.0,
                         rng.gen_range(0..=9),
-                        RETURN_FLAGS[rng.gen_range(0..3)],
-                        date + rng.gen_range(1..=90),
+                        RETURN_FLAGS[rng.gen_range(0..3usize)],
+                        date + rng.gen_range(1i64..=90),
                     ));
                     touched += 1;
                 }
@@ -393,8 +393,7 @@ mod tests {
         let mut db = Database::new();
         load(&mut db, 0.01, 1).unwrap();
         for t in [
-            "region", "nation", "customer", "orders", "lineitem", "part", "supplier",
-            "partsupp",
+            "region", "nation", "customer", "orders", "lineitem", "part", "supplier", "partsupp",
         ] {
             assert!(db.table(t).unwrap().row_count() > 0, "{t}");
         }
@@ -405,9 +404,7 @@ mod tests {
     fn q10_style_query_runs() {
         let mut db = Database::new();
         load(&mut db, 0.01, 1).unwrap();
-        let r = db
-            .query(crate::queries::Q_SPACE)
-            .unwrap();
+        let r = db.query(crate::queries::Q_SPACE).unwrap();
         assert!(r.rows.len() <= 20);
     }
 
@@ -441,9 +438,7 @@ mod tests {
         let lineitems = db.table("lineitem").unwrap().row_count();
         assert!(lineitems > orders, "1..7 lineitems per order");
         let r = db
-            .query(
-                "SELECT count(*) FROM lineitem JOIN orders ON (l_orderkey = o_orderkey)",
-            )
+            .query("SELECT count(*) FROM lineitem JOIN orders ON (l_orderkey = o_orderkey)")
             .unwrap();
         assert_eq!(r.rows[0].0[0], Value::Int(lineitems as i64));
     }

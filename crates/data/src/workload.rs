@@ -120,8 +120,7 @@ fn insert_update(
         // Ten correlated attributes, same shape as synthetic::generate_rows.
         let mut row = format!("({id}, {a}");
         for k in 0..10 {
-            let v = (a as f64 * crate::synthetic::coef(k)
-                + crate::synthetic::gaussian(rng) * 25.0)
+            let v = (a as f64 * crate::synthetic::coef(k) + crate::synthetic::gaussian(rng) * 25.0)
                 .round() as i64;
             row.push_str(&format!(", {v}"));
         }
@@ -218,9 +217,7 @@ pub fn topk_delete_stream(
         let use_min = match strategy {
             TopKDeleteStrategy::MinGroups => true,
             TopKDeleteStrategy::Random => false,
-            TopKDeleteStrategy::Ratio { random, min_group } => {
-                i % (random + min_group) >= random
-            }
+            TopKDeleteStrategy::Ratio { random, min_group } => i % (random + min_group) >= random,
         };
         if use_min && next_min_group < groups {
             // Delete the two smallest not-yet-deleted groups.

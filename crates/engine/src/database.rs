@@ -94,11 +94,9 @@ impl Database {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .ok_or_else(|| {
-                EngineError::Storage(imp_storage::StorageError::UnknownTable(name.to_string()))
-            })
+        self.tables.get(&name.to_ascii_lowercase()).ok_or_else(|| {
+            EngineError::Storage(imp_storage::StorageError::UnknownTable(name.to_string()))
+        })
     }
 
     /// Mutable table access.
@@ -237,9 +235,7 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut db = db_with_sales();
-        assert!(db
-            .create_table("sales", Schema::new(vec![]))
-            .is_err());
+        assert!(db.create_table("sales", Schema::new(vec![])).is_err());
     }
 
     #[test]

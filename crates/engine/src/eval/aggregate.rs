@@ -161,9 +161,7 @@ impl AggAcc {
                     Value::Float(sum.as_f64() / *non_null as f64)
                 }
             }
-            AggAcc::Min { cur } | AggAcc::Max { cur } => {
-                cur.clone().unwrap_or(Value::Null)
-            }
+            AggAcc::Min { cur } | AggAcc::Max { cur } => cur.clone().unwrap_or(Value::Null),
         }
     }
 }
@@ -226,11 +224,7 @@ mod tests {
 
     #[test]
     fn sum_count_avg_min_max() {
-        let rows: Bag = vec![
-            (row!["a", 3], 1),
-            (row!["a", 5], 2),
-            (row!["b", 7], 1),
-        ];
+        let rows: Bag = vec![(row!["a", 3], 1), (row!["a", 5], 2), (row!["b", 7], 1)];
         let aggs = vec![
             spec(AggFunc::Sum, 1),
             spec(AggFunc::Count, 1),

@@ -68,7 +68,11 @@ fn hash_join(
             for (b, m) in matches {
                 // Preserve (left ◦ right) column order regardless of which
                 // side we built on.
-                let joined = if swapped { b.concat(&row) } else { row.concat(b) };
+                let joined = if swapped {
+                    b.concat(&row)
+                } else {
+                    row.concat(b)
+                };
                 out.push((joined, n * m));
             }
         }

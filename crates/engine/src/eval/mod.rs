@@ -156,4 +156,3 @@ pub fn filter_bag(rows: Bag, predicate: &Expr) -> Result<Bag> {
     }
     Ok(out)
 }
-

@@ -30,13 +30,7 @@ pub fn extract_prune_ranges(predicate: &Expr) -> Option<PruneRanges> {
     // (a) Disjunctive range unions — the sketch use-rewrite shape
     //     `(a >= l1 AND a < h1) OR (a >= l2 AND a < h2) …`.
     for c in &conjuncts {
-        if matches!(
-            c,
-            Expr::Binary {
-                op: BinOp::Or,
-                ..
-            }
-        ) {
+        if matches!(c, Expr::Binary { op: BinOp::Or, .. }) {
             if let Some(p) = range_union(c) {
                 candidates.push(p);
             }

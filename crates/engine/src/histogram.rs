@@ -94,11 +94,8 @@ mod tests {
     #[test]
     fn from_database() {
         let mut db = Database::new();
-        db.create_table(
-            "t",
-            Schema::new(vec![Field::new("a", DataType::Int)]),
-        )
-        .unwrap();
+        db.create_table("t", Schema::new(vec![Field::new("a", DataType::Int)]))
+            .unwrap();
         for i in 0..1000 {
             db.table_mut("t").unwrap().insert(row![i], 1).unwrap();
         }

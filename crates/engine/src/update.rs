@@ -235,7 +235,8 @@ mod tests {
     #[test]
     fn insert_with_column_list() {
         let mut db = db();
-        db.execute_sql("INSERT INTO t (b, a) VALUES (99, 9)").unwrap();
+        db.execute_sql("INSERT INTO t (b, a) VALUES (99, 9)")
+            .unwrap();
         let r = db.query("SELECT a, b FROM t WHERE a = 9").unwrap();
         assert_eq!(r.canonical(), vec![(row![9, 99], 1)]);
     }
@@ -256,7 +257,8 @@ mod tests {
     fn update_is_delete_plus_insert_in_log() {
         let mut db = db();
         let v0 = db.version();
-        db.execute_sql("UPDATE t SET b = b + 1 WHERE a = 1").unwrap();
+        db.execute_sql("UPDATE t SET b = b + 1 WHERE a = 1")
+            .unwrap();
         let delta = db.delta_since("t", v0).unwrap();
         assert_eq!(delta.len(), 2);
         assert_eq!(delta[0].op, DeltaOp::Delete);

@@ -78,10 +78,7 @@ pub fn eval_annot(
             };
             let mut out = Vec::new();
             for (row, annot, m) in rows {
-                if predicate
-                    .eval_predicate(&row)
-                    .map_err(EngineError::from)?
-                {
+                if predicate.eval_predicate(&row).map_err(EngineError::from)? {
                     out.push((row, annot, m));
                 }
             }
@@ -291,11 +288,27 @@ fn aggregate_annot(
 /// Minimal batch accumulator (independent of the engine's, by design).
 #[derive(Debug, Clone)]
 enum BatchAcc {
-    Sum { int: i64, float: f64, is_float: bool, n: i64 },
-    Count { n: i64 },
-    Avg { int: i64, float: f64, is_float: bool, n: i64 },
-    Min { cur: Option<Value> },
-    Max { cur: Option<Value> },
+    Sum {
+        int: i64,
+        float: f64,
+        is_float: bool,
+        n: i64,
+    },
+    Count {
+        n: i64,
+    },
+    Avg {
+        int: i64,
+        float: f64,
+        is_float: bool,
+        n: i64,
+    },
+    Min {
+        cur: Option<Value>,
+    },
+    Max {
+        cur: Option<Value>,
+    },
 }
 
 impl BatchAcc {
@@ -411,9 +424,7 @@ impl BatchAcc {
                     Value::Float(s / *n as f64)
                 }
             }
-            BatchAcc::Min { cur } | BatchAcc::Max { cur } => {
-                cur.clone().unwrap_or(Value::Null)
-            }
+            BatchAcc::Min { cur } | BatchAcc::Max { cur } => cur.clone().unwrap_or(Value::Null),
         }
     }
 }

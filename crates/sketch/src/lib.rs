@@ -1,7 +1,7 @@
 //! # imp-sketch
 //!
 //! Provenance-based data skipping (PBDS) — the substrate from Niu et al.,
-//! "Provenance-based Data Skipping" (PVLDB'21, cited as [37]) that the IMP
+//! "Provenance-based Data Skipping" (PVLDB'21, cited as \[37\]) that the IMP
 //! paper builds on:
 //!
 //! * [`partition`] — range partitions `F_{φ,a}(R)` (Def. 4.1) and
@@ -9,7 +9,7 @@
 //!   the partitions of all tables a query touches.
 //! * [`sketch`] — provenance sketches as bitvectors over fragments
 //!   (Def. 4.2), with deltas (`ΔP`, §4.2) and merged-range extraction.
-//! * [`capture`] — batch *annotated* evaluation of a query, producing its
+//! * [`capture`](mod@capture) — batch *annotated* evaluation of a query, producing its
 //!   accurate sketch `S(F(Q(𝒟)))`. Re-running capture is exactly the
 //!   "full maintenance" baseline of §8.
 //! * [`use_rewrite`] — instrument a query to skip data outside a sketch

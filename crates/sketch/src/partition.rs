@@ -88,7 +88,11 @@ impl RangePartition {
     /// Bounds of fragment `i`: inclusive lower, exclusive upper; `None`
     /// means unbounded (domain edge).
     pub fn fragment_bounds(&self, i: usize) -> (Option<&Value>, Option<&Value>) {
-        let lo = if i == 0 { None } else { Some(&self.cuts[i - 1]) };
+        let lo = if i == 0 {
+            None
+        } else {
+            Some(&self.cuts[i - 1])
+        };
         let hi = self.cuts.get(i);
         (lo, hi)
     }

@@ -2,7 +2,7 @@
 //!
 //! An attribute `a` is *safe* for a query `Q` if every sketch based on some
 //! range partition on `a` is safe — i.e. `Q(D_P) = Q(D)` (Def. 4.2, §4.4).
-//! The paper defers to the test of [37]; we implement the conservative core
+//! The paper defers to the test of \[37\]; we implement the conservative core
 //! of that test:
 //!
 //! * **Monotone SPJ queries** (no aggregation / top-k): every base column
@@ -61,9 +61,7 @@ fn contains_except(plan: &LogicalPlan) -> bool {
         | LogicalPlan::Distinct { input }
         | LogicalPlan::Sort { input, .. }
         | LogicalPlan::TopK { input, .. } => contains_except(input),
-        LogicalPlan::Join { left, right, .. } => {
-            contains_except(left) || contains_except(right)
-        }
+        LogicalPlan::Join { left, right, .. } => contains_except(left) || contains_except(right),
     }
 }
 
@@ -103,9 +101,7 @@ fn find_aggregate(plan: &LogicalPlan) -> Option<(&LogicalPlan, &[Expr])> {
         | LogicalPlan::Distinct { input }
         | LogicalPlan::Sort { input, .. }
         | LogicalPlan::TopK { input, .. } => find_aggregate(input),
-        LogicalPlan::Join { .. } | LogicalPlan::Scan { .. } | LogicalPlan::Except { .. } => {
-            None
-        }
+        LogicalPlan::Join { .. } | LogicalPlan::Scan { .. } | LogicalPlan::Except { .. } => None,
     }
 }
 

@@ -34,10 +34,7 @@ fn rewrite(plan: &LogicalPlan, sketch: &SketchSet) -> LogicalPlan {
                         // Sketch covers everything: no filtering needed.
                         return scan;
                     }
-                    let predicate = ranges_predicate(
-                        partition.column,
-                        &sketch.merged_ranges(pidx),
-                    );
+                    let predicate = ranges_predicate(partition.column, &sketch.merged_ranges(pidx));
                     LogicalPlan::Filter {
                         input: Box::new(scan),
                         predicate,
@@ -53,8 +50,7 @@ fn rewrite(plan: &LogicalPlan, sketch: &SketchSet) -> LogicalPlan {
                 if let Some((pidx, _, partition)) = sketch.partitions().for_table(table) {
                     let n = partition.fragment_count();
                     if sketch.fragments_of_partition(pidx).len() < n {
-                        let skp =
-                            ranges_predicate(partition.column, &sketch.merged_ranges(pidx));
+                        let skp = ranges_predicate(partition.column, &sketch.merged_ranges(pidx));
                         return LogicalPlan::Filter {
                             input: input.clone(),
                             predicate: Expr::binary(BinOp::And, skp, predicate.clone()),

@@ -261,11 +261,7 @@ impl AstExpr {
             AstExpr::Unary { expr, .. } => expr.contains_aggregate(),
             AstExpr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             AstExpr::IsNull { expr, .. } => expr.contains_aggregate(),
             AstExpr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(AstExpr::contains_aggregate)

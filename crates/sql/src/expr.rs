@@ -400,7 +400,11 @@ mod tests {
         let e = Expr::binary(
             BinOp::And,
             Expr::Col(0),
-            Expr::binary(BinOp::Add, Expr::Lit(Value::str("x")), Expr::Lit(Value::Int(1))),
+            Expr::binary(
+                BinOp::Add,
+                Expr::Lit(Value::str("x")),
+                Expr::Lit(Value::Int(1)),
+            ),
         );
         assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
     }

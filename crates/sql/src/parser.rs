@@ -80,7 +80,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.advance() {
             Token::Ident(s) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -265,9 +267,7 @@ impl Parser {
         self.expect_keyword(Keyword::Insert)?;
         self.expect_keyword(Keyword::Into)?;
         let table = self.ident()?;
-        let columns = if self.peek() == &Token::LParen
-            && matches!(self.peek2(), Token::Ident(_))
-        {
+        let columns = if self.peek() == &Token::LParen && matches!(self.peek2(), Token::Ident(_)) {
             self.expect(&Token::LParen)?;
             let mut cols = vec![self.ident()?];
             while self.eat(&Token::Comma) {
@@ -599,9 +599,7 @@ mod tests {
              GROUP BY a HAVING avg(c) < 10",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert!(matches!(s.from[0], TableRef::Join { .. }));
     }
 
@@ -609,9 +607,7 @@ mod tests {
     fn parses_top_k() {
         let stmt =
             parse_one("SELECT a, avg(b) AS ab FROM r GROUP BY a ORDER BY a LIMIT 10").unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.limit, Some(10));
         assert_eq!(s.order_by.len(), 1);
         assert!(s.order_by[0].1); // ascending
@@ -624,9 +620,7 @@ mod tests {
              OR (price BETWEEN 1501 AND 10000)",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         let f = s.filter.unwrap();
         assert!(matches!(f, AstExpr::Binary { op: BinOp::Or, .. }));
     }
@@ -691,16 +685,14 @@ mod tests {
 
     #[test]
     fn parses_except_and_except_all() {
-        let Statement::Select(s) =
-            parse_one("SELECT a FROM t EXCEPT ALL SELECT a FROM u").unwrap()
+        let Statement::Select(s) = parse_one("SELECT a FROM t EXCEPT ALL SELECT a FROM u").unwrap()
         else {
             panic!()
         };
         let (rhs, all) = s.except.unwrap();
         assert!(all);
         assert_eq!(rhs.from.len(), 1);
-        let Statement::Select(s) =
-            parse_one("SELECT a FROM t EXCEPT SELECT a FROM u").unwrap()
+        let Statement::Select(s) = parse_one("SELECT a FROM t EXCEPT SELECT a FROM u").unwrap()
         else {
             panic!()
         };

@@ -204,8 +204,7 @@ impl LogicalPlan {
             | LogicalPlan::Distinct { input }
             | LogicalPlan::TopK { input, .. }
             | LogicalPlan::Sort { input, .. } => input.collect_tables(out),
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::Except { left, right, .. } => {
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Except { left, right, .. } => {
                 left.collect_tables(out);
                 right.collect_tables(out);
             }
@@ -222,8 +221,7 @@ impl LogicalPlan {
             | LogicalPlan::Distinct { input }
             | LogicalPlan::TopK { input, .. }
             | LogicalPlan::Sort { input, .. } => input.operator_count(),
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::Except { left, right, .. } => {
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Except { left, right, .. } => {
                 left.operator_count() + right.operator_count()
             }
         }
@@ -246,7 +244,11 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Filter {predicate}\n"));
                 input.explain_into(out, depth + 1);
             }
-            LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 let cols: Vec<String> = exprs
                     .iter()
                     .zip(schema.fields())
@@ -316,10 +318,7 @@ impl LogicalPlan {
                 input.explain_into(out, depth + 1);
             }
             LogicalPlan::Except { left, right, all } => {
-                out.push_str(&format!(
-                    "{pad}Except{}\n",
-                    if *all { " ALL" } else { "" }
-                ));
+                out.push_str(&format!("{pad}Except{}\n", if *all { " ALL" } else { "" }));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -379,7 +378,11 @@ pub fn field_for_expr(expr: &Expr, input: &Schema, alias: Option<&str>, idx: usi
 }
 
 /// A literal ordering helper shared by Sort / TopK implementations.
-pub fn compare_rows(a: &imp_storage::Row, b: &imp_storage::Row, keys: &[SortKey]) -> std::cmp::Ordering {
+pub fn compare_rows(
+    a: &imp_storage::Row,
+    b: &imp_storage::Row,
+    keys: &[SortKey],
+) -> std::cmp::Ordering {
     for k in keys {
         let ord = a[k.column].cmp(&b[k.column]);
         let ord = if k.asc { ord } else { ord.reverse() };
@@ -409,7 +412,10 @@ mod tests {
     #[test]
     fn compare_rows_respects_direction() {
         let keys = [
-            SortKey { column: 0, asc: true },
+            SortKey {
+                column: 0,
+                asc: true,
+            },
             SortKey {
                 column: 1,
                 asc: false,

@@ -110,7 +110,10 @@ impl<'a> Resolver<'a> {
                 fields.push(field_for_expr(g, &input_schema, None, i));
             }
             for a in &aggs {
-                fields.push(Field::nullable(a.name.clone(), a.output_type(&input_schema)));
+                fields.push(Field::nullable(
+                    a.name.clone(),
+                    a.output_type(&input_schema),
+                ));
             }
             let agg_schema = Schema::new(fields);
 
@@ -123,8 +126,7 @@ impl<'a> Resolver<'a> {
 
             // 3b. HAVING over the aggregate output.
             if let Some(h) = &stmt.having {
-                let pred =
-                    self.resolve_post_agg(h, &input_schema, &group_exprs, &aggs)?;
+                let pred = self.resolve_post_agg(h, &input_schema, &group_exprs, &aggs)?;
                 plan = LogicalPlan::Filter {
                     input: Box::new(plan),
                     predicate: pred,
@@ -206,7 +208,10 @@ impl<'a> Resolver<'a> {
             let mut keys = Vec::new();
             for (e, asc) in &stmt.order_by {
                 let col = self.resolve_output_column(e, &out_schema)?;
-                keys.push(SortKey { column: col, asc: *asc });
+                keys.push(SortKey {
+                    column: col,
+                    asc: *asc,
+                });
             }
             plan = match stmt.limit {
                 Some(k) => LogicalPlan::TopK {
@@ -455,12 +460,7 @@ impl<'a> Resolver<'a> {
 
     /// Find every aggregate call in `e`, resolving arguments over the
     /// aggregate input schema, and dedupe into `aggs`.
-    fn collect_aggs(
-        &self,
-        e: &AstExpr,
-        input: &Schema,
-        aggs: &mut Vec<AggSpec>,
-    ) -> Result<()> {
+    fn collect_aggs(&self, e: &AstExpr, input: &Schema, aggs: &mut Vec<AggSpec>) -> Result<()> {
         match e {
             AstExpr::FuncCall { name, args, star } if ast::is_aggregate_name(name) => {
                 let func = AggFunc::from_name(name).expect("checked above");
@@ -616,13 +616,11 @@ impl<'a> Resolver<'a> {
     /// or column name).
     fn resolve_output_column(&self, e: &AstExpr, out: &Schema) -> Result<usize> {
         match e {
-            AstExpr::Column { qualifier, name } => {
-                match out.resolve(qualifier.as_deref(), name) {
-                    Ok(i) => Ok(i),
-                    Err(true) => Err(SqlError::AmbiguousColumn(name.clone())),
-                    Err(false) => Err(SqlError::UnknownColumn(name.clone())),
-                }
-            }
+            AstExpr::Column { qualifier, name } => match out.resolve(qualifier.as_deref(), name) {
+                Ok(i) => Ok(i),
+                Err(true) => Err(SqlError::AmbiguousColumn(name.clone())),
+                Err(false) => Err(SqlError::UnknownColumn(name.clone())),
+            },
             AstExpr::Literal(imp_storage::Value::Int(i)) if *i >= 1 => {
                 // ORDER BY 2 — positional reference.
                 let idx = (*i - 1) as usize;
@@ -757,9 +755,7 @@ mod tests {
 
     #[test]
     fn ungrouped_column_rejected() {
-        let Statement::Select(s) =
-            parse_one("SELECT b, sum(a) FROM r GROUP BY a").unwrap()
-        else {
+        let Statement::Select(s) = parse_one("SELECT b, sum(a) FROM r GROUP BY a").unwrap() else {
             panic!()
         };
         assert!(Resolver::new(&TestCatalog).resolve_select(&s).is_err());

@@ -163,7 +163,11 @@ fn render_expr(e: &AstExpr, out: &mut String) {
         } => {
             out.push('(');
             render_expr(expr, out);
-            out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            out.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
             render_expr(low, out);
             out.push_str(" AND ");
             render_expr(high, out);

@@ -14,7 +14,11 @@ fn arb_expr_sql() -> impl Strategy<Value = String> {
         Just("b".to_string()),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), prop::sample::select(vec!["+", "-", "*", "/"]), inner)
+        (
+            inner.clone(),
+            prop::sample::select(vec!["+", "-", "*", "/"]),
+            inner,
+        )
             .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
     })
 }
@@ -91,9 +95,7 @@ proptest! {
 
 #[test]
 fn select_items_preserved_in_order() {
-    let Statement::Select(s) =
-        parse_one("SELECT z, y AS why, x + 1 ex FROM t").unwrap()
-    else {
+    let Statement::Select(s) = parse_one("SELECT z, y AS why, x + 1 ex FROM t").unwrap() else {
         unreachable!()
     };
     let names: Vec<Option<String>> = s

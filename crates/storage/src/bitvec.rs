@@ -114,7 +114,10 @@ impl BitVec {
     /// `self ⊆ other` — the sketch containment operator.
     pub fn is_subset(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "bitvec length mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate over the indices of set bits, ascending.

@@ -5,7 +5,7 @@
 //! which is the physical-design hook that makes provenance-based data
 //! skipping actually skip I/O: the *use rewrite* emits range predicates and
 //! the scan prunes chunks whose zone maps cannot satisfy them (cf. zone
-//! maps / small materialized aggregates, Moerkotte VLDB'98, cited as [32]).
+//! maps / small materialized aggregates, Moerkotte VLDB'98, cited as \[32\]).
 
 use crate::bitvec::BitVec;
 use crate::column::ColumnData;
@@ -102,9 +102,7 @@ impl DataChunk {
 
     /// Mark row `idx` deleted. Returns false when it was already dead.
     pub fn delete(&mut self, idx: usize) -> bool {
-        let d = self
-            .deleted
-            .get_or_insert_with(|| BitVec::new(self.len));
+        let d = self.deleted.get_or_insert_with(|| BitVec::new(self.len));
         if d.get(idx) {
             return false;
         }
@@ -125,12 +123,17 @@ impl DataChunk {
 
     /// Iterate over live rows as `(index, Row)`.
     pub fn iter_live(&self) -> impl Iterator<Item = (usize, Row)> + '_ {
-        (0..self.len).filter(|&i| self.is_live(i)).map(|i| (i, self.row(i)))
+        (0..self.len)
+            .filter(|&i| self.is_live(i))
+            .map(|i| (i, self.row(i)))
     }
 
     /// Approximate heap footprint.
     pub fn heap_size(&self) -> usize {
-        self.columns.iter().map(ColumnData::heap_size).sum::<usize>()
+        self.columns
+            .iter()
+            .map(ColumnData::heap_size)
+            .sum::<usize>()
             + self.deleted.as_ref().map_or(0, BitVec::heap_size)
     }
 }
@@ -222,10 +225,7 @@ mod tests {
     #[test]
     fn zone_map_built() {
         let c = chunk();
-        assert_eq!(
-            c.zone_map().ranges[0],
-            Some((Value::Int(1), Value::Int(5)))
-        );
+        assert_eq!(c.zone_map().ranges[0], Some((Value::Int(1), Value::Int(5))));
     }
 
     #[test]

@@ -125,7 +125,9 @@ pub fn decode_bitvec(buf: &mut Bytes) -> Result<BitVec> {
     need(buf, 8)?;
     let len = buf.get_u64_le() as usize;
     if len > 1 << 32 {
-        return Err(StorageError::Corrupt(format!("implausible bitvec len {len}")));
+        return Err(StorageError::Corrupt(format!(
+            "implausible bitvec len {len}"
+        )));
     }
     let words = len.div_ceil(64);
     need(buf, words * 8)?;

@@ -149,8 +149,10 @@ impl ColumnData {
             TypedVec::Bool(v) => v.capacity(),
             TypedVec::Int(v) => v.capacity() * 8,
             TypedVec::Float(v) => v.capacity() * 8,
-            TypedVec::Str(v) => v.capacity() * std::mem::size_of::<Arc<str>>()
-                + v.iter().map(|s| s.len()).sum::<usize>(),
+            TypedVec::Str(v) => {
+                v.capacity() * std::mem::size_of::<Arc<str>>()
+                    + v.iter().map(|s| s.len()).sum::<usize>()
+            }
         };
         data + self.nulls.as_ref().map_or(0, BitVec::heap_size)
     }

@@ -102,7 +102,11 @@ impl DeltaLog {
     /// Approximate heap footprint.
     pub fn heap_size(&self) -> usize {
         self.records.capacity() * std::mem::size_of::<DeltaRecord>()
-            + self.records.iter().map(|r| r.row.heap_size()).sum::<usize>()
+            + self
+                .records
+                .iter()
+                .map(|r| r.row.heap_size())
+                .sum::<usize>()
     }
 }
 

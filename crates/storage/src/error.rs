@@ -46,7 +46,10 @@ impl fmt::Display for StorageError {
                 write!(f, "NULL value in non-nullable column {column}")
             }
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, found {found}"
+                )
             }
             StorageError::UnknownColumn(c) => write!(f, "unknown column {c}"),
             StorageError::UnknownTable(t) => write!(f, "unknown table {t}"),

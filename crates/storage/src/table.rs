@@ -154,11 +154,7 @@ impl Table {
 
     /// Delete all live rows matching `pred`, logging them at `version`.
     /// Returns the deleted rows.
-    pub fn delete_where(
-        &mut self,
-        version: u64,
-        mut pred: impl FnMut(&Row) -> bool,
-    ) -> Vec<Row> {
+    pub fn delete_where(&mut self, version: u64, mut pred: impl FnMut(&Row) -> bool) -> Vec<Row> {
         let mut deleted = Vec::new();
         for chunk in &mut self.chunks {
             // Collect first to avoid borrowing issues with delete().
@@ -233,11 +229,7 @@ impl Table {
 
     /// Rows that are tombstoned but still occupy chunk space.
     pub fn dead_rows(&self) -> usize {
-        let chunk_dead: usize = self
-            .chunks
-            .iter()
-            .map(|c| c.len() - c.live_rows())
-            .sum();
+        let chunk_dead: usize = self.chunks.iter().map(|c| c.len() - c.live_rows()).sum();
         chunk_dead + self.tail_deleted.iter().filter(|d| **d).count()
     }
 
@@ -255,7 +247,8 @@ impl Table {
         self.tail_rows.clear();
         self.tail_deleted.clear();
         self.live_rows = 0;
-        self.bulk_load(live).expect("re-loading rows of matching schema");
+        self.bulk_load(live)
+            .expect("re-loading rows of matching schema");
         self.seal();
         dead
     }

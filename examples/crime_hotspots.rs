@@ -25,7 +25,7 @@ fn main() {
     // Partition on `beat` (a group-by attribute of both queries → safe).
     let pset = Arc::new(
         PartitionSet::new(vec![
-            RangePartition::equi_depth(&db, "crimes", "beat", 100).unwrap(),
+            RangePartition::equi_depth(&db, "crimes", "beat", 100).unwrap()
         ])
         .unwrap(),
     );

@@ -68,7 +68,10 @@ fn main() {
     // IMP, lazy: sketches maintained when a query needs them.
     for (label, strategy) in [
         ("IMP (lazy)  ", MaintenanceStrategy::Lazy),
-        ("IMP (eager) ", MaintenanceStrategy::Eager { batch_size: 50 }),
+        (
+            "IMP (eager) ",
+            MaintenanceStrategy::Eager { batch_size: 50 },
+        ),
     ] {
         let mut imp = Imp::new(
             fresh_db(),

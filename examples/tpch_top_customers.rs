@@ -27,9 +27,13 @@ fn main() {
 
     let plan = db.plan_sql(queries::Q_SPACE).unwrap();
     let pset = Arc::new(
-        PartitionSet::new(vec![
-            RangePartition::equi_depth(&db, "customer", "c_custkey", 100).unwrap(),
-        ])
+        PartitionSet::new(vec![RangePartition::equi_depth(
+            &db,
+            "customer",
+            "c_custkey",
+            100,
+        )
+        .unwrap()])
         .unwrap(),
     );
 

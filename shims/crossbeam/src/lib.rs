@@ -1,0 +1,215 @@
+//! Offline shim for `crossbeam`, backed by `std::sync::mpsc`.
+//!
+//! Provides [`channel::bounded`], [`channel::tick`], and a [`select!`]
+//! macro supporting the two-arm `recv(rx) -> pat => body` form this
+//! workspace uses. `select!` polls with a 1 ms sleep rather than
+//! blocking on an OS primitive — adequate for the background-maintenance
+//! ticker it drives.
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels (mpsc-backed subset).
+
+    pub use crate::select;
+
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently has no message.
+        Empty,
+        /// Channel is closed and drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// Channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or the channel closes).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// Enqueue without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or the channel closes).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Channel with capacity `cap` (`cap = 0` degrades to capacity 1; the
+    /// rendezvous semantics of crossbeam's zero-capacity channel are not
+    /// reproduced).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// A receiver that yields an [`Instant`] every `interval`, driven by a
+    /// background thread that exits once the receiver is dropped.
+    pub fn tick(interval: Duration) -> Receiver<Instant> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            // try_send: if the consumer is slow, skip a tick rather than
+            // queueing a burst; if it is gone, stop ticking.
+            match tx.try_send(Instant::now()) {
+                Ok(()) | Err(mpsc::TrySendError::Full(_)) => {}
+                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            }
+        });
+        Receiver { inner: rx }
+    }
+}
+
+/// Two-arm `select!` over `recv(rx) -> pat => body` clauses, polling at
+/// 1 ms granularity. Bodies expand *outside* the internal polling loop,
+/// so `break`/`continue` inside a body bind to the caller's loop exactly
+/// as with the real macro.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx1:expr) -> $p1:pat => $b1:expr,
+        recv($rx2:expr) -> $p2:pat => $b2:expr $(,)?
+    ) => {{
+        let mut __sel_r1: ::std::option::Option<
+            ::std::result::Result<_, $crate::channel::RecvError>,
+        > = ::std::option::Option::None;
+        let mut __sel_r2: ::std::option::Option<
+            ::std::result::Result<_, $crate::channel::RecvError>,
+        > = ::std::option::Option::None;
+        loop {
+            match $rx1.try_recv() {
+                ::std::result::Result::Ok(m) => {
+                    __sel_r1 = ::std::option::Option::Some(::std::result::Result::Ok(m));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_r1 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx2.try_recv() {
+                ::std::result::Result::Ok(m) => {
+                    __sel_r2 = ::std::option::Option::Some(::std::result::Result::Ok(m));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_r2 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            ::std::thread::sleep(::std::time::Duration::from_millis(1));
+        }
+        if let ::std::option::Option::Some(__sel_msg) = __sel_r1 {
+            let $p1 = __sel_msg;
+            $b1
+        } else if let ::std::option::Option::Some(__sel_msg) = __sel_r2 {
+            let $p2 = __sel_msg;
+            $b2
+        } else {
+            ::std::unreachable!()
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, tick};
+    use std::time::Duration;
+
+    #[test]
+    fn select_prefers_ready_stop_channel() {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let ticker = tick(Duration::from_millis(5));
+        stop_tx.send(()).unwrap();
+        let stopped = loop {
+            crate::select! {
+                recv(stop_rx) -> _ => break true,
+                recv(ticker) -> _ => {},
+            }
+        };
+        assert!(stopped);
+    }
+
+    #[test]
+    fn ticker_ticks() {
+        let ticker = tick(Duration::from_millis(1));
+        assert!(ticker.recv().is_ok());
+    }
+
+    #[test]
+    fn break_in_body_binds_to_caller_loop() {
+        let (tx, rx) = bounded::<u32>(4);
+        let (_tx2, rx2) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let mut seen = Vec::new();
+        loop {
+            crate::select! {
+                recv(rx) -> m => {
+                    match m {
+                        Ok(v) => seen.push(v),
+                        Err(_) => break,
+                    }
+                    if seen.len() == 2 { break }
+                },
+                recv(rx2) -> _ => {},
+            }
+        }
+        assert_eq!(seen, vec![1, 2]);
+    }
+}

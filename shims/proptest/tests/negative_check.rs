@@ -1,0 +1,9 @@
+use proptest::prelude::*;
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+    #[test]
+    #[should_panic]
+    fn deliberately_false_property(x in 0i64..100) {
+        prop_assert!(x < 50, "x was {}", x);
+    }
+}

@@ -100,10 +100,8 @@ fn tpch_queries_through_middleware() {
     }
 
     // Updates invalidate; maintenance restores correctness.
-    imp.execute(
-        "INSERT INTO lineitem VALUES (1, 1, 1, 9, 200, 9999.0, 0.0, 0.0, 'R', 19950101)",
-    )
-    .unwrap();
+    imp.execute("INSERT INTO lineitem VALUES (1, 1, 1, 9, 200, 9999.0, 0.0, 0.0, 'R', 19950101)")
+        .unwrap();
     let expected = {
         // Recompute the truth on a replica.
         let mut db2 = Database::new();
@@ -114,8 +112,7 @@ fn tpch_queries_through_middleware() {
         .unwrap();
         db2.query(queries::TPCH_SINGLE).unwrap().canonical()
     };
-    let ImpResponse::Rows { result, mode } = imp.execute(queries::TPCH_SINGLE).unwrap()
-    else {
+    let ImpResponse::Rows { result, mode } = imp.execute(queries::TPCH_SINGLE).unwrap() else {
         panic!()
     };
     assert!(matches!(mode, QueryMode::Maintained(_)));
@@ -188,7 +185,8 @@ fn deletes_and_updates_flow_through_middleware() {
     let q = queries::q_groups("edb1", 160);
     imp.execute(&q).unwrap();
     imp.execute("DELETE FROM edb1 WHERE a < 10").unwrap();
-    imp.execute("UPDATE edb1 SET b = b + 5 WHERE a = 50").unwrap();
+    imp.execute("UPDATE edb1 SET b = b + 5 WHERE a = 50")
+        .unwrap();
 
     let mut truth = synthetic_db(3_000, 100);
     truth.execute_sql("DELETE FROM edb1 WHERE a < 10").unwrap();

@@ -88,7 +88,7 @@ fn corrupted_state_rejected() {
         .unwrap();
     let pset = Arc::new(
         PartitionSet::new(vec![
-            RangePartition::new("t", "g", 0, vec![Value::Int(2)]).unwrap(),
+            RangePartition::new("t", "g", 0, vec![Value::Int(2)]).unwrap()
         ])
         .unwrap(),
     );
@@ -134,7 +134,7 @@ fn empty_table_capture_and_growth() {
         .unwrap();
     let pset = Arc::new(
         PartitionSet::new(vec![
-            RangePartition::new("t", "g", 0, vec![Value::Int(2)]).unwrap(),
+            RangePartition::new("t", "g", 0, vec![Value::Int(2)]).unwrap()
         ])
         .unwrap(),
     );
@@ -173,7 +173,7 @@ fn nulls_in_partition_column_are_handled() {
         .unwrap();
     let pset = Arc::new(
         PartitionSet::new(vec![
-            RangePartition::new("t", "g", 0, vec![Value::Int(3)]).unwrap(),
+            RangePartition::new("t", "g", 0, vec![Value::Int(3)]).unwrap()
         ])
         .unwrap(),
     );
@@ -189,7 +189,13 @@ fn nulls_in_partition_column_are_handled() {
 #[test]
 fn describe_sketches_reports_store_state() {
     let db = db_gv(&[(1, 10), (2, 20), (3, 30)]);
-    let mut imp = Imp::new(db, ImpConfig { fragments: 2, ..Default::default() });
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 2,
+            ..Default::default()
+        },
+    );
     imp.execute("SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 5")
         .unwrap();
     let summaries = imp.describe_sketches();
@@ -211,9 +217,14 @@ fn queries_without_sketchable_attribute_run_directly() {
     // column where the equi-depth partition degenerates to one fragment —
     // still works; assert results equal the direct path.
     let db = db_gv(&[(1, 10), (2, 20)]);
-    let mut imp = Imp::new(db, ImpConfig { fragments: 8, ..Default::default() });
-    let ImpResponse::Rows { result, .. } =
-        imp.execute("SELECT g, v FROM t WHERE v > 5").unwrap()
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 8,
+            ..Default::default()
+        },
+    );
+    let ImpResponse::Rows { result, .. } = imp.execute("SELECT g, v FROM t WHERE v > 5").unwrap()
     else {
         panic!()
     };
@@ -226,7 +237,13 @@ fn eviction_roundtrip_through_middleware() {
     // incrementally from the persisted state afterwards.
     let db = db_gv(&[(1, 10), (2, 20), (3, 30)]);
     let q = "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 5";
-    let mut imp = Imp::new(db, ImpConfig { fragments: 2, ..Default::default() });
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 2,
+            ..Default::default()
+        },
+    );
     imp.execute(q).unwrap();
     let before = imp.describe_sketches()[0].state_bytes;
     let freed = imp.evict_all_states().unwrap();
@@ -253,11 +270,18 @@ fn eviction_roundtrip_through_middleware() {
 fn repartition_all_recaptures_with_fresh_ranges() {
     let db = db_gv(&[(1, 10), (2, 20), (3, 30)]);
     let q = "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 5";
-    let mut imp = Imp::new(db, ImpConfig { fragments: 2, ..Default::default() });
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 2,
+            ..Default::default()
+        },
+    );
     imp.execute(q).unwrap();
     // Shift the distribution heavily, then repartition (§7.4).
     for g in 100..160 {
-        imp.execute(&format!("INSERT INTO t VALUES ({g}, 50)")).unwrap();
+        imp.execute(&format!("INSERT INTO t VALUES ({g}, 50)"))
+            .unwrap();
     }
     let n = imp.repartition_all().unwrap();
     assert_eq!(n, 1);
@@ -276,7 +300,13 @@ fn vacuum_preserves_maintenance_correctness() {
     // without disturbing subsequent incremental maintenance.
     let db = db_gv(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
     let q = "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 15";
-    let mut imp = Imp::new(db, ImpConfig { fragments: 2, ..Default::default() });
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 2,
+            ..Default::default()
+        },
+    );
     imp.execute(q).unwrap();
     imp.execute("DELETE FROM t WHERE g = 4").unwrap();
     // Maintain (consumes the delta), then vacuum.
@@ -290,10 +320,7 @@ fn vacuum_preserves_maintenance_correctness() {
         panic!()
     };
     assert!(matches!(mode, QueryMode::Maintained(_)), "{mode:?}");
-    assert_eq!(
-        result.canonical(),
-        vec![(row![2, 25], 1), (row![3, 30], 1)]
-    );
+    assert_eq!(result.canonical(), vec![(row![2, 25], 1), (row![3, 30], 1)]);
 }
 
 #[test]
@@ -302,7 +329,13 @@ fn vacuum_keeps_unconsumed_deltas() {
     // them before maintenance ran.
     let db = db_gv(&[(1, 10), (2, 20)]);
     let q = "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 5";
-    let mut imp = Imp::new(db, ImpConfig { fragments: 2, ..Default::default() });
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 2,
+            ..Default::default()
+        },
+    );
     imp.execute(q).unwrap();
     imp.execute("INSERT INTO t VALUES (3, 30)").unwrap();
     let (_, dropped) = imp.vacuum();

@@ -1,0 +1,122 @@
+//! Fast, fully deterministic smoke test of the paper's Fig. 1 running
+//! example, end to end through the facade: create `sales`, capture a
+//! sketch for Q_top, apply an INSERT, and verify that incremental
+//! maintenance produces exactly the sketch a from-scratch recapture
+//! would. This is the regression canary that still runs when the
+//! property suites are dialed down via `PROPTEST_CASES`.
+
+use imp::core::maintain::SketchMaintainer;
+use imp::core::ops::OpConfig;
+use imp::engine::Database;
+use imp::sketch::capture;
+use imp::storage::{row, DataType, Field, Schema, Value};
+use imp::{Imp, ImpConfig, ImpResponse, PartitionSet, QueryMode, RangePartition};
+use std::sync::Arc;
+
+/// Q_top of the paper's §1: brands with revenue above 5000.
+const QTOP: &str = "SELECT brand, SUM(price * numsold) AS rev FROM sales \
+                    GROUP BY brand HAVING SUM(price * numsold) > 5000";
+
+fn sales_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "sales",
+        Schema::new(vec![
+            Field::new("sid", DataType::Int),
+            Field::new("brand", DataType::Str),
+            Field::new("price", DataType::Int),
+            Field::new("numsold", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("sales")
+        .unwrap()
+        .bulk_load([
+            row![1, "Lenovo", 349, 1],
+            row![2, "Lenovo", 449, 2],
+            row![3, "Apple", 1199, 1],
+            row![4, "Apple", 3875, 1],
+            row![5, "Dell", 1345, 1],
+            row![6, "HP", 999, 4],
+            row![7, "HP", 899, 1],
+        ])
+        .unwrap();
+    db
+}
+
+/// Fig. 1 through the maintainer API: capture, INSERT s8, maintain,
+/// compare against recapture.
+#[test]
+fn fig1_maintain_equals_recapture() {
+    let mut db = sales_db();
+    let plan = db.plan_sql(QTOP).unwrap();
+    // The φ_price partition of Ex. 1.1: ranges split at 601 / 1001 / 1501.
+    let pset = Arc::new(
+        PartitionSet::new(vec![RangePartition::new(
+            "sales",
+            "price",
+            2,
+            vec![Value::Int(601), Value::Int(1001), Value::Int(1501)],
+        )
+        .unwrap()])
+        .unwrap(),
+    );
+    let (mut m, first) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    // Initially only Apple qualifies; its tuples live in fragments ρ3, ρ4.
+    assert_eq!(first, vec![(row!["Apple", 5074], 1)]);
+    assert_eq!(m.sketch().fragments_of_partition(0), vec![2, 3]);
+
+    // Ex. 1.2: inserting s8 pushes HP over the threshold.
+    db.execute_sql("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    assert!(m.is_stale(&db));
+    let report = m.maintain(&db).unwrap();
+    assert!(!report.recaptured, "small insert must not force recapture");
+    assert_eq!(report.sketch_delta.added, vec![1]); // gains ρ2
+    assert!(report.sketch_delta.removed.is_empty());
+
+    // The maintained sketch equals a from-scratch recapture...
+    let recaptured = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &recaptured.sketch);
+    // ...and the maintained answer matches direct evaluation.
+    assert_eq!(
+        imp::engine::database::canonical_bag(&recaptured.result),
+        db.execute_plan(&plan).unwrap().canonical()
+    );
+}
+
+/// The same flow through the user-facing middleware: first query captures,
+/// second uses the sketch, the update keeps it maintained.
+#[test]
+fn fig1_through_middleware() {
+    let mut imp = Imp::new(
+        sales_db(),
+        ImpConfig {
+            fragments: 4,
+            ..Default::default()
+        },
+    );
+
+    let ImpResponse::Rows { result, mode } = imp.execute(QTOP).unwrap() else {
+        panic!("expected rows")
+    };
+    assert!(matches!(mode, QueryMode::Captured), "{mode:?}");
+    assert_eq!(result.canonical(), vec![(row!["Apple", 5074], 1)]);
+
+    let ImpResponse::Rows { mode, .. } = imp.execute(QTOP).unwrap() else {
+        panic!("expected rows")
+    };
+    assert!(matches!(mode, QueryMode::UsedFresh), "{mode:?}");
+
+    imp.execute("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    let ImpResponse::Rows { result, .. } = imp.execute(QTOP).unwrap() else {
+        panic!("expected rows")
+    };
+    assert_eq!(
+        result.canonical(),
+        vec![(row!["Apple", 5074], 1), (row!["HP", 6194], 1)]
+    );
+}

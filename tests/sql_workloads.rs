@@ -73,11 +73,7 @@ fn check_all(imp: &mut Imp, truth: &Database, step: &str) {
         let ImpResponse::Rows { result, .. } = imp.execute(sql).unwrap() else {
             panic!("{step}: non-rows response for {sql}")
         };
-        assert_bags_approx_eq(
-            &result.canonical(),
-            &expected,
-            &format!("{step}: {sql}"),
-        );
+        assert_bags_approx_eq(&result.canonical(), &expected, &format!("{step}: {sql}"));
     }
 }
 
@@ -94,7 +90,9 @@ fn tpch_battery_with_refresh_streams() {
 
     // RF1: inserts.
     for op in tpch::refresh_stream(2, 5, true, max_key, 11) {
-        let WorkloadOp::Update { sql, .. } = op else { panic!() };
+        let WorkloadOp::Update { sql, .. } = op else {
+            panic!()
+        };
         truth.execute_sql(&sql).unwrap();
         imp.execute(&sql).unwrap();
     }
@@ -102,7 +100,9 @@ fn tpch_battery_with_refresh_streams() {
 
     // RF2: deletes.
     for op in tpch::refresh_stream(2, 5, false, max_key, 13) {
-        let WorkloadOp::Update { sql, .. } = op else { panic!() };
+        let WorkloadOp::Update { sql, .. } = op else {
+            panic!()
+        };
         truth.execute_sql(&sql).unwrap();
         imp.execute(&sql).unwrap();
     }
