@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use imp_core::ops::MergeOp;
-use imp_sketch::AnnotatedDeltaRow;
-use imp_storage::{row, BitVec};
+use imp_core::{AnnotPool, DeltaBatch, DeltaEntry};
+use imp_storage::row;
 use std::time::Duration;
 
 fn config() -> Criterion {
@@ -17,22 +17,23 @@ fn config() -> Criterion {
 
 /// Net-zero delta (paired insert/delete per fragment) so repeated
 /// application inside the bench loop never underflows the counters.
-fn delta(n: usize, frags: usize) -> Vec<AnnotatedDeltaRow> {
+fn delta(pool: &mut AnnotPool, n: usize, frags: usize) -> DeltaBatch {
     (0..n)
-        .map(|i| AnnotatedDeltaRow {
+        .map(|i| DeltaEntry {
             row: row![(i / 2) as i64, ((i / 2) % 97) as i64],
-            annot: BitVec::singleton(frags, (i / 2) % frags),
+            annot: pool.singleton((i / 2) % frags),
             mult: if i % 2 == 1 { -1 } else { 1 },
         })
         .collect()
 }
 
 fn bench_merge(c: &mut Criterion) {
-    let d100 = delta(100, 100);
-    let d1000 = delta(1000, 100);
-    let preload: Vec<AnnotatedDeltaRow> = delta(5000, 100)
+    let mut pool = AnnotPool::new(100);
+    let d100 = delta(&mut pool, 100, 100);
+    let d1000 = delta(&mut pool, 1000, 100);
+    let preload: DeltaBatch = delta(&mut pool, 5000, 100)
         .into_iter()
-        .map(|d| AnnotatedDeltaRow {
+        .map(|d| DeltaEntry {
             mult: d.mult.abs(),
             ..d
         })
@@ -40,18 +41,19 @@ fn bench_merge(c: &mut Criterion) {
     c.bench_function("merge_mu_delta100", |bench| {
         let mut m = MergeOp::new(100);
         // Pre-load counters so deletions never underflow.
-        m.process(&preload).unwrap();
-        bench.iter(|| black_box(m.process(black_box(&d100)).unwrap()))
+        m.process(&preload, &pool).unwrap();
+        bench.iter(|| black_box(m.process(black_box(&d100), &pool).unwrap()))
     });
     c.bench_function("merge_mu_delta1000", |bench| {
         let mut m = MergeOp::new(100);
-        m.process(&preload).unwrap();
-        bench.iter(|| black_box(m.process(black_box(&d1000)).unwrap()))
+        m.process(&preload, &pool).unwrap();
+        bench.iter(|| black_box(m.process(black_box(&d1000), &pool).unwrap()))
     });
 }
 
 fn bench_normalize(c: &mut Criterion) {
-    let d = delta(1000, 100);
+    let mut pool = AnnotPool::new(100);
+    let d = delta(&mut pool, 1000, 100);
     c.bench_function("normalize_delta_1000", |bench| {
         bench.iter(|| black_box(imp_core::normalize_delta(black_box(d.clone()))))
     });

@@ -11,6 +11,14 @@
 //! Each experiment prints the realistic-delta series (Fig. 11: deltas
 //! 10..1000 rows) and the break-even sweep (Fig. 12: deltas as a % of the
 //! table, looking for the FM/IMP crossover).
+//!
+//! The realistic tables also report the delta pipeline's memory and
+//! allocation behaviour: `Δheap pool` is the pool-aware
+//! `delta_heap_size` of the maintenance input batches (shared rows and
+//! hash-consed annotations counted once), `Δheap flat` is what the same
+//! batches would occupy in the flat one-bitvector-per-row representation,
+//! and `memo` is the share of annotation unions answered by the pool's
+//! memo table instead of being computed (and allocated) again.
 
 use imp_bench::*;
 use imp_core::ops::OpConfig;
@@ -58,6 +66,9 @@ fn sweep(
             ms(m.imp_ms),
             ms(m.fm_ms),
             format!("{:.1}x", m.fm_ms / m.imp_ms.max(1e-6)),
+            bytes_h(m.metrics.delta_bytes_pooled),
+            bytes_h(m.metrics.delta_bytes_flat),
+            memo_rate(&m.metrics),
         ]);
     }
     for pct in [1usize, 4, 16, 32, 64] {
@@ -100,7 +111,16 @@ fn exp_having() {
     }
     print_table(
         "Fig. 11a: Q_having — #aggregation functions (realistic deltas)",
-        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &[
+            "config",
+            "delta",
+            "IMP",
+            "FM",
+            "FM/IMP",
+            "\u{394}heap pool",
+            "\u{394}heap flat",
+            "memo",
+        ],
         &real,
     );
     print_table(
@@ -132,7 +152,16 @@ fn exp_groups() {
     }
     print_table(
         "Fig. 11b: Q_groups — #groups (realistic deltas)",
-        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &[
+            "config",
+            "delta",
+            "IMP",
+            "FM",
+            "FM/IMP",
+            "\u{394}heap pool",
+            "\u{394}heap flat",
+            "memo",
+        ],
         &real,
     );
     print_table(
@@ -169,7 +198,16 @@ fn exp_join_1n() {
     }
     print_table(
         "Fig. 11c: Q_join 1-n (realistic deltas)",
-        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &[
+            "config",
+            "delta",
+            "IMP",
+            "FM",
+            "FM/IMP",
+            "\u{394}heap pool",
+            "\u{394}heap flat",
+            "memo",
+        ],
         &real,
     );
     print_table(
@@ -203,7 +241,16 @@ fn exp_join_mn() {
     }
     print_table(
         "Fig. 11d: Q_join m-n (realistic deltas)",
-        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &[
+            "config",
+            "delta",
+            "IMP",
+            "FM",
+            "FM/IMP",
+            "\u{394}heap pool",
+            "\u{394}heap flat",
+            "memo",
+        ],
         &real,
     );
     print_table(
@@ -237,7 +284,16 @@ fn exp_joinsel() {
     }
     print_table(
         "Fig. 11e: Q_joinsel — join selectivity (realistic deltas)",
-        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &[
+            "config",
+            "delta",
+            "IMP",
+            "FM",
+            "FM/IMP",
+            "\u{394}heap pool",
+            "\u{394}heap flat",
+            "memo",
+        ],
         &real,
     );
     print_table(
@@ -271,7 +327,16 @@ fn exp_frags() {
     }
     print_table(
         "Fig. 11f: Q_sketch — #fragments (realistic deltas)",
-        &["config", "delta", "IMP", "FM", "FM/IMP"],
+        &[
+            "config",
+            "delta",
+            "IMP",
+            "FM",
+            "FM/IMP",
+            "\u{394}heap pool",
+            "\u{394}heap flat",
+            "memo",
+        ],
         &real,
     );
     print_table(

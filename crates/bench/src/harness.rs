@@ -2,6 +2,7 @@
 
 use imp_core::maintain::SketchMaintainer;
 use imp_core::ops::OpConfig;
+use imp_core::MaintMetrics;
 use imp_data::workload::WorkloadOp;
 use imp_engine::Database;
 use imp_sketch::{capture, PartitionSet, RangePartition};
@@ -86,6 +87,32 @@ pub fn ms(v: f64) -> String {
     }
 }
 
+/// Format a byte count compactly.
+pub fn bytes_h(v: u64) -> String {
+    if v >= 1_000_000 {
+        format!("{:.1}MB", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.1}KB", v as f64 / 1e3)
+    } else {
+        format!("{v}B")
+    }
+}
+
+/// Format the union-memoization rate of a run's pool activity: the share
+/// of annotation unions answered without computing (memo/fast-path hits).
+pub fn memo_rate(m: &MaintMetrics) -> String {
+    let total = m.pool_unions_computed + m.pool_union_memo_hits;
+    if total == 0 {
+        "-".into()
+    } else {
+        format!(
+            "{:.0}% of {}",
+            100.0 * m.pool_union_memo_hits as f64 / total as f64,
+            total
+        )
+    }
+}
+
 /// Build a partition set with one equi-depth partition.
 pub fn pset_for(
     db: &Database,
@@ -113,6 +140,9 @@ pub struct IncVsFull {
     pub fm_ms: f64,
     /// Number of recaptures forced by bounded state.
     pub recaptures: usize,
+    /// Accumulated maintenance metrics across all batches (delta heap
+    /// accounting, pool union/intern counters, …).
+    pub metrics: MaintMetrics,
 }
 
 /// Run the IMP-vs-FM measurement for a prepared database and plan.
@@ -127,6 +157,7 @@ pub fn measure_inc_vs_full(
         SketchMaintainer::capture(plan, db, Arc::clone(pset), op_config, true).unwrap();
     let mut imp_times = Vec::new();
     let mut recaptures = 0usize;
+    let mut metrics = MaintMetrics::default();
     for op in updates {
         let WorkloadOp::Update { sql, .. } = op else {
             continue;
@@ -136,6 +167,7 @@ pub fn measure_inc_vs_full(
         if report.recaptured {
             recaptures += 1;
         }
+        metrics.absorb(&report.metrics);
         imp_times.push(t);
     }
     // FM: rerun the capture query on the final state.
@@ -148,6 +180,7 @@ pub fn measure_inc_vs_full(
         imp_ms: median_ms(imp_times),
         fm_ms: median_ms(fm_times),
         recaptures,
+        metrics,
     }
 }
 

@@ -4,43 +4,95 @@
 //! *signed* multiplicities: `mult > 0` is an insertion, `mult < 0` a
 //! deletion. The sign algebra makes the four-case join rule of §5.2.4 fall
 //! out of multiplication (`Δ- × Δ- = Δ+`, `Δ- × Δ+ = Δ-`, …).
+//!
+//! # The `DeltaBatch` / `AnnotPool` design
+//!
+//! Deltas are represented as [`DeltaBatch`]es: each [`DeltaEntry`] holds
+//! an `Arc`-shared [`imp_storage::Row`] payload and a pooled [`AnnotId`]
+//! instead of an owned bitvector. The batch is *interpreted against* the
+//! maintainer's [`AnnotPool`], which hash-conses annotation bitvectors:
+//!
+//! * **Id stability / canonicity** — within one pool, equal ids ⇔ equal
+//!   bitvectors, and an id stays valid until the pool is cleared. Ids
+//!   are only live *within* one maintenance/bootstrap call (persistent
+//!   operator state holds fragment counters or `Arc<BitVec>` content
+//!   handles, never ids), so the pool may safely be flushed between
+//!   runs — which happens on state eviction and when the pool outgrows
+//!   its size bound. Operators compare, hash, and group by `u32` ids
+//!   where the flat representation compared whole bitvectors.
+//! * **Memoized unions** — `pool.union(a, b)` consults a symmetric memo
+//!   table; each distinct unordered pair is computed at most once, via
+//!   in-place [`imp_storage::BitVec::union_with`] on a single fresh
+//!   clone. The join four-case rule and aggregate re-annotation thus
+//!   allocate per *distinct annotation combination*, not per output row.
+//! * **Interned rows** — delta ingestion routes payloads through a
+//!   [`imp_storage::RowInterner`] so a stream that repeatedly touches the
+//!   same tuple shares one allocation; [`delta_heap_size`] counts each
+//!   shared payload / pooled annotation once, which is the quantity the
+//!   Fig. 11/17 memory accounting reports.
+//!
+//! Ordering-sensitive operator state (top-k) stores `Arc<BitVec>` handles
+//! obtained from [`AnnotPool::share`] instead of raw ids, so its ordering
+//! follows annotation *content* and survives state eviction / restore
+//! even though pool ids are reassigned on re-interning.
 
-use imp_sketch::AnnotatedDeltaRow;
-use imp_storage::{BitVec, FxHashMap, Row};
+pub use imp_storage::{AnnotId, AnnotPool, DeltaBatch, DeltaEntry};
+use imp_storage::{BitVec, FxHashMap, FxHashSet, Row};
 
-/// A batch of annotated delta tuples.
-pub type AnnotDelta = Vec<AnnotatedDeltaRow>;
-
-/// Fold entries with identical `(row, annotation)` into one, dropping
+/// Fold entries with identical `(row, annotation-id)` into one, dropping
 /// zero-multiplicity results. Keeps batches compact between operators.
-pub fn normalize_delta(delta: AnnotDelta) -> AnnotDelta {
+///
+/// Annotation ids are canonical within a pool, so the fold key never
+/// touches bitvector contents.
+pub fn normalize_delta(delta: DeltaBatch) -> DeltaBatch {
     if delta.len() <= 1 {
         return delta;
     }
-    let mut map: FxHashMap<(Row, BitVec), i64> = FxHashMap::default();
+    let mut map: FxHashMap<(Row, AnnotId), i64> = FxHashMap::default();
     for d in delta {
         *map.entry((d.row, d.annot)).or_insert(0) += d.mult;
     }
-    let mut out: Vec<AnnotatedDeltaRow> = map
+    let mut out: DeltaBatch = map
         .into_iter()
         .filter(|(_, m)| *m != 0)
-        .map(|((row, annot), mult)| AnnotatedDeltaRow { row, annot, mult })
+        .map(|((row, annot), mult)| DeltaEntry { row, annot, mult })
         .collect();
     // Deterministic order for tests and reproducible merge processing.
-    out.sort_by(|a, b| (&a.row, &a.annot).cmp(&(&b.row, &b.annot)));
+    out.sort_by(|a, b| (&a.row, a.annot).cmp(&(&b.row, b.annot)));
     out
 }
 
 /// Total number of touched tuples (sum of |mult|).
-pub fn delta_magnitude(delta: &AnnotDelta) -> u64 {
+pub fn delta_magnitude(delta: &DeltaBatch) -> u64 {
     delta.iter().map(|d| d.mult.unsigned_abs()).sum()
 }
 
-/// Approximate heap footprint of a delta batch (memory experiments).
-pub fn delta_heap_size(delta: &AnnotDelta) -> usize {
+/// Pool-aware heap footprint of a delta batch: shared row payloads and
+/// pooled annotations are counted once (memory experiments, Fig. 11/17).
+pub fn delta_heap_size(delta: &DeltaBatch, pool: &AnnotPool) -> usize {
+    let mut seen_rows: FxHashSet<usize> = FxHashSet::default();
+    let mut seen_annots: FxHashSet<AnnotId> = FxHashSet::default();
+    let mut size = delta.len() * std::mem::size_of::<DeltaEntry>();
+    for d in delta.iter() {
+        if seen_rows.insert(d.row.ptr_id()) {
+            size += d.row.heap_size();
+        }
+        if seen_annots.insert(d.annot) {
+            size += pool.get(d.annot).heap_size();
+        }
+    }
+    size
+}
+
+/// What the same batch would occupy in the flat pre-pool representation
+/// (one owned row + bitvector per entry) — the baseline the pool-aware
+/// accounting is compared against.
+pub fn delta_heap_size_flat(delta: &DeltaBatch, pool: &AnnotPool) -> usize {
+    let entry =
+        std::mem::size_of::<Row>() + std::mem::size_of::<BitVec>() + std::mem::size_of::<i64>();
     delta
         .iter()
-        .map(|d| d.row.heap_size() + d.annot.heap_size() + std::mem::size_of::<AnnotatedDeltaRow>())
+        .map(|d| d.row.heap_size() + pool.get(d.annot).heap_size() + entry)
         .sum()
 }
 
@@ -49,22 +101,24 @@ mod tests {
     use super::*;
     use imp_storage::row;
 
-    fn entry(r: Row, bit: usize, mult: i64) -> AnnotatedDeltaRow {
-        AnnotatedDeltaRow {
+    fn entry(pool: &mut AnnotPool, r: Row, bit: usize, mult: i64) -> DeltaEntry {
+        DeltaEntry {
             row: r,
-            annot: BitVec::singleton(4, bit),
+            annot: pool.singleton(bit),
             mult,
         }
     }
 
     #[test]
     fn normalize_merges_and_cancels() {
-        let d = vec![
-            entry(row![1], 0, 2),
-            entry(row![1], 0, -2),
-            entry(row![2], 1, 1),
-            entry(row![2], 1, 3),
-        ];
+        let mut p = AnnotPool::new(4);
+        let d: DeltaBatch = vec![
+            entry(&mut p, row![1], 0, 2),
+            entry(&mut p, row![1], 0, -2),
+            entry(&mut p, row![2], 1, 1),
+            entry(&mut p, row![2], 1, 3),
+        ]
+        .into();
         let n = normalize_delta(d);
         assert_eq!(n.len(), 1);
         assert_eq!(n[0].row, row![2]);
@@ -73,13 +127,36 @@ mod tests {
 
     #[test]
     fn distinct_annotations_not_merged() {
-        let d = vec![entry(row![1], 0, 1), entry(row![1], 1, 1)];
+        let mut p = AnnotPool::new(4);
+        let d: DeltaBatch = vec![entry(&mut p, row![1], 0, 1), entry(&mut p, row![1], 1, 1)].into();
         assert_eq!(normalize_delta(d).len(), 2);
     }
 
     #[test]
     fn magnitude_sums_absolute() {
-        let d = vec![entry(row![1], 0, 3), entry(row![2], 1, -2)];
+        let mut p = AnnotPool::new(4);
+        let d: DeltaBatch =
+            vec![entry(&mut p, row![1], 0, 3), entry(&mut p, row![2], 1, -2)].into();
         assert_eq!(delta_magnitude(&d), 5);
+    }
+
+    #[test]
+    fn pooled_heap_size_beats_flat_on_repetition() {
+        // 100 entries over one shared row and one pooled annotation.
+        let mut p = AnnotPool::new(64);
+        let mut ri = imp_storage::RowInterner::new();
+        let mut d = DeltaBatch::new();
+        for i in 0..100i64 {
+            let row = ri.intern(row![7, "same", 42]);
+            d.push_entry(row, p.singleton(3), if i % 2 == 0 { 1 } else { -1 });
+        }
+        let pooled = delta_heap_size(&d, &p);
+        let flat = delta_heap_size_flat(&d, &p);
+        // The pooled size is dominated by the fixed 32-byte entries; the
+        // shared payload/annotation heap is counted exactly once.
+        assert!(
+            pooled < flat / 3,
+            "pooled {pooled} should be far below flat {flat}"
+        );
     }
 }

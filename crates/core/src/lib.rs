@@ -5,7 +5,10 @@
 //! sketch-annotated deltas, plus the middleware that manages a store of
 //! sketches between the user and the backend database (paper Fig. 2).
 //!
-//! * [`delta`] — annotated deltas with signed multiplicities (§4.2/§4.3).
+//! * [`delta`] — annotated deltas with signed multiplicities (§4.2/§4.3),
+//!   represented as interned, arena-backed [`delta::DeltaBatch`]es whose
+//!   annotations are hash-consed [`delta::AnnotId`]s with memoized unions
+//!   (see the module docs for the design and its invariants).
 //! * [`fragcount`] — the per-group / per-operator fragment counters `ℱ_g`
 //!   and the merge-operator counter map `S : Φ → ℕ` (§5.1, §5.2.5).
 //! * [`ops`] — incremental versions of every relational operator the paper
@@ -31,7 +34,10 @@ pub mod opt;
 pub mod state_codec;
 pub mod strategy;
 
-pub use delta::{normalize_delta, AnnotDelta};
+pub use delta::{
+    delta_heap_size, delta_heap_size_flat, delta_magnitude, normalize_delta, AnnotId, AnnotPool,
+    DeltaBatch, DeltaEntry,
+};
 pub use error::CoreError;
 pub use fragcount::FragCounts;
 pub use maintain::{MaintReport, SketchMaintainer};

@@ -1,23 +1,37 @@
 //! The incremental maintenance procedure (Def. 4.5).
 //!
 //! A [`SketchMaintainer`] owns everything the sketch store keeps per query
-//! (paper §2): the sketch itself, the incremental operator state `S`, and
-//! the database version the sketch was last maintained at. `maintain`
-//! implements `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)`: fetch the annotated delta
-//! since the last maintained version, push it through the operator tree,
-//! merge the result deltas into a sketch delta, apply it.
+//! (paper §2): the sketch itself, the incremental operator state `S`, the
+//! database version the sketch was last maintained at, and the
+//! [`AnnotPool`] / [`RowInterner`] pair every delta batch of this query is
+//! interpreted against. `maintain` implements
+//! `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)`: fetch the annotated delta since the last
+//! maintained version, push it through the operator tree, merge the
+//! result deltas into a sketch delta, apply it.
 
-use crate::delta::AnnotDelta;
+use crate::delta::{delta_heap_size, delta_heap_size_flat, DeltaBatch, DeltaEntry};
 use crate::metrics::MaintMetrics;
 use crate::ops::{IncNode, MaintCtx, MergeOp, OpConfig};
 use crate::opt::pushdown::pushable_predicates;
 use crate::Result;
 use imp_engine::{Bag, Database};
-use imp_sketch::{annotate_delta, AnnotatedDeltaRow, PartitionSet, SketchDelta, SketchSet};
+use imp_sketch::{annotate_delta, PartitionSet, SketchDelta, SketchSet};
 use imp_sql::{Expr, LogicalPlan};
-use imp_storage::FxHashMap;
+use imp_storage::{AnnotPool, FxHashMap, PoolStats, RowInterner};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Row-interner size above which a run with zero intern hits flushes the
+/// cache (fresh-insert streams would otherwise pin dead payloads).
+const COLD_ROW_CACHE_FLUSH: usize = 1024;
+
+/// Pool size (distinct annotations) above which the pool is rebuilt
+/// before a run. Ids are only live *within* one maintenance/bootstrap
+/// call — operator state holds fragment counters or `Arc<BitVec>`
+/// content handles, never ids — so flushing between runs is safe; it
+/// trades memoization warmth for a hard memory bound on churny
+/// annotation populations.
+const POOL_FLUSH_LEN: usize = 1 << 16;
 
 /// Outcome of one maintenance run.
 #[derive(Debug, Clone)]
@@ -46,6 +60,11 @@ pub struct SketchMaintainer {
     tables: Vec<String>,
     pushdown: Option<Vec<(String, Expr)>>,
     op_config: OpConfig,
+    /// Annotation arena for this query's delta pipeline. Persists across
+    /// runs so memoized unions keep paying off for repeated annotations.
+    pool: AnnotPool,
+    /// Deduplicates delta row payloads at ingestion.
+    rows: RowInterner,
 }
 
 impl SketchMaintainer {
@@ -67,6 +86,8 @@ impl SketchMaintainer {
             plan: plan.clone(),
             merge: MergeOp::new(pset.total_fragments()),
             sketch: SketchSet::empty(Arc::clone(&pset)),
+            pool: AnnotPool::new(pset.total_fragments()),
+            rows: RowInterner::new(),
             pset,
             root,
             last_version: 0,
@@ -78,29 +99,29 @@ impl SketchMaintainer {
         Ok((m, result))
     }
 
-    /// Rebuild state + sketch from the full current database.
+    /// Rebuild state + sketch from the full current database. The pool is
+    /// kept — its ids stay canonical and memoized unions remain valid.
     fn bootstrap(&mut self, db: &Database) -> Result<Bag> {
         self.root.reset();
         self.merge.reset();
         self.sketch = SketchSet::empty(Arc::clone(&self.pset));
 
-        let mut deltas: FxHashMap<String, AnnotDelta> = FxHashMap::default();
+        let mut deltas: FxHashMap<String, DeltaBatch> = FxHashMap::default();
         for table in &self.tables {
             let t = db.table(table)?;
-            let mut delta: AnnotDelta = Vec::with_capacity(t.row_count());
-            let total = self.pset.total_fragments();
+            let mut delta = DeltaBatch::with_capacity(t.row_count());
             let part = self.pset.for_table(table);
+            let pool = &mut self.pool;
             t.scan(
                 None,
                 |row| {
                     let annot = match &part {
-                        Some((_, offset, p)) => imp_storage::BitVec::singleton(
-                            total,
-                            offset + p.fragment_of(&row[p.column]),
-                        ),
-                        None => imp_storage::BitVec::new(total),
+                        Some((_, offset, p)) => {
+                            pool.singleton(offset + p.fragment_of(&row[p.column]))
+                        }
+                        None => pool.empty_id(),
                     };
-                    delta.push(AnnotatedDeltaRow {
+                    delta.push(DeltaEntry {
                         row,
                         annot,
                         mult: 1,
@@ -111,15 +132,18 @@ impl SketchMaintainer {
             deltas.insert(table.clone(), self.apply_pushdown(table, delta, None));
         }
         let mut metrics = MaintMetrics::default();
-        let mut ctx = MaintCtx {
-            db,
-            pset: &self.pset,
-            deltas: &deltas,
-            metrics: &mut metrics,
-            needs_recapture: false,
+        let out = {
+            let mut ctx = MaintCtx {
+                db,
+                pset: &self.pset,
+                deltas: &deltas,
+                pool: &mut self.pool,
+                metrics: &mut metrics,
+                needs_recapture: false,
+            };
+            self.root.process(&mut ctx)?
         };
-        let out = self.root.process(&mut ctx)?;
-        let delta = self.merge.process(&out)?;
+        let delta = self.merge.process(&out, &self.pool)?;
         self.sketch.apply_delta(&delta);
         self.last_version = db.version();
         // Bootstrap output from the empty state is the full query result.
@@ -134,9 +158,9 @@ impl SketchMaintainer {
     fn apply_pushdown(
         &self,
         table: &str,
-        delta: AnnotDelta,
+        delta: DeltaBatch,
         metrics: Option<&mut MaintMetrics>,
-    ) -> AnnotDelta {
+    ) -> DeltaBatch {
         let Some(preds) = &self.pushdown else {
             return delta;
         };
@@ -149,7 +173,7 @@ impl SketchMaintainer {
             return delta;
         }
         let before = delta.len();
-        let kept: AnnotDelta = delta
+        let kept: DeltaBatch = delta
             .into_iter()
             .filter(|d| {
                 preds
@@ -176,39 +200,63 @@ impl SketchMaintainer {
     pub fn maintain(&mut self, db: &Database) -> Result<MaintReport> {
         let start = Instant::now();
         let mut metrics = MaintMetrics::default();
+        if self.pool.len() > POOL_FLUSH_LEN {
+            self.pool.clear();
+        }
+        let pool_stats_before = self.pool.stats();
+        let row_hits_before = self.rows.hits();
 
         // Fetch + annotate + (optionally) pre-filter the deltas.
-        let mut deltas: FxHashMap<String, AnnotDelta> = FxHashMap::default();
+        let mut deltas: FxHashMap<String, DeltaBatch> = FxHashMap::default();
         let mut any = false;
         for table in &self.tables {
             let records = db.delta_since(table, self.last_version)?;
             metrics.delta_rows_fetched += records.len() as u64;
-            let annotated = annotate_delta(&self.pset, table, records);
+            let annotated =
+                annotate_delta(&mut self.pool, &mut self.rows, &self.pset, table, records);
             let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
             let normalized = crate::delta::normalize_delta(filtered);
             any |= !normalized.is_empty();
             deltas.insert(table.clone(), normalized);
         }
+        // A stream of fresh inserts never hits the interner; drop a grown
+        // cold cache so dead payloads don't stay pinned for the
+        // maintainer's lifetime (the in-flight batches keep their `Arc`s).
+        if self.rows.hits() == row_hits_before && self.rows.len() >= COLD_ROW_CACHE_FLUSH {
+            self.rows.clear();
+        }
+        // Memory accounting walks every entry; keep its cost out of the
+        // reported maintenance duration (it is measurement, not work the
+        // flat representation would have avoided).
+        let acct_start = Instant::now();
+        for batch in deltas.values() {
+            metrics.delta_bytes_pooled += delta_heap_size(batch, &self.pool) as u64;
+            metrics.delta_bytes_flat += delta_heap_size_flat(batch, &self.pool) as u64;
+        }
+        let accounting = acct_start.elapsed();
         if !any {
             self.last_version = db.version();
             return Ok(MaintReport {
                 sketch_delta: SketchDelta::default(),
                 metrics,
                 recaptured: false,
-                duration: start.elapsed(),
+                duration: start.elapsed().saturating_sub(accounting),
                 state_bytes: self.state_heap_size(),
             });
         }
 
-        let mut ctx = MaintCtx {
-            db,
-            pset: &self.pset,
-            deltas: &deltas,
-            metrics: &mut metrics,
-            needs_recapture: false,
+        let (out, recapture) = {
+            let mut ctx = MaintCtx {
+                db,
+                pset: &self.pset,
+                deltas: &deltas,
+                pool: &mut self.pool,
+                metrics: &mut metrics,
+                needs_recapture: false,
+            };
+            let out = self.root.process(&mut ctx)?;
+            (out, ctx.needs_recapture)
         };
-        let out = self.root.process(&mut ctx)?;
-        let recapture = ctx.needs_recapture;
 
         if recapture {
             // Bounded state exhausted: fall back to full maintenance
@@ -216,23 +264,25 @@ impl SketchMaintainer {
             let before = self.sketch.clone();
             self.bootstrap(db)?;
             let sketch_delta = diff_sketches(&before, &self.sketch);
+            metrics.record_pool_activity(pool_stats_before, self.pool.stats());
             return Ok(MaintReport {
                 sketch_delta,
                 metrics,
                 recaptured: true,
-                duration: start.elapsed(),
+                duration: start.elapsed().saturating_sub(accounting),
                 state_bytes: self.state_heap_size(),
             });
         }
 
-        let sketch_delta = self.merge.process(&out)?;
+        let sketch_delta = self.merge.process(&out, &self.pool)?;
         self.sketch.apply_delta(&sketch_delta);
         self.last_version = db.version();
+        metrics.record_pool_activity(pool_stats_before, self.pool.stats());
         Ok(MaintReport {
             sketch_delta,
             metrics,
             recaptured: false,
-            duration: start.elapsed(),
+            duration: start.elapsed().saturating_sub(accounting),
             state_bytes: self.state_heap_size(),
         })
     }
@@ -282,6 +332,20 @@ impl SketchMaintainer {
         self.op_config
     }
 
+    /// The annotation pool backing this query's delta pipeline.
+    pub fn pool(&self) -> &AnnotPool {
+        &self.pool
+    }
+
+    /// Cumulative pool activity (hash-consing, union memoization, and
+    /// row interning).
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut stats = self.pool.stats();
+        stats.rows_interned = self.rows.interned();
+        stats.row_hits = self.rows.hits();
+        stats
+    }
+
     /// Entries and bytes of the top-k operator state (Fig. 13e/f).
     pub fn topk_state(&self) -> Option<(usize, usize)> {
         self.root.topk_state()
@@ -289,25 +353,43 @@ impl SketchMaintainer {
 
     /// Drop the in-memory operator state (after persisting it via
     /// [`crate::state_codec::save_state`]); the sketch and version stay
-    /// available for use-rewrites. Restore with
+    /// available for use-rewrites. The annotation pool and row interner
+    /// are flushed too — no batch is in flight, and restoring re-interns
+    /// what the state needs. Restore with
     /// [`crate::state_codec::load_state`] before the next maintenance.
     pub fn drop_state(&mut self) {
         self.root.reset();
         self.merge.reset();
+        self.pool.clear();
+        self.rows.clear();
     }
 
-    /// Heap footprint of all operator state + merge counters + sketch.
+    /// Heap footprint of all operator state + merge counters + sketch +
+    /// the interning pools.
     pub fn state_heap_size(&self) -> usize {
-        self.root.heap_size() + self.merge.heap_size() + self.sketch.heap_size()
+        self.root.heap_size()
+            + self.merge.heap_size()
+            + self.sketch.heap_size()
+            + self.pool.heap_size()
+            + self.rows.heap_size()
     }
 
     /// Internal accessors for state persistence (see [`crate::state_codec`]).
-    pub(crate) fn parts_mut(&mut self) -> (&mut IncNode, &mut MergeOp, &mut SketchSet, &mut u64) {
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (
+        &mut IncNode,
+        &mut MergeOp,
+        &mut SketchSet,
+        &mut u64,
+        &mut AnnotPool,
+    ) {
         (
             &mut self.root,
             &mut self.merge,
             &mut self.sketch,
             &mut self.last_version,
+            &mut self.pool,
         )
     }
 

@@ -1,5 +1,7 @@
 //! Maintenance metrics: cost and memory accounting for the experiments.
 
+use imp_storage::PoolStats;
+
 /// Counters recorded during one maintenance run (reset per run).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MaintMetrics {
@@ -20,6 +22,21 @@ pub struct MaintMetrics {
     pub rows_processed: u64,
     /// Groups touched by aggregation operators.
     pub groups_touched: u64,
+    /// Pool-aware heap footprint of the run's input delta batches
+    /// (shared rows / pooled annotations counted once).
+    pub delta_bytes_pooled: u64,
+    /// What the same batches would occupy in the flat pre-pool
+    /// representation (owned row + bitvector per entry).
+    pub delta_bytes_flat: u64,
+    /// Annotation unions actually computed this run (each allocates one
+    /// pooled bitvector at most once per distinct pair).
+    pub pool_unions_computed: u64,
+    /// Annotation unions answered from the memo table or a fast path.
+    pub pool_union_memo_hits: u64,
+    /// Distinct annotation bitvectors interned this run.
+    pub pool_interned: u64,
+    /// Intern requests answered by an existing pooled entry.
+    pub pool_intern_hits: u64,
 }
 
 impl MaintMetrics {
@@ -33,5 +50,20 @@ impl MaintMetrics {
         self.db_rows_scanned += other.db_rows_scanned;
         self.rows_processed += other.rows_processed;
         self.groups_touched += other.groups_touched;
+        self.delta_bytes_pooled += other.delta_bytes_pooled;
+        self.delta_bytes_flat += other.delta_bytes_flat;
+        self.pool_unions_computed += other.pool_unions_computed;
+        self.pool_union_memo_hits += other.pool_union_memo_hits;
+        self.pool_interned += other.pool_interned;
+        self.pool_intern_hits += other.pool_intern_hits;
+    }
+
+    /// Record the pool activity of one run as the difference between its
+    /// cumulative stats before and after the run.
+    pub fn record_pool_activity(&mut self, before: PoolStats, after: PoolStats) {
+        self.pool_unions_computed += after.unions_computed - before.unions_computed;
+        self.pool_union_memo_hits += after.union_memo_hits - before.union_memo_hits;
+        self.pool_interned += after.interned - before.interned;
+        self.pool_intern_hits += after.intern_hits - before.intern_hits;
     }
 }

@@ -32,7 +32,9 @@ pub struct ImpConfig {
     pub bloom: bool,
     /// Push selections into delta retrieval (§7.2).
     pub selection_pushdown: bool,
-    /// Bounded MIN/MAX state: keep the best `l` values (§7.2).
+    /// Bounded MIN/MAX state: keep the best `l` values (§7.2). Bounded to
+    /// [`crate::ops::DEFAULT_MINMAX_BUFFER`] by default; the recapture
+    /// fallback keeps results exact when a buffer exhausts.
     pub minmax_buffer: Option<usize>,
     /// Bounded top-k state: keep the best `l` entries (§7.2/§8.4.3).
     pub topk_buffer: Option<usize>,
@@ -53,7 +55,7 @@ impl Default for ImpConfig {
             fragments: 100,
             bloom: true,
             selection_pushdown: true,
-            minmax_buffer: None,
+            minmax_buffer: Some(crate::ops::DEFAULT_MINMAX_BUFFER),
             topk_buffer: None,
             partition_overrides: Vec::new(),
             allow_unsafe_attributes: false,

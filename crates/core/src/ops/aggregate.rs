@@ -12,14 +12,13 @@
 //! time when processing a delta").
 
 use super::{IncNode, MaintCtx};
-use crate::delta::AnnotDelta;
+use crate::delta::{DeltaBatch, DeltaEntry};
 use crate::error::CoreError;
 use crate::fragcount::FragCounts;
 use crate::Result;
 use imp_engine::eval::NumAcc;
-use imp_sketch::AnnotatedDeltaRow;
 use imp_sql::{AggFunc, AggSpec, Expr};
-use imp_storage::{BitVec, FxHashMap, Row, Value};
+use imp_storage::{AnnotId, AnnotPool, FxHashMap, Row, Value};
 use std::collections::BTreeMap;
 
 /// Incremental aggregation operator (also implements δ when `aggs` is
@@ -317,9 +316,16 @@ impl AggOp {
         op
     }
 
-    /// Current output (row, annotation) of a group, or `None` if the group
-    /// does not (or no longer) exist(s).
-    fn output_of(&self, key: &Row, total_frags: usize) -> Option<(Row, BitVec)> {
+    /// Current output (row, pooled annotation) of a group, or `None` if
+    /// the group does not (or no longer) exist(s). The group's sketch
+    /// `{ρ | ℱ_g[ρ] > 0}` is interned, so unchanged groups re-use the
+    /// same id and equal sketches share one bitvector.
+    fn output_of(
+        &self,
+        key: &Row,
+        total_frags: usize,
+        pool: &mut AnnotPool,
+    ) -> Option<(Row, AnnotId)> {
         let st = self.groups.get(key)?;
         if st.count <= 0 && !self.global {
             return None;
@@ -328,18 +334,18 @@ impl AggOp {
         for acc in &st.accs {
             vals.push(acc.finish());
         }
-        Some((Row::new(vals), st.frags.to_bits(total_frags)))
+        Some((Row::new(vals), pool.intern(st.frags.to_bits(total_frags))))
     }
 
     /// Process one batch (see module docs).
-    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
         let input = self.input.process(ctx)?;
         if input.is_empty() {
-            return Ok(Vec::new());
+            return Ok(DeltaBatch::new());
         }
         let total = ctx.pset.total_fragments();
         // Lazy pre-batch snapshots of each touched group's output (§7.1).
-        let mut old_outputs: FxHashMap<Row, Option<(Row, BitVec)>> = FxHashMap::default();
+        let mut old_outputs: FxHashMap<Row, Option<(Row, AnnotId)>> = FxHashMap::default();
         for d in input {
             ctx.metrics.rows_processed += 1;
             let key: Row = self
@@ -349,7 +355,7 @@ impl AggOp {
                 .collect::<std::result::Result<_, _>>()
                 .map_err(imp_engine::EngineError::from)?;
             if !old_outputs.contains_key(&key) {
-                let snap = self.output_of(&key, total);
+                let snap = self.output_of(&key, total, ctx.pool);
                 old_outputs.insert(key.clone(), snap);
             }
             let st = self
@@ -357,7 +363,7 @@ impl AggOp {
                 .entry(key)
                 .or_insert_with(|| GroupState::new(&self.aggs, self.minmax_buffer));
             st.count += d.mult;
-            for frag in d.annot.iter_ones() {
+            for frag in ctx.pool.get(d.annot).iter_ones() {
                 st.frags.add(frag as u32, d.mult);
             }
             for (acc, spec) in st.accs.iter_mut().zip(&self.aggs) {
@@ -372,7 +378,7 @@ impl AggOp {
         }
         ctx.metrics.groups_touched += old_outputs.len() as u64;
         // Emit Δ-old / Δ+new per touched group; drop dead groups.
-        let mut out = Vec::new();
+        let mut out = DeltaBatch::new();
         for (key, old) in old_outputs {
             if let Some(st) = self.groups.get(&key) {
                 if st.count < 0 {
@@ -390,19 +396,19 @@ impl AggOp {
                     self.groups.remove(&key);
                 }
             }
-            let new = self.output_of(&key, total);
+            let new = self.output_of(&key, total, ctx.pool);
             if old == new {
                 continue; // group output unchanged, no delta
             }
             if let Some((row, annot)) = old {
-                out.push(AnnotatedDeltaRow {
+                out.push(DeltaEntry {
                     row,
                     annot,
                     mult: -1,
                 });
             }
             if let Some((row, annot)) = new {
-                out.push(AnnotatedDeltaRow {
+                out.push(DeltaEntry {
                     row,
                     annot,
                     mult: 1,

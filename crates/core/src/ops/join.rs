@@ -16,15 +16,19 @@
 //! (§1, §7): evaluating the non-delta side is a round trip counted in the
 //! metrics; bloom filters on the join keys prune delta tuples without
 //! partners and can skip the round trip entirely.
+//!
+//! Output annotations are produced by the memoized
+//! [`AnnotPool::union`](imp_storage::AnnotPool::union): a delta tuple that
+//! matches many partners in the same fragment combination pays for one
+//! union, not one allocation per output row.
 
 use super::{IncNode, MaintCtx};
-use crate::delta::AnnotDelta;
+use crate::delta::{DeltaBatch, DeltaEntry};
 use crate::opt::BloomFilter;
 use crate::Result;
 use imp_sketch::capture::eval_annot;
-use imp_sketch::AnnotatedDeltaRow;
 use imp_sql::LogicalPlan;
-use imp_storage::{BitVec, FxHashMap, Row, Value};
+use imp_storage::{FxHashMap, Row, Value};
 
 /// Incremental join operator.
 #[derive(Debug)]
@@ -69,18 +73,18 @@ impl JoinOp {
     }
 
     /// Process one batch (see module docs for the delta rule).
-    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
         let dl = self.left.process(ctx)?;
         let dr = self.right.process(ctx)?;
         if dl.is_empty() && dr.is_empty() {
-            return Ok(Vec::new());
+            return Ok(DeltaBatch::new());
         }
         let use_bloom = self.bloom_enabled && !self.left_keys.is_empty();
-        let mut out: AnnotDelta = Vec::new();
+        let mut out = DeltaBatch::new();
 
         // Evaluated sides are cached across terms within this batch.
-        let mut left_side: Option<Vec<(Row, BitVec, i64)>> = None;
-        let mut right_side: Option<Vec<(Row, BitVec, i64)>> = None;
+        let mut left_side: Option<DeltaBatch> = None;
+        let mut right_side: Option<DeltaBatch> = None;
 
         // Keep the bloom filters in sync *before* filtering: new keys from
         // this batch's deltas must be visible (no false negatives). Each
@@ -90,8 +94,8 @@ impl JoinOp {
             if !dl.is_empty() && self.right_bloom.is_none() {
                 let side = eval_side(&self.right_plan, ctx)?;
                 let mut bloom = BloomFilter::with_capacity(side.len());
-                for (row, _, _) in &side {
-                    if let Some(k) = key_of(row, &self.right_keys) {
+                for e in &side {
+                    if let Some(k) = key_of(&e.row, &self.right_keys) {
                         bloom.insert(&k);
                     }
                 }
@@ -101,8 +105,8 @@ impl JoinOp {
             if !dr.is_empty() && self.left_bloom.is_none() {
                 let side = eval_side(&self.left_plan, ctx)?;
                 let mut bloom = BloomFilter::with_capacity(side.len());
-                for (row, _, _) in &side {
-                    if let Some(k) = key_of(row, &self.left_keys) {
+                for e in &side {
+                    if let Some(k) = key_of(&e.row, &self.left_keys) {
                         bloom.insert(&k);
                     }
                 }
@@ -132,10 +136,10 @@ impl JoinOp {
         }
 
         // Bloom-prune the deltas (only correct for equi-joins).
-        let dl_f: AnnotDelta = match (&self.right_bloom, use_bloom) {
+        let dl_f: DeltaBatch = match (&self.right_bloom, use_bloom) {
             (Some(b), true) => {
                 let before = dl.len();
-                let kept: AnnotDelta = dl
+                let kept: DeltaBatch = dl
                     .iter()
                     .filter(|d| {
                         key_of(&d.row, &self.left_keys)
@@ -149,10 +153,10 @@ impl JoinOp {
             }
             _ => dl.clone(),
         };
-        let dr_f: AnnotDelta = match (&self.left_bloom, use_bloom) {
+        let dr_f: DeltaBatch = match (&self.left_bloom, use_bloom) {
             (Some(b), true) => {
                 let before = dr.len();
-                let kept: AnnotDelta = dr
+                let kept: DeltaBatch = dr
                     .iter()
                     .filter(|d| {
                         key_of(&d.row, &self.right_keys)
@@ -181,11 +185,11 @@ impl JoinOp {
                     continue;
                 };
                 if let Some(matches) = table.get(&k) {
-                    for (r, ra, m) in matches {
-                        out.push(AnnotatedDeltaRow {
-                            row: d.row.concat(r),
-                            annot: d.annot.union(ra),
-                            mult: d.mult * m,
+                    for r in matches {
+                        out.push(DeltaEntry {
+                            row: d.row.concat(&r.row),
+                            annot: ctx.pool.union(d.annot, r.annot),
+                            mult: d.mult * r.mult,
                         });
                     }
                 }
@@ -206,11 +210,11 @@ impl JoinOp {
                     continue;
                 };
                 if let Some(matches) = table.get(&k) {
-                    for (l, la, m) in matches {
-                        out.push(AnnotatedDeltaRow {
-                            row: l.concat(&d.row),
-                            annot: la.union(&d.annot),
-                            mult: m * d.mult,
+                    for l in matches {
+                        out.push(DeltaEntry {
+                            row: l.row.concat(&d.row),
+                            annot: ctx.pool.union(l.annot, d.annot),
+                            mult: l.mult * d.mult,
                         });
                     }
                 }
@@ -219,7 +223,7 @@ impl JoinOp {
 
         // Term 3: − ΔQ₁ ⋈ ΔQ₂ (fully in memory).
         if !dl_f.is_empty() && !dr_f.is_empty() {
-            let mut dr_hash: FxHashMap<Vec<Value>, Vec<&AnnotatedDeltaRow>> = FxHashMap::default();
+            let mut dr_hash: FxHashMap<Vec<Value>, Vec<&DeltaEntry>> = FxHashMap::default();
             for d in &dr_f {
                 if let Some(k) = key_of(&d.row, &self.right_keys) {
                     dr_hash.entry(k).or_default().push(d);
@@ -231,9 +235,9 @@ impl JoinOp {
                 };
                 if let Some(matches) = dr_hash.get(&k) {
                     for r in matches {
-                        out.push(AnnotatedDeltaRow {
+                        out.push(DeltaEntry {
                             row: d.row.concat(&r.row),
-                            annot: d.annot.union(&r.annot),
+                            annot: ctx.pool.union(d.annot, r.annot),
                             mult: -(d.mult * r.mult),
                         });
                     }
@@ -277,10 +281,11 @@ impl JoinOp {
 }
 
 /// Evaluate one (stateless) join side against the backend: a DB round trip.
-fn eval_side(plan: &LogicalPlan, ctx: &mut MaintCtx<'_>) -> Result<Vec<(Row, BitVec, i64)>> {
+/// The side's annotations are interned into the run's pool.
+fn eval_side(plan: &LogicalPlan, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
     ctx.metrics.db_roundtrips += 1;
     let mut scanned = 0u64;
-    let bag = eval_annot(plan, ctx.db, ctx.pset, &mut scanned)?;
+    let bag = eval_annot(plan, ctx.db, ctx.pset, ctx.pool, &mut scanned)?;
     ctx.metrics.db_rows_scanned += scanned;
     Ok(bag)
 }
@@ -299,12 +304,12 @@ fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
 }
 
 fn build_hash<'a>(
-    side: &'a [(Row, BitVec, i64)],
+    side: &'a DeltaBatch,
     keys: &[usize],
-) -> FxHashMap<Vec<Value>, Vec<&'a (Row, BitVec, i64)>> {
-    let mut table: FxHashMap<Vec<Value>, Vec<&(Row, BitVec, i64)>> = FxHashMap::default();
-    for entry in side {
-        if let Some(k) = key_of(&entry.0, keys) {
+) -> FxHashMap<Vec<Value>, Vec<&'a DeltaEntry>> {
+    let mut table: FxHashMap<Vec<Value>, Vec<&DeltaEntry>> = FxHashMap::default();
+    for entry in side.iter() {
+        if let Some(k) = key_of(&entry.row, keys) {
             table.entry(k).or_default().push(entry);
         }
     }

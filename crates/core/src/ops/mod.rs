@@ -17,14 +17,14 @@ pub use join::JoinOp;
 pub use merge::MergeOp;
 pub use topk::TopKOp;
 
-use crate::delta::AnnotDelta;
+use crate::delta::DeltaBatch;
 use crate::error::CoreError;
 use crate::metrics::MaintMetrics;
 use crate::Result;
 use imp_engine::Database;
-use imp_sketch::{AnnotatedDeltaRow, PartitionSet};
+use imp_sketch::PartitionSet;
 use imp_sql::{Expr, LogicalPlan};
-use imp_storage::{FxHashMap, Row};
+use imp_storage::{AnnotPool, DeltaEntry, FxHashMap, Row};
 use std::sync::Arc;
 
 /// Per-run context shared by all operators.
@@ -34,8 +34,11 @@ pub struct MaintCtx<'a> {
     /// The partitions `Φ` of the sketch being maintained.
     pub pset: &'a Arc<PartitionSet>,
     /// Annotated deltas per base table, pre-filtered by selection
-    /// push-down when enabled.
-    pub deltas: &'a FxHashMap<String, AnnotDelta>,
+    /// push-down when enabled. Entries reference [`MaintCtx::pool`].
+    pub deltas: &'a FxHashMap<String, DeltaBatch>,
+    /// The annotation pool every batch of this run is interpreted
+    /// against; operators combine annotations with its memoized unions.
+    pub pool: &'a mut AnnotPool,
     /// Cost counters.
     pub metrics: &'a mut MaintMetrics,
     /// Set by bounded-state operators when their buffer can no longer
@@ -44,6 +47,11 @@ pub struct MaintCtx<'a> {
     pub needs_recapture: bool,
 }
 
+/// Default MIN/MAX buffer bound: the best `l` distinct values kept per
+/// group (§7.2). Deltas are typically far smaller than this, so the
+/// recapture fallback stays rare while state is bounded by default.
+pub const DEFAULT_MINMAX_BUFFER: usize = 64;
+
 /// Tuning knobs for operator construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpConfig {
@@ -51,6 +59,8 @@ pub struct OpConfig {
     pub bloom: bool,
     /// Keep only the best `l` values per group in MIN/MAX state (§7.2
     /// "Optimizing Minimum, Maximum, and Top-k"); `None` = unbounded.
+    /// Bounded to [`DEFAULT_MINMAX_BUFFER`] by default, with the
+    /// recapture fallback restoring exactness when the buffer exhausts.
     pub minmax_buffer: Option<usize>,
     /// Keep only the best `l` entries in top-k state; `None` = unbounded.
     pub topk_buffer: Option<usize>,
@@ -60,7 +70,7 @@ impl Default for OpConfig {
     fn default() -> Self {
         OpConfig {
             bloom: true,
-            minmax_buffer: None,
+            minmax_buffer: Some(DEFAULT_MINMAX_BUFFER),
             topk_buffer: None,
         }
     }
@@ -183,15 +193,16 @@ impl IncNode {
 
     /// Process one maintenance batch: consume input deltas, update state,
     /// emit the output delta.
-    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
         match self {
             IncNode::TableAccess { table } => {
                 // I(R, Δ𝒟) = Δℛ — the annotated delta, unmodified (§5.2.1).
+                // Cloning a batch clones no tuple or bitvector data.
                 Ok(ctx.deltas.get(table.as_str()).cloned().unwrap_or_default())
             }
             IncNode::Selection { input, predicate } => {
                 let rows = input.process(ctx)?;
-                let mut out = Vec::new();
+                let mut out = DeltaBatch::new();
                 for d in rows {
                     ctx.metrics.rows_processed += 1;
                     if predicate
@@ -205,7 +216,7 @@ impl IncNode {
             }
             IncNode::Projection { input, exprs } => {
                 let rows = input.process(ctx)?;
-                let mut out = Vec::with_capacity(rows.len());
+                let mut out = DeltaBatch::with_capacity(rows.len());
                 for d in rows {
                     ctx.metrics.rows_processed += 1;
                     let vals = exprs
@@ -213,7 +224,7 @@ impl IncNode {
                         .map(|e| e.eval(&d.row))
                         .collect::<std::result::Result<Vec<_>, _>>()
                         .map_err(imp_engine::EngineError::from)?;
-                    out.push(AnnotatedDeltaRow {
+                    out.push(DeltaEntry {
                         row: Row::new(vals),
                         annot: d.annot,
                         mult: d.mult,

@@ -7,20 +7,26 @@
 //! delete the previous top-k, insert the updated top-k ("as k is typically
 //! relatively small, we select a simple approach").
 //!
+//! Annotations are stored as `Arc<BitVec>` handles from
+//! [`AnnotPool::share`](imp_storage::AnnotPool::share) — O(1) to obtain,
+//! no per-entry bitvector copies — and keyed by *content*, so entry order
+//! is canonical and survives state eviction / restore even though pool
+//! ids are reassigned when the state is re-interned.
+//!
 //! With a bounded buffer only the best `l ≥ k` entries are stored; if
 //! deletions exhaust the buffer below `k`, the operator requests a full
 //! recapture (§8.4.3: "if there are less than k groups stored in the
 //! state, our IMP will fully maintain the sketches").
 
 use super::{IncNode, MaintCtx};
-use crate::delta::AnnotDelta;
+use crate::delta::{DeltaBatch, DeltaEntry};
 use crate::Result;
-use imp_sketch::AnnotatedDeltaRow;
 use imp_sql::plan::sort_key_values;
 use imp_sql::SortKey;
-use imp_storage::{BitVec, Row, Value};
+use imp_storage::{AnnotPool, BitVec, Row, Value};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// ORDER BY key with per-column direction baked into its `Ord`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,7 +65,7 @@ impl Ord for OrderKey {
     }
 }
 
-type Entries = BTreeMap<(Row, BitVec), i64>;
+type Entries = BTreeMap<(Row, Arc<BitVec>), i64>;
 
 /// Incremental top-k operator.
 #[derive(Debug)]
@@ -90,7 +96,8 @@ impl TopKOp {
 
     /// Current top-k: walk keys in order, tuples per key in deterministic
     /// order, clipping the boundary tuple's multiplicity (`τ_{k,O}`).
-    fn compute_topk(&self) -> Vec<(Row, BitVec, i64)> {
+    /// Rows and annotations come back as O(1) shared handles.
+    fn compute_topk(&self) -> Vec<(Row, Arc<BitVec>, i64)> {
         let mut out = Vec::new();
         let mut remaining = self.k as i64;
         'outer: for entries in self.state.values() {
@@ -99,7 +106,7 @@ impl TopKOp {
                     break 'outer;
                 }
                 let take = (*m).min(remaining);
-                out.push((row.clone(), annot.clone(), take));
+                out.push((row.clone(), Arc::clone(annot), take));
                 remaining -= take;
             }
         }
@@ -112,16 +119,17 @@ impl TopKOp {
     }
 
     /// Process one batch.
-    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<AnnotDelta> {
+    pub fn process(&mut self, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
         let input = self.input.process(ctx)?;
         if input.is_empty() {
-            return Ok(Vec::new());
+            return Ok(DeltaBatch::new());
         }
         let old_topk = self.compute_topk();
 
         for d in input {
             ctx.metrics.rows_processed += 1;
             let key = OrderKey::new(&d.row, &self.keys);
+            let annot = ctx.pool.share(d.annot);
             if d.mult > 0 {
                 if self.truncated && self.horizon().is_some_and(|h| key > *h) {
                     // Beyond the horizon of a truncated buffer: cannot be
@@ -130,7 +138,7 @@ impl TopKOp {
                     continue;
                 }
                 let entries = self.state.entry(key).or_default();
-                let slot = entries.entry((d.row, d.annot)).or_insert(0);
+                let slot = entries.entry((d.row, annot)).or_insert(0);
                 if *slot == 0 {
                     self.entries += 1;
                 }
@@ -155,7 +163,7 @@ impl TopKOp {
                 let beyond = self.horizon().is_none_or(|h| key > *h);
                 match self.state.get_mut(&key) {
                     Some(entries) => {
-                        let slot_key = (d.row, d.annot);
+                        let slot_key = (d.row, annot);
                         match entries.get_mut(&slot_key) {
                             Some(slot) => {
                                 *slot += d.mult;
@@ -195,26 +203,27 @@ impl TopKOp {
             }
         }
         if ctx.needs_recapture {
-            return Ok(Vec::new());
+            return Ok(DeltaBatch::new());
         }
 
         let new_topk = self.compute_topk();
         if old_topk == new_topk {
-            return Ok(Vec::new());
+            return Ok(DeltaBatch::new());
         }
-        // Δ-τ_k(S) ∪ Δ+τ_k(S′).
-        let mut out = Vec::with_capacity(old_topk.len() + new_topk.len());
+        // Δ-τ_k(S) ∪ Δ+τ_k(S′). Annotations re-enter the pool by content
+        // (an O(1) probe for already-known sketches, no bitvector copy).
+        let mut out = DeltaBatch::with_capacity(old_topk.len() + new_topk.len());
         for (row, annot, m) in old_topk {
-            out.push(AnnotatedDeltaRow {
+            out.push(DeltaEntry {
                 row,
-                annot,
+                annot: ctx.pool.intern_arc(annot),
                 mult: -m,
             });
         }
         for (row, annot, m) in new_topk {
-            out.push(AnnotatedDeltaRow {
+            out.push(DeltaEntry {
                 row,
-                annot,
+                annot: ctx.pool.intern_arc(annot),
                 mult: m,
             });
         }
@@ -244,7 +253,8 @@ impl TopKOp {
         &mut self.input
     }
 
-    /// Serialize the top-k state.
+    /// Serialize the top-k state (annotations by content, so the encoding
+    /// is independent of pool id assignment).
     pub fn encode_state(&self, buf: &mut bytes::BytesMut) {
         use imp_storage::codec::*;
         encode_u64(buf, self.truncated as u64);
@@ -260,8 +270,14 @@ impl TopKOp {
         }
     }
 
-    /// Restore state written by [`TopKOp::encode_state`].
-    pub fn decode_state(&mut self, buf: &mut bytes::Bytes) -> crate::Result<()> {
+    /// Restore state written by [`TopKOp::encode_state`], re-interning
+    /// every annotation into `pool` so restored state shares allocations
+    /// (and ids) with the live pipeline.
+    pub fn decode_state(
+        &mut self,
+        buf: &mut bytes::Bytes,
+        pool: &mut AnnotPool,
+    ) -> crate::Result<()> {
         use imp_storage::codec::*;
         self.state.clear();
         self.entries = 0;
@@ -278,9 +294,8 @@ impl TopKOp {
             let mut entries = Entries::new();
             for _ in 0..len {
                 let row = decode_row(buf)?;
-                let annot = decode_bitvec(buf)?;
-                let m = decode_i64(buf)?;
-                entries.insert((row, annot), m);
+                let id = pool.intern(decode_bitvec(buf)?);
+                entries.insert((row, pool.share(id)), decode_i64(buf)?);
                 self.entries += 1;
             }
             self.state.insert(key, entries);
@@ -289,15 +304,18 @@ impl TopKOp {
     }
 
     /// Heap footprint of this operator's own state (excludes children) —
-    /// the quantity Fig. 13e/f plots against the buffer bound.
+    /// the quantity Fig. 13e/f plots against the buffer bound. Annotation
+    /// *contents* are not counted here: every stored `Arc<BitVec>` comes
+    /// from the maintainer's pool, whose `heap_size` already accounts for
+    /// the bitvectors — only the per-entry handle overhead is ours.
     pub fn own_heap_size(&self) -> usize {
         let mut size = 0usize;
         for (key, entries) in &self.state {
             size += key.vals.len() * std::mem::size_of::<Value>()
                 + key.vals.iter().map(Value::heap_size).sum::<usize>()
                 + 48;
-            for (row, annot) in entries.keys() {
-                size += row.heap_size() + annot.heap_size() + 56;
+            for (row, _annot) in entries.keys() {
+                size += row.heap_size() + std::mem::size_of::<Arc<BitVec>>() + 56;
             }
         }
         size

@@ -11,6 +11,13 @@
 //! (the store keys state by query template, so that is guaranteed).
 //! Join bloom filters are deliberately not persisted — they are insert-only
 //! summaries rebuilt lazily on first use.
+//!
+//! Pooled annotations are encoded by *content* (their bitvectors), never
+//! by [`imp_storage::AnnotId`] — ids are only canonical within one live
+//! pool. Restoring re-interns every annotation the state carries into the
+//! maintainer's pool, so after a round-trip (including an eviction that
+//! cleared the pool) the restored state shares allocations and ids with
+//! the live delta pipeline again.
 
 use crate::error::CoreError;
 use crate::maintain::SketchMaintainer;
@@ -18,7 +25,7 @@ use crate::ops::IncNode;
 use crate::Result;
 use bytes::{Bytes, BytesMut};
 use imp_sketch::SketchSet;
-use imp_storage::codec;
+use imp_storage::{codec, AnnotPool};
 
 /// Serialize the full maintainer state (sketch, version, μ counters,
 /// every stateful operator).
@@ -47,11 +54,11 @@ pub fn load_state(m: &mut SketchMaintainer, mut bytes: Bytes) -> Result<()> {
             pset.total_fragments()
         )));
     }
-    let (root, merge, sketch, last_version) = m.parts_mut();
+    let (root, merge, sketch, last_version, pool) = m.parts_mut();
     *sketch = SketchSet::from_bits(pset, bits);
     *last_version = version;
     merge.decode_state(&mut bytes)?;
-    decode_node(root, &mut bytes)?;
+    decode_node(root, &mut bytes, pool)?;
     if !bytes.is_empty() {
         return Err(CoreError::Codec(format!(
             "{} trailing bytes after state",
@@ -82,24 +89,24 @@ fn encode_node(node: &IncNode, buf: &mut BytesMut) {
     }
 }
 
-fn decode_node(node: &mut IncNode, buf: &mut Bytes) -> Result<()> {
+fn decode_node(node: &mut IncNode, buf: &mut Bytes, pool: &mut AnnotPool) -> Result<()> {
     match node {
         IncNode::TableAccess { .. } => Ok(()),
         IncNode::Selection { input, .. }
         | IncNode::Projection { input, .. }
-        | IncNode::Passthrough { input } => decode_node(input, buf),
+        | IncNode::Passthrough { input } => decode_node(input, buf, pool),
         IncNode::Join(j) => {
             let (l, r) = j.children_mut();
-            decode_node(l, buf)?;
-            decode_node(r, buf)
+            decode_node(l, buf, pool)?;
+            decode_node(r, buf, pool)
         }
         IncNode::Aggregate(a) => {
             a.decode_state(buf)?;
-            decode_node(a.input_child_mut(), buf)
+            decode_node(a.input_child_mut(), buf, pool)
         }
         IncNode::TopK(t) => {
-            t.decode_state(buf)?;
-            decode_node(t.input_child_mut(), buf)
+            t.decode_state(buf, pool)?;
+            decode_node(t.input_child_mut(), buf, pool)
         }
     }
 }

@@ -397,6 +397,223 @@ fn bounded_minmax_triggers_recapture() {
 }
 
 #[test]
+fn default_minmax_buffer_is_bounded_with_recapture_fallback() {
+    // Satellite of paper §7.2: MIN/MAX state is bounded *by default*;
+    // when deletions exhaust a buffer, the maintainer falls back to a
+    // full recapture and stays exact.
+    let default_buffer = OpConfig::default().minmax_buffer;
+    assert_eq!(default_buffer, Some(imp_core::ops::DEFAULT_MINMAX_BUFFER));
+    assert_eq!(
+        ImpConfig::default().minmax_buffer,
+        default_buffer,
+        "middleware default must match the operator default"
+    );
+
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    // One group with more distinct values than the default buffer holds.
+    let n = imp_core::ops::DEFAULT_MINMAX_BUFFER as i64 + 10;
+    db.table_mut("t")
+        .unwrap()
+        .bulk_load((0..n).map(|i| row![0, i]))
+        .unwrap();
+    let plan = db
+        .plan_sql("SELECT g, min(v) AS mv FROM t GROUP BY g HAVING min(v) < 1000000")
+        .unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::new("t", "g", 0, vec![Value::Int(1)]).unwrap()
+        ])
+        .unwrap(),
+    );
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    // Deleting every buffered (smallest) value exhausts the bounded state:
+    // the evicted tail is unknown, so a recapture must be reported.
+    db.execute_sql(&format!(
+        "DELETE FROM t WHERE v < {}",
+        imp_core::ops::DEFAULT_MINMAX_BUFFER
+    ))
+    .unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert!(report.recaptured, "exhausted default buffer must recapture");
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+    // The maintainer keeps working incrementally afterwards.
+    db.execute_sql("INSERT INTO t VALUES (0, 7)").unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert!(!report.recaptured);
+    let batch = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &batch.sketch);
+}
+
+#[test]
+fn background_maintainer_tick_driven_convergence() {
+    // The eager/background strategy thread: inject updates, let ticks
+    // fire, and assert the stored sketch converges to the recaptured
+    // ground truth without any foreground query triggering maintenance.
+    use imp_core::strategy::BackgroundMaintainer;
+    use parking_lot::Mutex;
+    use std::time::{Duration, Instant};
+
+    let mut imp = Imp::new(
+        sales_db(),
+        ImpConfig {
+            partition_overrides: vec![("sales".into(), "price".into())],
+            allow_unsafe_attributes: true,
+            fragments: 4,
+            ..ImpConfig::default()
+        },
+    );
+    imp.execute(QTOP).unwrap(); // capture
+    let imp = Arc::new(Mutex::new(imp));
+    let bg = BackgroundMaintainer::spawn(Arc::clone(&imp), Duration::from_millis(2));
+
+    // Inject updates through the middleware (lazy strategy: nothing is
+    // maintained in the foreground).
+    {
+        let mut guard = imp.lock();
+        guard
+            .execute("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+            .unwrap();
+        guard
+            .execute("INSERT INTO sales VALUES (9, 'Asus', 250, 2)")
+            .unwrap();
+    }
+
+    // Let ticks advance until the sketch is fresh again (bounded wait;
+    // each poll yields the lock so the worker can take it).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        {
+            let guard = imp.lock();
+            let all_fresh = guard.describe_sketches().iter().all(|s| !s.stale);
+            if all_fresh {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "background maintainer never converged"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    bg.stop();
+
+    // Ground truth: a from-scratch capture on the current database.
+    let guard = imp.lock();
+    let imp_sql::Statement::Select(sel) = imp_sql::parse_one(QTOP).unwrap() else {
+        panic!()
+    };
+    let template = imp_sql::QueryTemplate::of(&sel);
+    let entry = guard.sketch_entry(&template).expect("sketch stored");
+    assert!(!entry.maintainer.is_stale(guard.db()));
+    let truth = capture(
+        entry.maintainer.plan(),
+        guard.db(),
+        entry.maintainer.partitions(),
+    )
+    .unwrap();
+    assert_eq!(entry.maintainer.sketch(), &truth.sketch);
+    // HP joined the result via the tick-driven maintenance: ρ2 + ρ3 marked.
+    assert_eq!(
+        entry.maintainer.sketch().fragments_of_partition(0),
+        vec![1, 2, 3]
+    );
+}
+
+#[test]
+fn eviction_clears_pool_and_roundtrips() {
+    // drop_state flushes the annotation pool / row interner; load_state
+    // re-interns what the persisted state needs, and maintenance over the
+    // rebuilt pool must match uninterrupted maintenance.
+    let mut db = sales_db();
+    let sql = "SELECT brand, price FROM sales ORDER BY price DESC LIMIT 3";
+    let plan = db.plan_sql(sql).unwrap();
+    let pset = price_pset();
+    let (mut live, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let (mut evicted, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let saved = imp_core::state_codec::save_state(&evicted);
+    evicted.drop_state();
+
+    db.execute_sql("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    db.execute_sql("DELETE FROM sales WHERE sid = 4").unwrap();
+
+    imp_core::state_codec::load_state(&mut evicted, saved).unwrap();
+    live.maintain(&db).unwrap();
+    evicted.maintain(&db).unwrap();
+    assert_eq!(live.sketch(), evicted.sketch());
+    let truth = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(evicted.sketch(), &truth.sketch);
+}
+
+#[test]
+fn pool_memoizes_unions_across_runs() {
+    // Join maintenance over repeating fragment combinations must be
+    // answered by the pool's union memo table, and the pooled delta heap
+    // accounting can never exceed the flat baseline.
+    let mut db = Database::new();
+    for t in ["r", "s"] {
+        db.create_table(
+            t,
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    }
+    db.table_mut("r")
+        .unwrap()
+        .bulk_load((0..40).map(|i| row![i % 4, i]))
+        .unwrap();
+    db.table_mut("s")
+        .unwrap()
+        .bulk_load((0..8).map(|i| row![i % 4, i * 10]))
+        .unwrap();
+    let plan = db
+        .plan_sql("SELECT r.v, s.v FROM r JOIN s ON (r.k = s.k)")
+        .unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::new("r", "k", 0, vec![Value::Int(2)]).unwrap(),
+            RangePartition::new("s", "k", 0, vec![Value::Int(2)]).unwrap(),
+        ])
+        .unwrap(),
+    );
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let mut memo_hits = 0u64;
+    for i in 0..5 {
+        db.execute_sql(&format!("INSERT INTO r VALUES ({}, {})", i % 4, 100 + i))
+            .unwrap();
+        let report = m.maintain(&db).unwrap();
+        assert!(report.metrics.delta_bytes_pooled <= report.metrics.delta_bytes_flat);
+        memo_hits += report.metrics.pool_union_memo_hits;
+    }
+    assert!(
+        memo_hits > 0,
+        "repeated fragment combinations must hit the union memo"
+    );
+    let truth = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(m.sketch(), &truth.sketch);
+}
+
+#[test]
 fn randomized_updates_match_recapture() {
     // Mini stress: random inserts/deletes; after every maintenance the
     // sketch must equal (here: exactly, since counters are exact) a fresh

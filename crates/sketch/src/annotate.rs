@@ -4,23 +4,18 @@
 //! range its partition-attribute value belongs to. Annotated deltas
 //! `Δ𝒟 = annotate(ΔR, Φ)` are the input of the incremental maintenance
 //! procedure (Def. 4.5).
+//!
+//! Annotations are issued as pooled [`AnnotId`]s: a base table's delta
+//! rows carry singleton annotations drawn from the pool's per-fragment
+//! cache, so annotating a delta allocates no bitvectors at all after each
+//! fragment's first sighting. Row payloads go through a [`RowInterner`]
+//! so repeated updates of the same tuple share one allocation.
 
 use crate::partition::PartitionSet;
-use imp_storage::{BitVec, DeltaRecord, Row};
+use imp_storage::{AnnotId, AnnotPool, BitVec, DeltaBatch, DeltaRecord, Row, RowInterner};
 
-/// One annotated delta tuple `Δ±⟨t, P⟩ⁿ` with signed multiplicity
-/// (`mult > 0` ⇔ `Δ+`, `mult < 0` ⇔ `Δ-`).
-#[derive(Debug, Clone, PartialEq)]
-pub struct AnnotatedDeltaRow {
-    /// The tuple.
-    pub row: Row,
-    /// Its sketch annotation over the global fragment space.
-    pub annot: BitVec,
-    /// Signed multiplicity.
-    pub mult: i64,
-}
-
-/// Annotation bits for one base-table row.
+/// Annotation bits for one base-table row (materialised form; the delta
+/// pipeline uses the pooled [`annotation_id_for_row`] instead).
 pub fn annotation_for_row(pset: &PartitionSet, table: &str, row: &Row) -> BitVec {
     let mut bits = BitVec::new(pset.total_fragments());
     if let Some((idx, offset, p)) = pset.for_table(table) {
@@ -31,17 +26,33 @@ pub fn annotation_for_row(pset: &PartitionSet, table: &str, row: &Row) -> BitVec
     bits
 }
 
+/// Pooled annotation id for one base-table row: a cached singleton for
+/// partitioned tables, the pool's empty id otherwise.
+pub fn annotation_id_for_row(
+    pool: &mut AnnotPool,
+    pset: &PartitionSet,
+    table: &str,
+    row: &Row,
+) -> AnnotId {
+    match pset.for_table(table) {
+        Some((_, offset, p)) => pool.singleton(offset + p.fragment_of(&row[p.column])),
+        None => pool.empty_id(),
+    }
+}
+
 /// Annotate a table's delta records (`Δℛ = annotate(ΔR, Φ)`).
 pub fn annotate_delta(
+    pool: &mut AnnotPool,
+    rows: &mut RowInterner,
     pset: &PartitionSet,
     table: &str,
     records: &[DeltaRecord],
-) -> Vec<AnnotatedDeltaRow> {
+) -> DeltaBatch {
     records
         .iter()
-        .map(|r| AnnotatedDeltaRow {
-            annot: annotation_for_row(pset, table, &r.row),
-            row: r.row.clone(),
+        .map(|r| imp_storage::DeltaEntry {
+            annot: annotation_id_for_row(pool, pset, table, &r.row),
+            row: rows.intern(r.row.clone()),
             mult: r.op.sign() * r.mult as i64,
         })
         .collect()
@@ -68,20 +79,27 @@ mod tests {
     fn example_4_2() {
         // Δ+s8 = (8, HP, 1299, 1) annotated with {ρ3} (price 1299 ∈ ρ3).
         let ps = pset();
+        let mut pool = AnnotPool::new(ps.total_fragments());
+        let mut rows = RowInterner::new();
         let mut rec = imp_storage::DeltaLog::new();
         rec.append(2, DeltaOp::Insert, row![8, "HP", 1299, 1], 1);
-        let ann = annotate_delta(&ps, "sales", rec.all());
+        let ann = annotate_delta(&mut pool, &mut rows, &ps, "sales", rec.all());
         assert_eq!(ann.len(), 1);
         assert_eq!(ann[0].mult, 1);
-        assert_eq!(ann[0].annot.iter_ones().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            pool.get(ann[0].annot).iter_ones().collect::<Vec<_>>(),
+            vec![2]
+        );
     }
 
     #[test]
     fn deletions_get_negative_multiplicity() {
         let ps = pset();
+        let mut pool = AnnotPool::new(ps.total_fragments());
+        let mut rows = RowInterner::new();
         let mut rec = imp_storage::DeltaLog::new();
         rec.append(2, DeltaOp::Delete, row![3, "Apple", 1199, 1], 2);
-        let ann = annotate_delta(&ps, "sales", rec.all());
+        let ann = annotate_delta(&mut pool, &mut rows, &ps, "sales", rec.all());
         assert_eq!(ann[0].mult, -2);
     }
 
@@ -91,5 +109,29 @@ mod tests {
         let r = row![1, 2];
         let bits = annotation_for_row(&ps, "other", &r);
         assert!(bits.is_zero());
+        let mut pool = AnnotPool::new(ps.total_fragments());
+        assert_eq!(
+            annotation_id_for_row(&mut pool, &ps, "other", &r),
+            pool.empty_id()
+        );
+    }
+
+    #[test]
+    fn repeated_deltas_share_annotations_and_rows() {
+        let ps = pset();
+        let mut pool = AnnotPool::new(ps.total_fragments());
+        let mut rows = RowInterner::new();
+        let mut rec = imp_storage::DeltaLog::new();
+        rec.append(1, DeltaOp::Insert, row![8, "HP", 1299, 1], 1);
+        rec.append(2, DeltaOp::Delete, row![8, "HP", 1299, 1], 1);
+        rec.append(3, DeltaOp::Insert, row![9, "HP", 1300, 1], 1);
+        let ann = annotate_delta(&mut pool, &mut rows, &ps, "sales", rec.all());
+        // Same fragment ⇒ same pooled id; same tuple ⇒ same allocation.
+        assert_eq!(ann[0].annot, ann[1].annot);
+        assert_eq!(ann[0].annot, ann[2].annot);
+        assert_eq!(ann[0].row.ptr_id(), ann[1].row.ptr_id());
+        assert_ne!(ann[0].row.ptr_id(), ann[2].row.ptr_id());
+        // One singleton interned, the rest cache hits.
+        assert_eq!(pool.stats().interned, 1);
     }
 }

@@ -3,11 +3,15 @@
 //! To create a sketch for a query `Q`, the paper executes an instrumented
 //! *capture query* `Q_{R,F}` that propagates coarse-grained provenance and
 //! returns a sketch (§1). Our backend evaluates the plan natively under
-//! annotated semantics: every tuple carries a fragment bitvector, operators
-//! union the annotations of the inputs that justify each output, and the
-//! final sketch is `S(F(Q(𝒟)))` — the union of all result annotations
-//! (§6.1). Re-running capture on the current database is exactly the
-//! **full maintenance (FM)** baseline of the evaluation (§8).
+//! annotated semantics: every tuple carries a fragment annotation,
+//! operators union the annotations of the inputs that justify each
+//! output, and the final sketch is `S(F(Q(𝒟)))` — the union of all result
+//! annotations (§6.1). Re-running capture on the current database is
+//! exactly the **full maintenance (FM)** baseline of the evaluation (§8).
+//!
+//! Annotations flow as pooled [`AnnotId`]s against an [`AnnotPool`]:
+//! scans emit cached singletons, joins and aggregates combine them with
+//! memoized pool unions, so no per-row bitvector is ever allocated.
 //!
 //! This evaluator is deliberately independent from the incremental engine
 //! in `imp-core`; property tests cross-validate the two implementations.
@@ -19,11 +23,11 @@ use imp_engine::eval::extract_prune_ranges;
 use imp_engine::{Bag, Database, EngineError};
 use imp_sql::plan::compare_rows;
 use imp_sql::{AggFunc, AggSpec, Expr, LogicalPlan};
-use imp_storage::{BitVec, FxHashMap, Row, Value};
+use imp_storage::{AnnotId, AnnotPool, BitVec, DeltaBatch, FxHashMap, Row, Value};
 use std::sync::Arc;
 
-/// A bag of annotated tuples `⟨t, P⟩ⁿ`.
-pub type AnnotBag = Vec<(Row, BitVec, i64)>;
+/// A bag of annotated tuples `⟨t, P⟩ⁿ` with pooled annotations.
+pub type AnnotBag = DeltaBatch;
 
 /// Output of capture: the accurate sketch plus the (plain) query result,
 /// so a capture run also answers the query (paper Fig. 2, blue pipeline).
@@ -44,13 +48,14 @@ pub fn capture(
     pset: &Arc<PartitionSet>,
 ) -> Result<CaptureResult> {
     let mut rows_scanned = 0u64;
-    let annotated = eval_annot(plan, db, pset, &mut rows_scanned)?;
+    let mut pool = AnnotPool::new(pset.total_fragments());
+    let annotated = eval_annot(plan, db, pset, &mut pool, &mut rows_scanned)?;
     let mut result = Vec::with_capacity(annotated.len());
     let mut bits = BitVec::new(pset.total_fragments());
-    for (row, annot, mult) in annotated {
-        debug_assert!(mult > 0, "capture output must be a plain bag");
-        bits.union_with(&annot);
-        result.push((row, mult));
+    for e in annotated {
+        debug_assert!(e.mult > 0, "capture output must be a plain bag");
+        bits.union_with(pool.get(e.annot));
+        result.push((e.row, e.mult));
     }
     let sketch = SketchSet::from_bits(Arc::clone(pset), bits);
     Ok(CaptureResult {
@@ -60,40 +65,44 @@ pub fn capture(
     })
 }
 
-/// Evaluate a plan under annotated semantics.
+/// Evaluate a plan under annotated semantics against `pool`.
 pub fn eval_annot(
     plan: &LogicalPlan,
     db: &Database,
     pset: &PartitionSet,
+    pool: &mut AnnotPool,
     rows_scanned: &mut u64,
 ) -> Result<AnnotBag> {
     match plan {
-        LogicalPlan::Scan { table, .. } => scan_annot(db, table, None, pset, rows_scanned),
+        LogicalPlan::Scan { table, .. } => scan_annot(db, table, None, pset, pool, rows_scanned),
         LogicalPlan::Filter { input, predicate } => {
             let rows = if let LogicalPlan::Scan { table, .. } = input.as_ref() {
                 let prune = extract_prune_ranges(predicate);
-                scan_annot(db, table, prune.as_ref(), pset, rows_scanned)?
+                scan_annot(db, table, prune.as_ref(), pset, pool, rows_scanned)?
             } else {
-                eval_annot(input, db, pset, rows_scanned)?
+                eval_annot(input, db, pset, pool, rows_scanned)?
             };
-            let mut out = Vec::new();
-            for (row, annot, m) in rows {
-                if predicate.eval_predicate(&row).map_err(EngineError::from)? {
-                    out.push((row, annot, m));
+            let mut out = DeltaBatch::new();
+            for e in rows {
+                if predicate
+                    .eval_predicate(&e.row)
+                    .map_err(EngineError::from)?
+                {
+                    out.push(e);
                 }
             }
             Ok(out)
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let rows = eval_annot(input, db, pset, rows_scanned)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for (row, annot, m) in rows {
+            let rows = eval_annot(input, db, pset, pool, rows_scanned)?;
+            let mut out = DeltaBatch::with_capacity(rows.len());
+            for e in rows {
                 let vals = exprs
                     .iter()
-                    .map(|e| e.eval(&row))
+                    .map(|ex| ex.eval(&e.row))
                     .collect::<std::result::Result<Vec<_>, _>>()
                     .map_err(EngineError::from)?;
-                out.push((Row::new(vals), annot, m));
+                out.push_entry(Row::new(vals), e.annot, e.mult);
             }
             Ok(out)
         }
@@ -103,9 +112,9 @@ pub fn eval_annot(
             left_keys,
             right_keys,
         } => {
-            let l = eval_annot(left, db, pset, rows_scanned)?;
-            let r = eval_annot(right, db, pset, rows_scanned)?;
-            join_annot(l, r, left_keys, right_keys)
+            let l = eval_annot(left, db, pset, pool, rows_scanned)?;
+            let r = eval_annot(right, db, pset, pool, rows_scanned)?;
+            join_annot(l, r, left_keys, right_keys, pool)
         }
         LogicalPlan::Aggregate {
             input,
@@ -113,23 +122,35 @@ pub fn eval_annot(
             aggs,
             ..
         } => {
-            let rows = eval_annot(input, db, pset, rows_scanned)?;
-            aggregate_annot(rows, group_by, aggs, pset)
+            let rows = eval_annot(input, db, pset, pool, rows_scanned)?;
+            aggregate_annot(rows, group_by, aggs, pool)
         }
         LogicalPlan::Distinct { input } => {
-            let rows = eval_annot(input, db, pset, rows_scanned)?;
-            let mut groups: std::collections::BTreeMap<Row, BitVec> = Default::default();
-            for (row, annot, _) in rows {
-                groups
-                    .entry(row)
-                    .and_modify(|b| b.union_with(&annot))
-                    .or_insert(annot);
+            let rows = eval_annot(input, db, pset, pool, rows_scanned)?;
+            let mut groups: std::collections::BTreeMap<Row, AnnotId> = Default::default();
+            for e in rows {
+                match groups.entry(e.row) {
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        let merged = pool.union(*o.get(), e.annot);
+                        *o.get_mut() = merged;
+                    }
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(e.annot);
+                    }
+                }
             }
-            Ok(groups.into_iter().map(|(r, b)| (r, b, 1)).collect())
+            Ok(groups
+                .into_iter()
+                .map(|(row, annot)| imp_storage::DeltaEntry {
+                    row,
+                    annot,
+                    mult: 1,
+                })
+                .collect())
         }
         LogicalPlan::Sort { input, keys } => {
-            let mut rows = eval_annot(input, db, pset, rows_scanned)?;
-            rows.sort_by(|a, b| compare_rows(&a.0, &b.0, keys).then_with(|| a.0.cmp(&b.0)));
+            let mut rows = eval_annot(input, db, pset, pool, rows_scanned)?;
+            rows.sort_by(|a, b| compare_rows(&a.row, &b.row, keys).then_with(|| a.row.cmp(&b.row)));
             Ok(rows)
         }
         LogicalPlan::Except { .. } => Err(crate::SketchError::Unsupported(
@@ -138,20 +159,23 @@ pub fn eval_annot(
                 .into(),
         )),
         LogicalPlan::TopK { input, keys, k } => {
-            let mut rows = eval_annot(input, db, pset, rows_scanned)?;
-            rows.sort_by(|a, b| {
-                compare_rows(&a.0, &b.0, keys)
-                    .then_with(|| a.0.cmp(&b.0))
-                    .then_with(|| a.1.cmp(&b.1))
-            });
-            let mut out = Vec::new();
+            let mut rows = eval_annot(input, db, pset, pool, rows_scanned)?;
+            {
+                let pool = &*pool;
+                rows.sort_by(|a, b| {
+                    compare_rows(&a.row, &b.row, keys)
+                        .then_with(|| a.row.cmp(&b.row))
+                        .then_with(|| pool.get(a.annot).cmp(pool.get(b.annot)))
+                });
+            }
+            let mut out = DeltaBatch::new();
             let mut remaining = *k as i64;
-            for (row, annot, m) in rows {
+            for e in rows {
                 if remaining <= 0 {
                     break;
                 }
-                let take = m.min(remaining);
-                out.push((row, annot, take));
+                let take = e.mult.min(remaining);
+                out.push_entry(e.row, e.annot, take);
                 remaining -= take;
             }
             Ok(out)
@@ -164,20 +188,18 @@ fn scan_annot(
     table: &str,
     prune: Option<&imp_engine::eval::PruneRanges>,
     pset: &PartitionSet,
+    pool: &mut AnnotPool,
     rows_scanned: &mut u64,
 ) -> Result<AnnotBag> {
     let t = db.table(table)?;
-    let mut out = Vec::with_capacity(t.row_count());
+    let mut out = DeltaBatch::with_capacity(t.row_count());
     let part = pset.for_table(table);
-    let total = pset.total_fragments();
     let mut emit = |row: Row| {
         let annot = match &part {
-            Some((_, offset, p)) => {
-                BitVec::singleton(total, offset + p.fragment_of(&row[p.column]))
-            }
-            None => BitVec::new(total),
+            Some((_, offset, p)) => pool.singleton(offset + p.fragment_of(&row[p.column])),
+            None => pool.empty_id(),
         };
-        out.push((row, annot, 1));
+        out.push_entry(row, annot, 1);
     };
     match prune {
         Some(p) => t.scan(Some((p.column, &p.ranges)), &mut emit, |_| {}),
@@ -192,29 +214,38 @@ fn join_annot(
     right: AnnotBag,
     left_keys: &[usize],
     right_keys: &[usize],
+    pool: &mut AnnotPool,
 ) -> Result<AnnotBag> {
-    let mut out = Vec::new();
+    let mut out = DeltaBatch::new();
     if left_keys.is_empty() {
-        for (l, la, n) in &left {
-            for (r, ra, m) in &right {
-                out.push((l.concat(r), la.union(ra), n * m));
+        for l in &left {
+            for r in &right {
+                out.push_entry(
+                    l.row.concat(&r.row),
+                    pool.union(l.annot, r.annot),
+                    l.mult * r.mult,
+                );
             }
         }
         return Ok(out);
     }
-    let mut table: FxHashMap<Vec<Value>, Vec<(Row, BitVec, i64)>> = FxHashMap::default();
-    for (row, annot, m) in right {
-        if let Some(k) = join_key(&row, right_keys) {
-            table.entry(k).or_default().push((row, annot, m));
+    let mut table: FxHashMap<Vec<Value>, Vec<imp_storage::DeltaEntry>> = FxHashMap::default();
+    for e in right {
+        if let Some(k) = join_key(&e.row, right_keys) {
+            table.entry(k).or_default().push(e);
         }
     }
-    for (row, annot, n) in left {
-        let Some(k) = join_key(&row, left_keys) else {
+    for l in left {
+        let Some(k) = join_key(&l.row, left_keys) else {
             continue;
         };
         if let Some(matches) = table.get(&k) {
-            for (r, ra, m) in matches {
-                out.push((row.concat(r), annot.union(ra), n * m));
+            for r in matches {
+                out.push_entry(
+                    l.row.concat(&r.row),
+                    pool.union(l.annot, r.annot),
+                    l.mult * r.mult,
+                );
             }
         }
     }
@@ -239,48 +270,49 @@ fn aggregate_annot(
     rows: AnnotBag,
     group_by: &[Expr],
     aggs: &[AggSpec],
-    pset: &PartitionSet,
+    pool: &mut AnnotPool,
 ) -> Result<AnnotBag> {
     struct GroupState {
-        annot: BitVec,
+        annot: AnnotId,
         accs: Vec<BatchAcc>,
     }
+    let empty = pool.empty_id();
     let mut groups: FxHashMap<Row, GroupState> = FxHashMap::default();
-    for (row, annot, m) in rows {
+    for e in rows {
         let key: Row = group_by
             .iter()
-            .map(|g| g.eval(&row))
+            .map(|g| g.eval(&e.row))
             .collect::<std::result::Result<_, _>>()
             .map_err(EngineError::from)?;
         let st = groups.entry(key).or_insert_with(|| GroupState {
-            annot: BitVec::new(pset.total_fragments()),
+            annot: empty,
             accs: aggs.iter().map(|a| BatchAcc::new(a.func)).collect(),
         });
-        st.annot.union_with(&annot);
+        st.annot = pool.union(st.annot, e.annot);
         for (acc, spec) in st.accs.iter_mut().zip(aggs) {
             let arg = match &spec.arg {
-                Some(e) => Some(e.eval(&row).map_err(EngineError::from)?),
+                Some(ex) => Some(ex.eval(&e.row).map_err(EngineError::from)?),
                 None => None,
             };
-            acc.update(arg.as_ref(), m);
+            acc.update(arg.as_ref(), e.mult);
         }
     }
     if groups.is_empty() && group_by.is_empty() {
         groups.insert(
             Row::new(vec![]),
             GroupState {
-                annot: BitVec::new(pset.total_fragments()),
+                annot: empty,
                 accs: aggs.iter().map(|a| BatchAcc::new(a.func)).collect(),
             },
         );
     }
-    let mut out = Vec::with_capacity(groups.len());
+    let mut out = DeltaBatch::with_capacity(groups.len());
     for (key, st) in groups {
         let mut vals: Vec<Value> = key.values().to_vec();
         for acc in &st.accs {
             vals.push(acc.finish());
         }
-        out.push((Row::new(vals), st.annot, 1));
+        out.push_entry(Row::new(vals), st.annot, 1);
     }
     Ok(out)
 }
@@ -532,5 +564,21 @@ mod tests {
         let cap = capture(&plan, &db, &price_pset()).unwrap();
         // Top-2 prices 3875 (ρ4) and 1345 (ρ3).
         assert_eq!(cap.sketch.fragments_of_partition(0), vec![2, 3]);
+    }
+
+    #[test]
+    fn scan_annotations_are_pooled_singletons() {
+        // 7 scanned rows, but only as many interned annotations as there
+        // are distinct fragments touched.
+        let db = sales_db();
+        let pset = price_pset();
+        let mut pool = AnnotPool::new(pset.total_fragments());
+        let mut scanned = 0;
+        let plan = db.plan_sql("SELECT price FROM sales").unwrap();
+        let bag = eval_annot(&plan, &db, &pset, &mut pool, &mut scanned).unwrap();
+        assert_eq!(bag.len(), 7);
+        let distinct: std::collections::BTreeSet<_> = bag.iter().map(|e| e.annot).collect();
+        assert_eq!(pool.stats().interned as usize, distinct.len());
+        assert!(pool.stats().intern_hits > 0, "singleton cache must fire");
     }
 }

@@ -11,7 +11,9 @@
 //!   (Def. 4.2), with deltas (`ΔP`, §4.2) and merged-range extraction.
 //! * [`capture`](mod@capture) — batch *annotated* evaluation of a query, producing its
 //!   accurate sketch `S(F(Q(𝒟)))`. Re-running capture is exactly the
-//!   "full maintenance" baseline of §8.
+//!   "full maintenance" baseline of §8. Annotations flow as pooled
+//!   [`imp_storage::AnnotId`]s (hash-consed, memoized unions) rather than
+//!   per-row bitvectors.
 //! * [`use_rewrite`] — instrument a query to skip data outside a sketch
 //!   (the `WHERE … BETWEEN … OR … BETWEEN …` rewrite of §1, with adjacent
 //!   ranges merged per footnote 2).
@@ -25,7 +27,7 @@ pub mod safety;
 pub mod sketch;
 pub mod use_rewrite;
 
-pub use annotate::{annotate_delta, AnnotatedDeltaRow};
+pub use annotate::{annotate_delta, annotation_for_row, annotation_id_for_row};
 pub use capture::{capture, AnnotBag, CaptureResult};
 pub use error::SketchError;
 pub use partition::{PartitionSet, RangePartition};

@@ -105,6 +105,11 @@ impl BitVec {
     }
 
     /// Union returning a new vector.
+    ///
+    /// Allocates a fresh bitvector per call — per-row delta paths must use
+    /// [`BitVec::union_with`] (when the left operand is owned) or a
+    /// memoized [`crate::pool::AnnotPool::union`] instead.
+    #[must_use = "allocates a new BitVec; use union_with / AnnotPool::union on hot paths"]
     pub fn union(&self, other: &BitVec) -> BitVec {
         let mut r = self.clone();
         r.union_with(other);

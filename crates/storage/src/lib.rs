@@ -16,6 +16,10 @@
 //!   backend keeps per table; IMP fetches "the delta between the current
 //!   version of the database and the database instance at the original
 //!   time of capture" (paper §1) from this log.
+//! * [`pool`] — the interned delta pipeline: [`AnnotPool`] hash-conses
+//!   annotation bitvectors into small [`AnnotId`]s with memoized unions,
+//!   [`RowInterner`] deduplicates tuple payloads, and [`DeltaBatch`] is
+//!   the arena-backed batch representation operators exchange.
 //! * [`codec`] — a small length-prefixed binary codec used to persist
 //!   sketches and incremental operator state (paper §2: "the system can
 //!   persist the state that it maintains for its incremental operators").
@@ -27,6 +31,7 @@ pub mod column;
 pub mod delta;
 pub mod error;
 pub mod hash;
+pub mod pool;
 pub mod row;
 pub mod schema;
 pub mod table;
@@ -38,6 +43,7 @@ pub use column::ColumnData;
 pub use delta::{DeltaLog, DeltaOp, DeltaRecord};
 pub use error::StorageError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pool::{AnnotId, AnnotPool, DeltaBatch, DeltaEntry, PoolStats, RowInterner};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use table::Table;

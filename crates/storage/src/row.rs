@@ -53,6 +53,13 @@ impl Row {
         std::mem::size_of::<Value>() * self.0.len()
             + self.0.iter().map(Value::heap_size).sum::<usize>()
     }
+
+    /// Identity of the shared allocation backing this row. Two rows with
+    /// the same `ptr_id` share storage (pool-aware memory accounting
+    /// counts such payloads once).
+    pub fn ptr_id(&self) -> usize {
+        self.0.as_ptr() as usize
+    }
 }
 
 impl Index<usize> for Row {
