@@ -42,6 +42,20 @@ fn db_with(rows: usize, groups: i64, name: &str) -> Database {
     db
 }
 
+/// Shared header of every Fig. 11 realistic-delta table.
+const REALISTIC_HEADERS: [&str; 10] = [
+    "config",
+    "delta",
+    "IMP",
+    "FM",
+    "FM/IMP",
+    "db rt",
+    "rt saved",
+    "\u{394}heap pool",
+    "\u{394}heap flat",
+    "memo",
+];
+
 /// Measure one (query, table) config across realistic + break-even deltas.
 #[allow(clippy::too_many_arguments)]
 fn sweep(
@@ -66,6 +80,8 @@ fn sweep(
             ms(m.imp_ms),
             ms(m.fm_ms),
             format!("{:.1}x", m.fm_ms / m.imp_ms.max(1e-6)),
+            m.metrics.db_roundtrips.to_string(),
+            m.metrics.db_roundtrips_avoided.to_string(),
             bytes_h(m.metrics.delta_bytes_pooled),
             bytes_h(m.metrics.delta_bytes_flat),
             memo_rate(&m.metrics),
@@ -111,16 +127,7 @@ fn exp_having() {
     }
     print_table(
         "Fig. 11a: Q_having — #aggregation functions (realistic deltas)",
-        &[
-            "config",
-            "delta",
-            "IMP",
-            "FM",
-            "FM/IMP",
-            "\u{394}heap pool",
-            "\u{394}heap flat",
-            "memo",
-        ],
+        &REALISTIC_HEADERS,
         &real,
     );
     print_table(
@@ -152,16 +159,7 @@ fn exp_groups() {
     }
     print_table(
         "Fig. 11b: Q_groups — #groups (realistic deltas)",
-        &[
-            "config",
-            "delta",
-            "IMP",
-            "FM",
-            "FM/IMP",
-            "\u{394}heap pool",
-            "\u{394}heap flat",
-            "memo",
-        ],
+        &REALISTIC_HEADERS,
         &real,
     );
     print_table(
@@ -198,16 +196,7 @@ fn exp_join_1n() {
     }
     print_table(
         "Fig. 11c: Q_join 1-n (realistic deltas)",
-        &[
-            "config",
-            "delta",
-            "IMP",
-            "FM",
-            "FM/IMP",
-            "\u{394}heap pool",
-            "\u{394}heap flat",
-            "memo",
-        ],
+        &REALISTIC_HEADERS,
         &real,
     );
     print_table(
@@ -241,16 +230,7 @@ fn exp_join_mn() {
     }
     print_table(
         "Fig. 11d: Q_join m-n (realistic deltas)",
-        &[
-            "config",
-            "delta",
-            "IMP",
-            "FM",
-            "FM/IMP",
-            "\u{394}heap pool",
-            "\u{394}heap flat",
-            "memo",
-        ],
+        &REALISTIC_HEADERS,
         &real,
     );
     print_table(
@@ -284,16 +264,7 @@ fn exp_joinsel() {
     }
     print_table(
         "Fig. 11e: Q_joinsel — join selectivity (realistic deltas)",
-        &[
-            "config",
-            "delta",
-            "IMP",
-            "FM",
-            "FM/IMP",
-            "\u{394}heap pool",
-            "\u{394}heap flat",
-            "memo",
-        ],
+        &REALISTIC_HEADERS,
         &real,
     );
     print_table(
@@ -327,16 +298,7 @@ fn exp_frags() {
     }
     print_table(
         "Fig. 11f: Q_sketch — #fragments (realistic deltas)",
-        &[
-            "config",
-            "delta",
-            "IMP",
-            "FM",
-            "FM/IMP",
-            "\u{394}heap pool",
-            "\u{394}heap flat",
-            "memo",
-        ],
+        &REALISTIC_HEADERS,
         &real,
     );
     print_table(

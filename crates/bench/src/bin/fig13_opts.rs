@@ -5,12 +5,18 @@
 //!   varied 2%→100%; with vs without push-down.
 //! * `bloom` — bloom filters for joins (13b/13d): join selectivity ×
 //!   delta size, with vs without bloom filters.
+//! * `index` — delta-maintained join-side indexes: round trips, rows
+//!   scanned, and maintenance time with vs without the `Q ⋈ Δ` index.
+//!   Self-verifying: with the index on, steady-state batches must report
+//!   zero backend round trips and a positive avoided count, otherwise the
+//!   harness panics (the CI bench-smoke job turns that into a failure).
 //! * `space` — top-l state buffers (13e/13f): Q_space (TPC-H Q10) state
 //!   memory as a function of the buffer bound l.
 
 use imp_bench::*;
 use imp_core::maintain::SketchMaintainer;
 use imp_core::ops::OpConfig;
+use imp_core::MaintMetrics;
 use imp_data::queries;
 use imp_data::synthetic::{load, load_join_helper, SyntheticConfig};
 use imp_data::workload::{insert_stream, WorkloadOp};
@@ -144,6 +150,94 @@ fn exp_bloom() {
     );
 }
 
+fn exp_index() {
+    // Q_joinsel at 100% join selectivity so every delta row has partners
+    // and the `Q ⋈ Δ` terms run each batch. With the side index on, the
+    // only round trips are the initial builds (during capture); steady
+    // state answers from memory.
+    let rows = scaled(20_000, 2_000);
+    let groups = 2_000i64;
+    let batches = reps().max(2); // ≥2 so a steady-state batch exists
+    let mut out = Vec::new();
+    for delta in [10usize, 100, 1000] {
+        for index in [true, false] {
+            let name = format!("ti{delta}");
+            let helper = format!("hi{delta}");
+            let mut db = Database::new();
+            load(
+                &mut db,
+                &SyntheticConfig {
+                    name: name.clone(),
+                    rows,
+                    groups,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            load_join_helper(&mut db, &helper, groups, 100, 1, 5).unwrap();
+            let sql = queries::q_joinsel(&name, &helper);
+            let plan = db.plan_sql(&sql).unwrap();
+            let pset = pset_for(&db, &name, "a", 100);
+            let cfg = OpConfig {
+                join_index_budget: index.then_some(imp_core::ops::DEFAULT_JOIN_INDEX_BUDGET),
+                ..OpConfig::default()
+            };
+            let ups = insert_stream(&name, batches, delta, groups, rows * 8, 3);
+            let (mut m, _) =
+                SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
+            let mut times = Vec::new();
+            let mut total = MaintMetrics::default();
+            let mut last = MaintMetrics::default();
+            for op in &ups {
+                let WorkloadOp::Update { sql, .. } = op else {
+                    continue;
+                };
+                db.execute_sql(sql).unwrap();
+                let (t, report) = time_once(|| m.maintain(&db).unwrap());
+                times.push(t);
+                total.absorb(&report.metrics);
+                last = report.metrics;
+            }
+            let (_, idx_bytes) = m.join_index_state();
+            out.push(vec![
+                delta.to_string(),
+                if index { "on" } else { "off" }.to_string(),
+                ms(median_ms(times)),
+                total.db_roundtrips.to_string(),
+                total.db_rows_scanned.to_string(),
+                total.db_roundtrips_avoided.to_string(),
+                format!("{:.1}KB", idx_bytes as f64 / 1e3),
+            ]);
+            if index {
+                // CI guard: the index must actually save round trips.
+                assert!(
+                    total.db_roundtrips_avoided > 0,
+                    "join-side index enabled but zero db_roundtrips saved \
+                     (delta {delta}, {batches} batches)"
+                );
+                assert_eq!(
+                    last.db_roundtrips, 0,
+                    "steady-state join maintenance must not round-trip \
+                     with the side index enabled (delta {delta})"
+                );
+            }
+        }
+    }
+    print_table(
+        "Fig. 13g: delta-maintained join-side index (Q_joinsel, 100% join sel)",
+        &[
+            "delta",
+            "index",
+            "maintain",
+            "db rt",
+            "rows scanned",
+            "rt saved",
+            "index heap",
+        ],
+        &out,
+    );
+}
+
 fn exp_space() {
     let mut db = Database::new();
     imp_data::tpch::load(&mut db, 0.3 * scale(), 17).unwrap();
@@ -184,10 +278,12 @@ fn main() {
     match which {
         "selpd" => exp_selpd(),
         "bloom" => exp_bloom(),
+        "index" => exp_index(),
         "space" => exp_space(),
         _ => {
             exp_selpd();
             exp_bloom();
+            exp_index();
             exp_space();
         }
     }

@@ -49,6 +49,7 @@ fn main() {
             format!("{:.1}KB", m.state_heap_size() as f64 / 1e3),
             "-".into(),
             "-".into(),
+            "-".into(),
         ]);
         for delta in [100usize, 1000] {
             let ups = insert_stream(&name, 1, delta, groups, rows * 4, 3);
@@ -65,6 +66,7 @@ fn main() {
                 format!("{:.1}KB", m.state_heap_size() as f64 / 1e3),
                 bytes_h(report.metrics.delta_bytes_pooled),
                 bytes_h(report.metrics.delta_bytes_flat),
+                "-".into(),
             ]);
         }
     }
@@ -95,6 +97,7 @@ fn main() {
         format!("{:.1}KB", m.state_heap_size() as f64 / 1e3),
         "-".into(),
         "-".into(),
+        format!("{:.1}KB", m.join_index_state().1 as f64 / 1e3),
     ]);
     for delta in [100usize, 1000] {
         let ups = insert_stream("tmj", 1, delta, groups, rows * 4, 3);
@@ -111,12 +114,20 @@ fn main() {
             format!("{:.1}KB", m.state_heap_size() as f64 / 1e3),
             bytes_h(report.metrics.delta_bytes_pooled),
             bytes_h(report.metrics.delta_bytes_flat),
+            format!("{:.1}KB", m.join_index_state().1 as f64 / 1e3),
         ]);
     }
 
     print_table(
         "Fig. 17: operator-state memory",
-        &["query", "point", "state", "Δheap pool", "Δheap flat"],
+        &[
+            "query",
+            "point",
+            "state",
+            "Δheap pool",
+            "Δheap flat",
+            "join idx",
+        ],
         &out,
     );
 }

@@ -17,7 +17,9 @@
 //!   top-k (§5.2), plus the merge operator `μ` (§5.1).
 //! * [`opt`] — the optimizations of §7.2: bloom filters for join deltas,
 //!   selection push-down into delta retrieval, and bounded (top-l) state
-//!   for MIN / MAX / top-k with recapture fallback.
+//!   for MIN / MAX / top-k with recapture fallback — plus the
+//!   delta-maintained [`opt::JoinSideIndex`]es that answer steady-state
+//!   `Q ⋈ Δ` join terms without backend round trips.
 //! * [`maintain`] — [`maintain::SketchMaintainer`], the incremental
 //!   maintenance procedure `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)` of Def. 4.5.
 //! * [`strategy`] / [`middleware`] — eager / lazy / batched maintenance and

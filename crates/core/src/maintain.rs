@@ -95,13 +95,16 @@ impl SketchMaintainer {
             pushdown,
             op_config,
         };
-        let result = m.bootstrap(db)?;
+        let mut metrics = MaintMetrics::default();
+        let result = m.bootstrap(db, &mut metrics)?;
         Ok((m, result))
     }
 
-    /// Rebuild state + sketch from the full current database. The pool is
-    /// kept — its ids stay canonical and memoized unions remain valid.
-    fn bootstrap(&mut self, db: &Database) -> Result<Bag> {
+    /// Rebuild state + sketch from the full current database, accumulating
+    /// the work into `metrics` (recapture paths report it, Fig. 13/14).
+    /// The pool is kept — its ids stay canonical and memoized unions
+    /// remain valid.
+    fn bootstrap(&mut self, db: &Database, metrics: &mut MaintMetrics) -> Result<Bag> {
         self.root.reset();
         self.merge.reset();
         self.sketch = SketchSet::empty(Arc::clone(&self.pset));
@@ -131,14 +134,13 @@ impl SketchMaintainer {
             );
             deltas.insert(table.clone(), self.apply_pushdown(table, delta, None));
         }
-        let mut metrics = MaintMetrics::default();
         let out = {
             let mut ctx = MaintCtx {
                 db,
                 pset: &self.pset,
                 deltas: &deltas,
                 pool: &mut self.pool,
-                metrics: &mut metrics,
+                metrics,
                 needs_recapture: false,
             };
             self.root.process(&mut ctx)?
@@ -260,9 +262,10 @@ impl SketchMaintainer {
 
         if recapture {
             // Bounded state exhausted: fall back to full maintenance
-            // (§7.2 / §8.4.3), reporting it so callers can account for it.
+            // (§7.2 / §8.4.3), reporting it — including the bootstrap's
+            // own work — so callers can account for it.
             let before = self.sketch.clone();
-            self.bootstrap(db)?;
+            self.bootstrap(db, &mut metrics)?;
             let sketch_delta = diff_sketches(&before, &self.sketch);
             metrics.record_pool_activity(pool_stats_before, self.pool.stats());
             return Ok(MaintReport {
@@ -288,14 +291,18 @@ impl SketchMaintainer {
     }
 
     /// Full maintenance: recapture from scratch regardless of staleness
-    /// (the FM baseline of §8).
+    /// (the FM baseline of §8). The report carries the bootstrap's real
+    /// cost counters, not zeros.
     pub fn full_maintain(&mut self, db: &Database) -> Result<MaintReport> {
         let start = Instant::now();
+        let pool_stats_before = self.pool.stats();
         let before = self.sketch.clone();
-        self.bootstrap(db)?;
+        let mut metrics = MaintMetrics::default();
+        self.bootstrap(db, &mut metrics)?;
+        metrics.record_pool_activity(pool_stats_before, self.pool.stats());
         Ok(MaintReport {
             sketch_delta: diff_sketches(&before, &self.sketch),
-            metrics: MaintMetrics::default(),
+            metrics,
             recaptured: true,
             duration: start.elapsed(),
             state_bytes: self.state_heap_size(),
@@ -349,6 +356,11 @@ impl SketchMaintainer {
     /// Entries and bytes of the top-k operator state (Fig. 13e/f).
     pub fn topk_state(&self) -> Option<(usize, usize)> {
         self.root.topk_state()
+    }
+
+    /// Aggregate entries and bytes of the join-side indexes (Fig. 17).
+    pub fn join_index_state(&self) -> (usize, usize) {
+        self.root.join_index_state()
     }
 
     /// Drop the in-memory operator state (after persisting it via

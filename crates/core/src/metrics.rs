@@ -14,8 +14,20 @@ pub struct MaintMetrics {
     pub bloom_pruned: u64,
     /// Round trips to the backend (join evaluations).
     pub db_roundtrips: u64,
-    /// Rows shipped to the backend for join evaluation.
+    /// Round trips avoided because a join-side index answered a `Q ⋈ Δ`
+    /// term in memory (counted once per term per batch, only when no
+    /// evaluation of that side happened in the batch).
+    pub db_roundtrips_avoided: u64,
+    /// Delta rows shipped to the backend for an outsourced `Q ⋈ Δ`
+    /// evaluation. Bumped only when the term actually triggers a round
+    /// trip — not when the side was already evaluated this batch (bloom /
+    /// index build) or answered by a side index.
     pub rows_sent_to_db: u64,
+    /// Delta rows answered by probing a join-side index instead of an
+    /// outsourced evaluation.
+    pub join_index_probes: u64,
+    /// Join-side index (re)builds, each costing one backend round trip.
+    pub join_index_builds: u64,
     /// Rows the backend scanned on our behalf.
     pub db_rows_scanned: u64,
     /// Tuples processed by incremental operators.
@@ -46,7 +58,10 @@ impl MaintMetrics {
         self.delta_rows_pruned += other.delta_rows_pruned;
         self.bloom_pruned += other.bloom_pruned;
         self.db_roundtrips += other.db_roundtrips;
+        self.db_roundtrips_avoided += other.db_roundtrips_avoided;
         self.rows_sent_to_db += other.rows_sent_to_db;
+        self.join_index_probes += other.join_index_probes;
+        self.join_index_builds += other.join_index_builds;
         self.db_rows_scanned += other.db_rows_scanned;
         self.rows_processed += other.rows_processed;
         self.groups_touched += other.groups_touched;

@@ -38,6 +38,12 @@ pub struct ImpConfig {
     pub minmax_buffer: Option<usize>,
     /// Bounded top-k state: keep the best `l` entries (§7.2/§8.4.3).
     pub topk_buffer: Option<usize>,
+    /// Per-side join-index budget (annotated tuples): materialise join
+    /// sides as delta-maintained indexes so steady-state `Q ⋈ Δ` terms
+    /// skip the backend round trip; a side over budget falls back to
+    /// per-batch evaluation. `None` disables the indexes. Bounded to
+    /// [`crate::ops::DEFAULT_JOIN_INDEX_BUDGET`] by default.
+    pub join_index_budget: Option<usize>,
     /// Explicit partition-attribute choices (table → attribute), taking
     /// precedence over the safety heuristic (§7.4).
     pub partition_overrides: Vec<(String, String)>,
@@ -57,6 +63,7 @@ impl Default for ImpConfig {
             selection_pushdown: true,
             minmax_buffer: Some(crate::ops::DEFAULT_MINMAX_BUFFER),
             topk_buffer: None,
+            join_index_budget: Some(crate::ops::DEFAULT_JOIN_INDEX_BUDGET),
             partition_overrides: Vec::new(),
             allow_unsafe_attributes: false,
             retain_sketch_versions: true,
@@ -70,6 +77,7 @@ impl ImpConfig {
             bloom: self.bloom,
             minmax_buffer: self.minmax_buffer,
             topk_buffer: self.topk_buffer,
+            join_index_budget: self.join_index_budget,
         }
     }
 }
@@ -83,8 +91,9 @@ pub enum QueryMode {
     Captured,
     /// An existing fresh sketch was used as-is.
     UsedFresh,
-    /// A stale sketch was incrementally maintained, then used.
-    Maintained(MaintReport),
+    /// A stale sketch was incrementally maintained, then used. Boxed: a
+    /// report is far larger than the other (data-free) variants.
+    Maintained(Box<MaintReport>),
 }
 
 /// Response of [`Imp::execute`].
@@ -403,7 +412,7 @@ impl Imp {
                             entry.maintainer.sketch().bits().clone(),
                         );
                     }
-                    QueryMode::Maintained(report)
+                    QueryMode::Maintained(Box::new(report))
                 } else {
                     QueryMode::UsedFresh
                 };

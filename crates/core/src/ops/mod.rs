@@ -52,6 +52,12 @@ pub struct MaintCtx<'a> {
 /// recapture fallback stays rare while state is bounded by default.
 pub const DEFAULT_MINMAX_BUFFER: usize = 64;
 
+/// Default per-side join-index budget (annotated tuples). Sized so the
+/// evaluation workloads keep their sides materialised while a genuinely
+/// huge side (≳ 100 MB of entries) falls back to per-batch outsourced
+/// evaluation instead of exhausting memory.
+pub const DEFAULT_JOIN_INDEX_BUDGET: usize = 1 << 20;
+
 /// Tuning knobs for operator construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpConfig {
@@ -64,6 +70,13 @@ pub struct OpConfig {
     pub minmax_buffer: Option<usize>,
     /// Keep only the best `l` entries in top-k state; `None` = unbounded.
     pub topk_buffer: Option<usize>,
+    /// Materialise each join side as a delta-maintained
+    /// [`crate::opt::JoinSideIndex`] holding at most this many annotated
+    /// tuples, so steady-state `Q ⋈ Δ` terms are answered in memory
+    /// without a backend round trip. A side over budget falls back to
+    /// per-batch outsourced evaluation (like `minmax_buffer`'s recapture
+    /// fallback). `None` disables the indexes entirely.
+    pub join_index_budget: Option<usize>,
 }
 
 impl Default for OpConfig {
@@ -72,6 +85,7 @@ impl Default for OpConfig {
             bloom: true,
             minmax_buffer: Some(DEFAULT_MINMAX_BUFFER),
             topk_buffer: None,
+            join_index_budget: Some(DEFAULT_JOIN_INDEX_BUDGET),
         }
     }
 }
@@ -148,6 +162,7 @@ impl IncNode {
                     left_keys.clone(),
                     right_keys.clone(),
                     config.bloom,
+                    config.join_index_budget,
                 )))
             }
             LogicalPlan::Aggregate {
@@ -266,6 +281,25 @@ impl IncNode {
             }
             IncNode::Aggregate(a) => a.input_child().topk_state(),
             IncNode::TopK(t) => Some((t.stored_entries(), t.own_heap_size())),
+        }
+    }
+
+    /// Aggregate `(entries, bytes)` of every join-side index in the tree
+    /// (Fig. 17 reports the index footprint next to the operator state).
+    pub fn join_index_state(&self) -> (usize, usize) {
+        match self {
+            IncNode::TableAccess { .. } => (0, 0),
+            IncNode::Selection { input, .. }
+            | IncNode::Projection { input, .. }
+            | IncNode::Passthrough { input } => input.join_index_state(),
+            IncNode::Join(j) => {
+                let (own_e, own_b) = j.index_state();
+                let (le, lb) = j.left_child().join_index_state();
+                let (re, rb) = j.right_child().join_index_state();
+                (own_e + le + re, own_b + lb + rb)
+            }
+            IncNode::Aggregate(a) => a.input_child().join_index_state(),
+            IncNode::TopK(t) => t.input_child().join_index_state(),
         }
     }
 

@@ -10,7 +10,10 @@
 //! requires a maintainer built from the *same plan and configuration*
 //! (the store keys state by query template, so that is guaranteed).
 //! Join bloom filters are deliberately not persisted — they are insert-only
-//! summaries rebuilt lazily on first use.
+//! summaries rebuilt lazily on first use (from the restored side indexes
+//! when present, without a backend round trip). Join-side indexes *are*
+//! persisted: rebuilding one costs a full evaluation of the side, which
+//! is exactly the round trip the index exists to avoid.
 //!
 //! Pooled annotations are encoded by *content* (their bitvectors), never
 //! by [`imp_storage::AnnotId`] — ids are only canonical within one live
@@ -75,6 +78,7 @@ fn encode_node(node: &IncNode, buf: &mut BytesMut) {
         | IncNode::Projection { input, .. }
         | IncNode::Passthrough { input } => encode_node(input, buf),
         IncNode::Join(j) => {
+            j.encode_state(buf);
             encode_node(j.left_child(), buf);
             encode_node(j.right_child(), buf);
         }
@@ -96,6 +100,7 @@ fn decode_node(node: &mut IncNode, buf: &mut Bytes, pool: &mut AnnotPool) -> Res
         | IncNode::Projection { input, .. }
         | IncNode::Passthrough { input } => decode_node(input, buf, pool),
         IncNode::Join(j) => {
+            j.decode_state(buf, pool)?;
             let (l, r) = j.children_mut();
             decode_node(l, buf, pool)?;
             decode_node(r, buf, pool)

@@ -560,6 +560,249 @@ fn eviction_clears_pool_and_roundtrips() {
     assert_eq!(evicted.sketch(), &truth.sketch);
 }
 
+/// Two tables joined on their first column, two keys each, partitioned
+/// with key 2 in its own fragment (global frags: r → {0, 1}, s → {2, 3}).
+fn two_key_join_db() -> (Database, Arc<PartitionSet>) {
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Schema::new(vec![
+            Field::new("k2", DataType::Int),
+            Field::new("w", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("r")
+        .unwrap()
+        .bulk_load([row![1, 10], row![2, 20]])
+        .unwrap();
+    db.table_mut("s")
+        .unwrap()
+        .bulk_load([row![1, 100], row![2, 200]])
+        .unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::new("r", "k", 0, vec![Value::Int(2)]).unwrap(),
+            RangePartition::new("s", "k2", 0, vec![Value::Int(2)]).unwrap(),
+        ])
+        .unwrap(),
+    );
+    (db, pset)
+}
+
+#[test]
+fn bloom_delete_keys_preserve_delta_delta_cancellation() {
+    // Regression: r and s each hold the only partner of key 2. After a
+    // state eviction (bloom filters are not persisted and are rebuilt
+    // lazily), deleting both partners in one batch means the rebuilt
+    // blooms — scans of the *post-update* sides — no longer contain
+    // key 2. The delta sync must insert *delete* keys into the blooms
+    // too, or both deltas are pruned and the Term 3 cancellation
+    // (−ΔQ₁ ⋈ ΔQ₂, here del×del → the removal itself) is silently lost,
+    // leaving the sketch with fragments a recapture would drop.
+    let (mut db, pset) = two_key_join_db();
+    let plan = db
+        .plan_sql("SELECT v, w FROM r JOIN s ON (k = k2)")
+        .unwrap();
+    // Index off: this pins the bloom + outsourced-evaluation path.
+    let cfg = OpConfig {
+        join_index_budget: None,
+        ..OpConfig::default()
+    };
+    let (mut m, _) = SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
+    assert_eq!(
+        m.sketch().bits().iter_ones().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    let saved = imp_core::state_codec::save_state(&m);
+    m.drop_state();
+
+    db.execute_sql("DELETE FROM r WHERE k = 2").unwrap();
+    db.execute_sql("DELETE FROM s WHERE k2 = 2").unwrap();
+
+    imp_core::state_codec::load_state(&mut m, saved).unwrap();
+    m.maintain(&db).unwrap();
+    let truth = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(
+        m.sketch(),
+        &truth.sketch,
+        "lost Δ⋈Δ cancellation: delete keys must be inserted into the blooms"
+    );
+    assert_eq!(
+        m.sketch().bits().iter_ones().collect::<Vec<_>>(),
+        vec![0, 2]
+    );
+}
+
+#[test]
+fn join_index_eliminates_steady_state_roundtrips() {
+    // With the side indexes on (default), the bootstrap builds both
+    // sides once; every subsequent batch is answered in memory — zero
+    // backend round trips, probes and avoided-trips counted instead.
+    let (mut db, pset) = two_key_join_db();
+    let plan = db
+        .plan_sql("SELECT v, w FROM r JOIN s ON (k = k2)")
+        .unwrap();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let mut avoided = 0u64;
+    for i in 0..5 {
+        db.execute_sql(&format!("INSERT INTO r VALUES ({}, {})", 1 + i % 2, 30 + i))
+            .unwrap();
+        if i % 2 == 0 {
+            db.execute_sql(&format!("DELETE FROM s WHERE w = {}", 100 + i))
+                .unwrap();
+        }
+        let report = m.maintain(&db).unwrap();
+        assert_eq!(
+            report.metrics.db_roundtrips, 0,
+            "steady-state join maintenance must not outsource (batch {i})"
+        );
+        assert_eq!(report.metrics.rows_sent_to_db, 0);
+        assert!(report.metrics.join_index_probes > 0);
+        avoided += report.metrics.db_roundtrips_avoided;
+        let truth = capture(&plan, &db, &pset).unwrap();
+        assert_eq!(m.sketch(), &truth.sketch, "diverged at batch {i}");
+    }
+    assert!(avoided > 0, "index must report the avoided round trips");
+    let (entries, bytes) = m.join_index_state();
+    assert!(entries > 0 && bytes > 0, "index state must be accounted");
+    assert!(m.state_heap_size() >= bytes);
+}
+
+#[test]
+fn join_index_budget_falls_back_to_reevaluation() {
+    // A side over budget is dropped: maintenance stays correct but pays
+    // the per-batch outsourced evaluation again.
+    let (mut db, pset) = two_key_join_db();
+    let plan = db
+        .plan_sql("SELECT v, w FROM r JOIN s ON (k = k2)")
+        .unwrap();
+    let cfg = OpConfig {
+        join_index_budget: Some(1), // both sides hold 2 entries
+        ..OpConfig::default()
+    };
+    let (mut m, _) = SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
+    assert_eq!(m.join_index_state(), (0, 0), "over-budget sides not kept");
+    for i in 0..3 {
+        db.execute_sql(&format!("INSERT INTO r VALUES (2, {})", 40 + i))
+            .unwrap();
+        let report = m.maintain(&db).unwrap();
+        assert!(
+            report.metrics.db_roundtrips > 0,
+            "fallback must outsource per batch (batch {i})"
+        );
+        assert_eq!(report.metrics.join_index_probes, 0);
+        let truth = capture(&plan, &db, &pset).unwrap();
+        assert_eq!(m.sketch(), &truth.sketch, "diverged at batch {i}");
+    }
+}
+
+#[test]
+fn join_index_persistence_roundtrip_avoids_rebuild() {
+    // Eviction + restore must re-intern the indexed annotations and keep
+    // the zero-round-trip steady state: the restored index answers the
+    // next batch and the blooms are rebuilt from its keys, not a scan.
+    let (mut db, pset) = two_key_join_db();
+    let plan = db
+        .plan_sql("SELECT v, w FROM r JOIN s ON (k = k2)")
+        .unwrap();
+    let (mut live, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    let saved = imp_core::state_codec::save_state(&live);
+    live.drop_state();
+
+    db.execute_sql("INSERT INTO r VALUES (2, 21)").unwrap();
+    db.execute_sql("DELETE FROM s WHERE k2 = 1").unwrap();
+
+    imp_core::state_codec::load_state(&mut live, saved).unwrap();
+    let report = live.maintain(&db).unwrap();
+    assert_eq!(
+        report.metrics.db_roundtrips, 0,
+        "restored index must avoid the rebuild round trip"
+    );
+    assert!(report.metrics.db_roundtrips_avoided > 0);
+    let truth = capture(&plan, &db, &pset).unwrap();
+    assert_eq!(live.sketch(), &truth.sketch);
+
+    // Uninterrupted maintenance agrees.
+    let (entries, _) = live.join_index_state();
+    assert!(entries > 0);
+}
+
+#[test]
+fn recapture_reports_bootstrap_work() {
+    // The recapture fallback and the FM baseline both run the bootstrap
+    // pipeline; its cost counters must reach the returned report instead
+    // of being dropped (Fig. 13/14 recapture costs).
+    let mut db = sales_db();
+    let plan = db.plan_sql(QTOP).unwrap();
+    let pset = price_pset();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    db.execute_sql("INSERT INTO sales VALUES (8, 'HP', 1299, 1)")
+        .unwrap();
+    let report = m.full_maintain(&db).unwrap();
+    assert!(report.recaptured);
+    assert!(
+        report.metrics.rows_processed > 0,
+        "full maintenance must report the bootstrap's work"
+    );
+
+    // Bounded MIN/MAX recapture path: same requirement.
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("t")
+        .unwrap()
+        .bulk_load((0..20).map(|i| row![i % 2, i]))
+        .unwrap();
+    let plan = db
+        .plan_sql("SELECT g, min(v) AS mv FROM t GROUP BY g HAVING min(v) < 100")
+        .unwrap();
+    let pset = Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::new("t", "g", 0, vec![Value::Int(1)]).unwrap()
+        ])
+        .unwrap(),
+    );
+    let cfg = OpConfig {
+        minmax_buffer: Some(3),
+        ..OpConfig::default()
+    };
+    let (mut m, _) = SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
+    let before_rows = {
+        // Work done by the *delta* alone is small; the recapture must add
+        // the bootstrap's full-table pass on top.
+        db.execute_sql("DELETE FROM t WHERE g = 0 AND v < 8")
+            .unwrap();
+        let report = m.maintain(&db).unwrap();
+        assert!(report.recaptured);
+        report.metrics.rows_processed
+    };
+    assert!(
+        before_rows >= 12,
+        "recapture report must include bootstrap work, got {before_rows} rows"
+    );
+}
+
 #[test]
 fn pool_memoizes_unions_across_runs() {
     // Join maintenance over repeating fragment combinations must be

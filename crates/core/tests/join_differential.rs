@@ -1,0 +1,153 @@
+//! Differential property test for join maintenance: random insert/delete
+//! workloads through a two-join plan, run under all four combinations of
+//! {bloom filters, side indexes} × {on, off}. Every configuration must
+//! produce the *same* sketch delta each batch and the same final sketch
+//! as a fresh recapture — the optimizations may only change cost, never
+//! results. Periodic state eviction/restore cycles are woven in so the
+//! lazily rebuilt bloom filters and the persisted side indexes face
+//! in-flight deletes (the Δ⋈Δ cancellation corner).
+
+use imp_core::maintain::SketchMaintainer;
+use imp_core::ops::OpConfig;
+use imp_core::state_codec::{load_state, save_state};
+use imp_engine::Database;
+use imp_sketch::{capture, PartitionSet, RangePartition};
+use imp_storage::{row, DataType, Field, Schema, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const KEYS: i64 = 5;
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "ta",
+        Schema::new(vec![
+            Field::new("ka", DataType::Int),
+            Field::new("va", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "tb",
+        Schema::new(vec![
+            Field::new("kb1", DataType::Int),
+            Field::new("kb2", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "tc",
+        Schema::new(vec![
+            Field::new("kc", DataType::Int),
+            Field::new("wc", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    for k in 0..KEYS {
+        db.table_mut("ta")
+            .unwrap()
+            .bulk_load([row![k, k * 10]])
+            .unwrap();
+        db.table_mut("tb")
+            .unwrap()
+            .bulk_load([row![k, (k + 1) % KEYS]])
+            .unwrap();
+        db.table_mut("tc")
+            .unwrap()
+            .bulk_load([row![k, k * 100]])
+            .unwrap();
+    }
+    db
+}
+
+fn pset() -> Arc<PartitionSet> {
+    Arc::new(
+        PartitionSet::new(vec![
+            RangePartition::new("ta", "ka", 0, vec![Value::Int(2), Value::Int(4)]).unwrap(),
+            RangePartition::new("tc", "kc", 0, vec![Value::Int(2), Value::Int(4)]).unwrap(),
+        ])
+        .unwrap(),
+    )
+}
+
+const TABLES: [(&str, &str); 3] = [("ta", "ka"), ("tb", "kb1"), ("tc", "kc")];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn four_configurations_agree_on_every_batch(
+        // (table, key, delete?, value) — chunked into multi-op batches so
+        // inserts and deletes of the same key collide within one delta.
+        ops in prop::collection::vec(
+            (0usize..3, 0i64..KEYS, any::<bool>(), 0i64..50),
+            1..36,
+        ),
+        evict in any::<bool>(),
+    ) {
+        let mut db = seed_db();
+        let sql = "SELECT va, wc FROM ta JOIN tb ON (ka = kb1) JOIN tc ON (kb2 = kc)";
+        let plan = db.plan_sql(sql).unwrap();
+        let pset = pset();
+
+        let configs = [(true, true), (true, false), (false, true), (false, false)];
+        let mut maintainers: Vec<SketchMaintainer> = configs
+            .iter()
+            .map(|&(bloom, index)| {
+                let cfg = OpConfig {
+                    bloom,
+                    join_index_budget: index.then_some(1 << 20),
+                    ..OpConfig::default()
+                };
+                SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true)
+                    .unwrap()
+                    .0
+            })
+            .collect();
+
+        for (batch_no, batch) in ops.chunks(4).enumerate() {
+            for &(t, key, delete, val) in batch {
+                let (table, key_col) = TABLES[t];
+                let sql = if delete {
+                    format!("DELETE FROM {table} WHERE {key_col} = {key}")
+                } else if table == "tb" {
+                    format!("INSERT INTO tb VALUES ({key}, {})", val % KEYS)
+                } else {
+                    format!("INSERT INTO {table} VALUES ({key}, {val})")
+                };
+                db.execute_sql(&sql).unwrap();
+            }
+            // Every other batch (when enabled): evict + restore state so
+            // the blooms are rebuilt from post-update side scans and the
+            // side indexes go through their codec round trip.
+            if evict && batch_no % 2 == 1 {
+                for m in maintainers.iter_mut() {
+                    let saved = save_state(m);
+                    m.drop_state();
+                    load_state(m, saved).unwrap();
+                }
+            }
+            let mut deltas = Vec::new();
+            for m in maintainers.iter_mut() {
+                let report = m.maintain(&db).unwrap();
+                deltas.push((report.sketch_delta.added, report.sketch_delta.removed));
+            }
+            for (i, d) in deltas.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    d, &deltas[0],
+                    "config {:?} diverged from {:?} at batch {}",
+                    configs[i], configs[0], batch_no
+                );
+            }
+            let truth = capture(&plan, &db, &pset).unwrap();
+            for (i, m) in maintainers.iter().enumerate() {
+                prop_assert_eq!(
+                    m.sketch(), &truth.sketch,
+                    "config {:?} != recapture at batch {}",
+                    configs[i], batch_no
+                );
+            }
+        }
+    }
+}
