@@ -22,8 +22,14 @@
 //!   `Q ⋈ Δ` join terms without backend round trips.
 //! * [`maintain`] — [`maintain::SketchMaintainer`], the incremental
 //!   maintenance procedure `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)` of Def. 4.5.
+//! * [`sched`] — the sharded multi-query maintenance scheduler: a
+//!   per-table [`sched::DeltaRouter`], a [`sched::ShardPool`] of workers
+//!   owning disjoint template-hash shards of the sketch store (per-table
+//!   batch coalescing, bounded-queue backpressure), and versioned
+//!   published [`sched::SnapshotBoard`] sketches for the USE path.
 //! * [`strategy`] / [`middleware`] — eager / lazy / batched maintenance and
-//!   the user-facing [`middleware::Imp`] system.
+//!   the user-facing [`middleware::Imp`] system (in-line or sharded store,
+//!   selected by [`middleware::ImpConfig::sched_workers`]).
 
 pub mod delta;
 pub mod error;
@@ -33,6 +39,7 @@ pub mod metrics;
 pub mod middleware;
 pub mod ops;
 pub mod opt;
+pub mod sched;
 pub mod state_codec;
 pub mod strategy;
 
@@ -43,8 +50,9 @@ pub use delta::{
 pub use error::CoreError;
 pub use fragcount::FragCounts;
 pub use maintain::{MaintReport, SketchMaintainer};
-pub use metrics::MaintMetrics;
-pub use middleware::{Imp, ImpConfig, ImpResponse, QueryMode};
+pub use metrics::{MaintMetrics, SchedMetrics, SchedStats};
+pub use middleware::{Imp, ImpConfig, ImpResponse, QueryMode, SketchStateView};
+pub use sched::Scheduler;
 pub use strategy::MaintenanceStrategy;
 
 /// Result alias for this crate.

@@ -15,7 +15,7 @@ use crate::ops::{IncNode, MaintCtx, MergeOp, OpConfig};
 use crate::opt::pushdown::pushable_predicates;
 use crate::Result;
 use imp_engine::{Bag, Database};
-use imp_sketch::{annotate_delta, PartitionSet, SketchDelta, SketchSet};
+use imp_sketch::{annotate_delta, annotation_id_for_row, PartitionSet, SketchDelta, SketchSet};
 use imp_sql::{Expr, LogicalPlan};
 use imp_storage::{AnnotPool, FxHashMap, PoolStats, RowInterner};
 use std::sync::Arc;
@@ -31,7 +31,7 @@ const COLD_ROW_CACHE_FLUSH: usize = 1024;
 /// content handles, never ids — so flushing between runs is safe; it
 /// trades memoization warmth for a hard memory bound on churny
 /// annotation populations.
-const POOL_FLUSH_LEN: usize = 1 << 16;
+pub const POOL_FLUSH_LEN: usize = 1 << 16;
 
 /// Outcome of one maintenance run.
 #[derive(Debug, Clone)]
@@ -147,7 +147,14 @@ impl SketchMaintainer {
         };
         let delta = self.merge.process(&out, &self.pool)?;
         self.sketch.apply_delta(&delta);
-        self.last_version = db.version();
+        // Split-invariant versioning: the scan consumed every row of the
+        // sketch's tables, i.e. everything up to the last logged record of
+        // those tables. Using that (instead of the global `db.version()`)
+        // makes the version a pure function of the consumed content, so a
+        // sequential full-range run and a scheduler-routed sub-range run
+        // land on byte-identical versions. The `max` guards against
+        // regression when a vacuumed log no longer holds its tail.
+        self.last_version = self.last_version.max(tables_log_version(db, &self.tables)?);
         // Bootstrap output from the empty state is the full query result.
         Ok(out
             .into_iter()
@@ -203,30 +210,100 @@ impl SketchMaintainer {
         let start = Instant::now();
         let mut metrics = MaintMetrics::default();
         if self.pool.len() > POOL_FLUSH_LEN {
-            self.pool.clear();
+            self.flush_pool_caches();
         }
         let pool_stats_before = self.pool.stats();
         let row_hits_before = self.rows.hits();
 
         // Fetch + annotate + (optionally) pre-filter the deltas.
         let mut deltas: FxHashMap<String, DeltaBatch> = FxHashMap::default();
-        let mut any = false;
+        let mut max_seen = 0u64;
         for table in &self.tables {
             let records = db.delta_since(table, self.last_version)?;
             metrics.delta_rows_fetched += records.len() as u64;
+            if let Some(last) = records.last() {
+                max_seen = max_seen.max(last.version);
+            }
             let annotated =
                 annotate_delta(&mut self.pool, &mut self.rows, &self.pset, table, records);
             let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
             let normalized = crate::delta::normalize_delta(filtered);
-            any |= !normalized.is_empty();
             deltas.insert(table.clone(), normalized);
         }
-        // A stream of fresh inserts never hits the interner; drop a grown
-        // cold cache so dead payloads don't stay pinned for the
-        // maintainer's lifetime (the in-flight batches keep their `Arc`s).
+        self.flush_cold_row_cache(row_hits_before);
+        self.run_prepared(db, deltas, max_seen, metrics, start, pool_stats_before)
+    }
+
+    /// Maintain from scheduler-routed table deltas instead of fetching
+    /// from the backend's delta logs (the [`crate::sched`] shard workers'
+    /// path). Entries at or below the maintained version are skipped, so
+    /// a routed batch may safely overlap history the sketch has already
+    /// consumed (e.g. after an on-demand [`Self::maintain`] overtook the
+    /// queue). Produces byte-identical sketches and versions to the
+    /// fetching path run over the same record ranges.
+    pub fn maintain_from(
+        &mut self,
+        db: &Database,
+        routed: &FxHashMap<String, Vec<Arc<crate::sched::TableDelta>>>,
+    ) -> Result<MaintReport> {
+        let start = Instant::now();
+        let mut metrics = MaintMetrics::default();
+        if self.pool.len() > POOL_FLUSH_LEN {
+            self.flush_pool_caches();
+        }
+        let pool_stats_before = self.pool.stats();
+        let row_hits_before = self.rows.hits();
+
+        let mut deltas: FxHashMap<String, DeltaBatch> = FxHashMap::default();
+        let mut max_seen = 0u64;
+        for table in &self.tables {
+            let mut annotated = DeltaBatch::new();
+            for batch in routed.get(table).map(Vec::as_slice).unwrap_or_default() {
+                for entry in batch
+                    .entries
+                    .iter()
+                    .filter(|e| e.version > self.last_version)
+                {
+                    metrics.delta_rows_fetched += 1;
+                    annotated.push(DeltaEntry {
+                        annot: annotation_id_for_row(&mut self.pool, &self.pset, table, &entry.row),
+                        row: self.rows.intern(entry.row.clone()),
+                        mult: entry.mult,
+                    });
+                }
+                max_seen = max_seen.max(batch.to_version);
+            }
+            let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
+            let normalized = crate::delta::normalize_delta(filtered);
+            deltas.insert(table.clone(), normalized);
+        }
+        self.flush_cold_row_cache(row_hits_before);
+        self.run_prepared(db, deltas, max_seen, metrics, start, pool_stats_before)
+    }
+
+    /// A stream of fresh inserts never hits the interner; drop a grown
+    /// cold cache so dead payloads don't stay pinned for the maintainer's
+    /// lifetime (the in-flight batches keep their `Arc`s).
+    fn flush_cold_row_cache(&mut self, row_hits_before: u64) {
         if self.rows.hits() == row_hits_before && self.rows.len() >= COLD_ROW_CACHE_FLUSH {
             self.rows.clear();
         }
+    }
+
+    /// Shared tail of [`Self::maintain`] / [`Self::maintain_from`]: push
+    /// prepared per-table batches through the operator tree, fall back to
+    /// recapture when bounded state exhausts, apply the sketch delta, and
+    /// advance the version to the highest record version consumed
+    /// (split-invariant — see [`Self::maintain`]'s bootstrap notes).
+    fn run_prepared(
+        &mut self,
+        db: &Database,
+        deltas: FxHashMap<String, DeltaBatch>,
+        max_seen: u64,
+        mut metrics: MaintMetrics,
+        start: Instant,
+        pool_stats_before: PoolStats,
+    ) -> Result<MaintReport> {
         // Memory accounting walks every entry; keep its cost out of the
         // reported maintenance duration (it is measurement, not work the
         // flat representation would have avoided).
@@ -236,8 +313,10 @@ impl SketchMaintainer {
             metrics.delta_bytes_flat += delta_heap_size_flat(batch, &self.pool) as u64;
         }
         let accounting = acct_start.elapsed();
-        if !any {
-            self.last_version = db.version();
+        if deltas.values().all(|b| b.is_empty()) {
+            // Nothing survived (or nothing new): advance past records that
+            // were consumed-but-pruned so they are not refetched.
+            self.last_version = self.last_version.max(max_seen);
             return Ok(MaintReport {
                 sketch_delta: SketchDelta::default(),
                 metrics,
@@ -279,7 +358,7 @@ impl SketchMaintainer {
 
         let sketch_delta = self.merge.process(&out, &self.pool)?;
         self.sketch.apply_delta(&sketch_delta);
-        self.last_version = db.version();
+        self.last_version = self.last_version.max(max_seen);
         metrics.record_pool_activity(pool_stats_before, self.pool.stats());
         Ok(MaintReport {
             sketch_delta,
@@ -377,13 +456,49 @@ impl SketchMaintainer {
     }
 
     /// Heap footprint of all operator state + merge counters + sketch +
-    /// the interning pools.
+    /// the interning pools, with shared-ownership-aware attribution of
+    /// annotation contents (each allocation counted exactly once, whether
+    /// the pool or only the operator state keeps it alive).
     pub fn state_heap_size(&self) -> usize {
         self.root.heap_size()
             + self.merge.heap_size()
             + self.sketch.heap_size()
             + self.pool.heap_size()
             + self.rows.heap_size()
+            + self.unpooled_annot_bytes()
+    }
+
+    /// Heap bytes of annotation contents kept alive *only* by operator
+    /// state `Arc<BitVec>` handles (top-k entries, join-side indexes) and
+    /// not owned by the pool. Normally zero — state handles come from
+    /// [`AnnotPool::share`], so the pool's own `heap_size` covers their
+    /// contents — but after a between-runs pool flush (the
+    /// [`POOL_FLUSH_LEN`] bound, or [`Self::flush_pool_caches`]) those
+    /// bitvectors live on solely through the state's handles and would
+    /// otherwise be counted by neither side. Each distinct allocation
+    /// counts once, however many entries share it.
+    pub fn unpooled_annot_bytes(&self) -> usize {
+        let mut seen: imp_storage::FxHashSet<usize> = imp_storage::FxHashSet::default();
+        let mut bytes = 0usize;
+        let pool = &self.pool;
+        self.root.for_each_annot(&mut |handle| {
+            if seen.insert(std::sync::Arc::as_ptr(handle) as usize) && !pool.owns(handle) {
+                bytes += handle.heap_size() + std::mem::size_of::<imp_storage::BitVec>();
+            }
+        });
+        bytes
+    }
+
+    /// Flush the annotation pool between runs (the bound-triggered
+    /// [`POOL_FLUSH_LEN`] flush, exposed for memory-pressure callers and
+    /// tests). Safe at any between-runs point: ids are only live within
+    /// one maintenance/bootstrap call — persistent operator state holds
+    /// fragment counters or `Arc<BitVec>` content handles, never ids.
+    /// Trades memoization warmth (and the pool's coverage of state-held
+    /// annotation contents — see [`Self::unpooled_annot_bytes`]) for a
+    /// hard bound on the pool's footprint.
+    pub fn flush_pool_caches(&mut self) {
+        self.pool.clear();
     }
 
     /// Internal accessors for state persistence (see [`crate::state_codec`]).
@@ -409,6 +524,18 @@ impl SketchMaintainer {
     pub(crate) fn parts(&self) -> (&IncNode, &MergeOp, &SketchSet, u64) {
         (&self.root, &self.merge, &self.sketch, self.last_version)
     }
+}
+
+/// Highest logged record version across `tables` (0 when their logs are
+/// empty): the version a from-scratch scan of those tables represents.
+fn tables_log_version(db: &Database, tables: &[String]) -> Result<u64> {
+    let mut v = 0u64;
+    for table in tables {
+        if let Some(last) = db.table(table)?.delta_log().all().last() {
+            v = v.max(last.version);
+        }
+    }
+    Ok(v)
 }
 
 /// Compute the delta between two sketch versions (`ΔP` with

@@ -1,6 +1,9 @@
-//! Maintenance metrics: cost and memory accounting for the experiments.
+//! Maintenance metrics: cost and memory accounting for the experiments,
+//! plus the shared atomic counters of the [`crate::sched`] scheduler
+//! (queue depths, coalescing, backpressure).
 
 use imp_storage::PoolStats;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters recorded during one maintenance run (reset per run).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -81,4 +84,109 @@ impl MaintMetrics {
         self.pool_interned += after.interned - before.interned;
         self.pool_intern_hits += after.intern_hits - before.intern_hits;
     }
+}
+
+/// Shared atomic counters of the sharded maintenance scheduler
+/// ([`crate::sched`]): the router and every shard worker update them
+/// lock-free; [`SchedMetrics::snapshot`] captures a consistent-enough
+/// view for reporting (the `fig_sched` harness and tests).
+#[derive(Debug)]
+pub struct SchedMetrics {
+    /// Table-delta batches built by the router (one per table flush).
+    pub routed_batches: AtomicU64,
+    /// Delta rows shipped inside routed batches (each counted once,
+    /// however many shards the batch fans out to).
+    pub routed_rows: AtomicU64,
+    /// Shard-queue messages produced by fan-out (≥ `routed_batches`).
+    pub fanout_messages: AtomicU64,
+    /// Pending same-table batches folded into an earlier batch by a
+    /// shard's coalescing pass.
+    pub coalesced_batches: AtomicU64,
+    /// Router sends that found a shard queue full and had to block
+    /// (backpressure onto the update path).
+    pub backpressure_stalls: AtomicU64,
+    /// Maintenance runs executed by shard workers (routed + on-demand).
+    pub maintain_runs: AtomicU64,
+    /// Per-shard current queue depth (gauge). Counts messages committed
+    /// to or blocked entering the queue, so under backpressure it can
+    /// briefly read one above the queue capacity per blocked sender.
+    queue_depth: Vec<AtomicU64>,
+    /// Per-shard high-water queue depth.
+    max_queue_depth: Vec<AtomicU64>,
+}
+
+impl SchedMetrics {
+    /// Fresh counters for `shards` queues.
+    pub fn new(shards: usize) -> SchedMetrics {
+        SchedMetrics {
+            routed_batches: AtomicU64::new(0),
+            routed_rows: AtomicU64::new(0),
+            fanout_messages: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            backpressure_stalls: AtomicU64::new(0),
+            maintain_runs: AtomicU64::new(0),
+            queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            max_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record a message entering `shard`'s queue.
+    pub fn enqueued(&self, shard: usize) {
+        let d = self.queue_depth[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth[shard].fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Record a message leaving `shard`'s queue.
+    pub fn dequeued(&self, shard: usize) {
+        self.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Plain-value view of the counters.
+    pub fn snapshot(&self) -> SchedStats {
+        SchedStats {
+            routed_batches: self.routed_batches.load(Ordering::Relaxed),
+            routed_rows: self.routed_rows.load(Ordering::Relaxed),
+            fanout_messages: self.fanout_messages.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            maintain_runs: self.maintain_runs.load(Ordering::Relaxed),
+            per_shard: self
+                .queue_depth
+                .iter()
+                .zip(&self.max_queue_depth)
+                .map(|(d, m)| ShardQueueStats {
+                    depth: d.load(Ordering::Relaxed),
+                    max_depth: m.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time values of [`SchedMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStats {
+    /// See [`SchedMetrics::routed_batches`].
+    pub routed_batches: u64,
+    /// See [`SchedMetrics::routed_rows`].
+    pub routed_rows: u64,
+    /// See [`SchedMetrics::fanout_messages`].
+    pub fanout_messages: u64,
+    /// See [`SchedMetrics::coalesced_batches`].
+    pub coalesced_batches: u64,
+    /// See [`SchedMetrics::backpressure_stalls`].
+    pub backpressure_stalls: u64,
+    /// See [`SchedMetrics::maintain_runs`].
+    pub maintain_runs: u64,
+    /// Per-shard queue gauges.
+    pub per_shard: Vec<ShardQueueStats>,
+}
+
+/// Queue gauges of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardQueueStats {
+    /// Messages currently queued.
+    pub depth: u64,
+    /// High-water depth since spawn.
+    pub max_depth: u64,
 }

@@ -6,10 +6,23 @@
 //! a stale sketch and then utilize the updated sketch to answer the
 //! query." Updates route to the backend and, under the eager strategy,
 //! trigger incremental maintenance of the affected sketches.
+//!
+//! The sketch store has two backends, selected by
+//! [`ImpConfig::sched_workers`]:
+//!
+//! * **In-line** (`sched_workers == 0`, the default): sketches live in a
+//!   map owned by [`Imp`] and are maintained on the calling thread,
+//!   exactly as the paper describes.
+//! * **Sharded** (`sched_workers ≥ 1`): sketch ownership moves into the
+//!   [`crate::sched`] scheduler — a pool of shard workers fed by a
+//!   per-table delta router. Updates return as soon as the delta is
+//!   routed; queries read versioned published sketch snapshots and only
+//!   synchronize with a shard when they need a stale sketch maintained.
 
 use crate::error::CoreError;
 use crate::maintain::{MaintReport, SketchMaintainer};
 use crate::ops::OpConfig;
+use crate::sched::Scheduler;
 use crate::strategy::MaintenanceStrategy;
 use crate::Result;
 use imp_engine::{Bag, Database, QueryResult};
@@ -18,6 +31,7 @@ use imp_sketch::{apply_sketch_filter, safety, PartitionSet, RangePartition};
 use imp_sql::ast::BinOp;
 use imp_sql::{Expr, LogicalPlan, QueryTemplate, Resolver, SelectStmt, Statement};
 use imp_storage::{BitVec, FxHashMap};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -52,7 +66,23 @@ pub struct ImpConfig {
     pub allow_unsafe_attributes: bool,
     /// Retain immutable past sketch versions (§2).
     pub retain_sketch_versions: bool,
+    /// Shard workers of the maintenance scheduler ([`crate::sched`]).
+    /// `0` (default) keeps the in-line store: sketches are maintained on
+    /// the calling thread according to `strategy`. With `≥ 1`, sketch
+    /// ownership moves into a [`crate::sched::ShardPool`]: every update
+    /// is ingested once per table and fanned out to the shards whose
+    /// sketches reference it, and maintenance runs asynchronously with
+    /// per-table coalescing (the scheduler supersedes the foreground
+    /// behavior of `strategy`; the `maintenance` reports of
+    /// [`ImpResponse::Affected`] are then always empty).
+    pub sched_workers: usize,
+    /// Scheduler coalescing bound: pending routed delta rows *per table*
+    /// a shard folds into a single maintenance run before flushing.
+    pub coalesce_budget: usize,
 }
+
+/// Default [`ImpConfig::coalesce_budget`].
+pub const DEFAULT_COALESCE_BUDGET: usize = 4096;
 
 impl Default for ImpConfig {
     fn default() -> Self {
@@ -67,12 +97,14 @@ impl Default for ImpConfig {
             partition_overrides: Vec::new(),
             allow_unsafe_attributes: false,
             retain_sketch_versions: true,
+            sched_workers: 0,
+            coalesce_budget: DEFAULT_COALESCE_BUDGET,
         }
     }
 }
 
 impl ImpConfig {
-    fn op_config(&self) -> OpConfig {
+    pub(crate) fn op_config(&self) -> OpConfig {
         OpConfig {
             bloom: self.bloom,
             minmax_buffer: self.minmax_buffer,
@@ -144,6 +176,21 @@ pub struct StoredSketch {
     /// set, the in-memory state has been reset and must be restored from
     /// these bytes before the next maintenance.
     pub evicted: Option<bytes::Bytes>,
+    /// Cached immutable publication metadata (sharded backend): the
+    /// plan/SQL/tables wrapped in `Arc` once, so snapshot publication
+    /// does not deep-clone them on every maintenance flush. Lazily
+    /// filled by the owning shard worker; survives repartitioning (the
+    /// plan does not change).
+    pub(crate) published_meta: Option<PublishedMeta>,
+}
+
+/// The `Arc`-wrapped immutable parts of a published sketch (see
+/// [`crate::sched::PublishedSketch`]).
+#[derive(Debug, Clone)]
+pub(crate) struct PublishedMeta {
+    pub(crate) sql: Arc<str>,
+    pub(crate) plan: Arc<LogicalPlan>,
+    pub(crate) tables: Arc<[String]>,
 }
 
 /// One row of [`Imp::describe_sketches`].
@@ -167,35 +214,67 @@ pub struct SketchSummary {
     pub stale: bool,
 }
 
+/// One row of [`Imp::sketch_states`]: the externally comparable state of
+/// a stored sketch (the differential scheduler tests assert byte-identical
+/// rows between the in-line and sharded backends).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SketchStateView {
+    /// Canonical query template.
+    pub template: String,
+    /// Original SQL the sketch was captured for.
+    pub sql: String,
+    /// Database version the sketch is valid for.
+    pub version: u64,
+    /// The sketch bits.
+    pub bits: BitVec,
+}
+
 /// Maximum sketches retained per query template (candidates differing in
 /// constants; the template prefilter of §7.1 narrows to these).
-const MAX_SKETCHES_PER_TEMPLATE: usize = 4;
+pub(crate) const MAX_SKETCHES_PER_TEMPLATE: usize = 4;
+
+/// The sketch store: in-line map or the sharded scheduler.
+enum SketchBackend {
+    /// Owned by [`Imp`], maintained on the calling thread.
+    Inline(FxHashMap<QueryTemplate, Vec<StoredSketch>>),
+    /// Owned by the shard workers of a [`Scheduler`].
+    Sharded(Scheduler),
+}
 
 /// The IMP system.
 pub struct Imp {
-    db: Database,
-    store: FxHashMap<QueryTemplate, Vec<StoredSketch>>,
+    db: Arc<RwLock<Database>>,
+    store: SketchBackend,
     config: ImpConfig,
 }
 
 impl Imp {
-    /// Wrap a backend database.
+    /// Wrap a backend database. With [`ImpConfig::sched_workers`] ≥ 1 the
+    /// sketch store is sharded across a worker pool (see [`crate::sched`]).
     pub fn new(db: Database, config: ImpConfig) -> Imp {
-        Imp {
-            db,
-            store: FxHashMap::default(),
-            config,
-        }
+        let db = Arc::new(RwLock::new(db));
+        let store = if config.sched_workers > 0 {
+            SketchBackend::Sharded(Scheduler::new(Arc::clone(&db), &config))
+        } else {
+            SketchBackend::Inline(FxHashMap::default())
+        };
+        Imp { db, store, config }
     }
 
-    /// The backend database.
-    pub fn db(&self) -> &Database {
+    /// Shared read access to the backend database.
+    pub fn db(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read()
+    }
+
+    /// Exclusive backend access (loading data bypasses the middleware).
+    pub fn db_mut(&mut self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write()
+    }
+
+    /// The shared database handle (shard workers and harnesses hold
+    /// additional readers).
+    pub fn shared_db(&self) -> &Arc<RwLock<Database>> {
         &self.db
-    }
-
-    /// Mutable backend access (loading data bypasses the middleware).
-    pub fn db_mut(&mut self) -> &mut Database {
-        &mut self.db
     }
 
     /// Active configuration.
@@ -203,114 +282,154 @@ impl Imp {
         &self.config
     }
 
-    /// Number of stored sketches.
-    pub fn sketch_count(&self) -> usize {
-        self.store.values().map(Vec::len).sum()
+    /// The maintenance scheduler, when the sharded backend is active.
+    pub fn scheduler(&self) -> Option<&Scheduler> {
+        match &self.store {
+            SketchBackend::Inline(_) => None,
+            SketchBackend::Sharded(s) => Some(s),
+        }
     }
 
-    /// First stored sketch for a template (tests / inspection).
+    /// Number of stored sketches.
+    pub fn sketch_count(&self) -> usize {
+        match &self.store {
+            SketchBackend::Inline(store) => store.values().map(Vec::len).sum(),
+            // Snapshots mirror the store after every count-changing
+            // operation (capture, template eviction, repartition), so no
+            // inspection barrier is needed.
+            SketchBackend::Sharded(sched) => sched.published_count(),
+        }
+    }
+
+    /// First stored sketch for a template (tests / inspection; in-line
+    /// backend only — sharded sketches live on their worker threads).
     pub fn sketch_entry(&self, template: &QueryTemplate) -> Option<&StoredSketch> {
-        self.store.get(template).and_then(|v| v.first())
+        match &self.store {
+            SketchBackend::Inline(store) => store.get(template).and_then(|v| v.first()),
+            SketchBackend::Sharded(_) => None,
+        }
     }
 
     /// Total heap footprint of all sketch state.
     pub fn store_heap_size(&self) -> usize {
-        self.store
-            .values()
-            .flatten()
-            .map(|s| {
-                s.maintainer.state_heap_size()
-                    + s.versions.values().map(BitVec::heap_size).sum::<usize>()
-            })
-            .sum()
+        match &self.store {
+            SketchBackend::Inline(store) => store.values().flatten().map(stored_heap_size).sum(),
+            SketchBackend::Sharded(sched) => sched.inspect().iter().map(|r| r.heap).sum(),
+        }
+    }
+
+    /// Comparable state of every stored sketch, sorted. Both backends
+    /// produce identical rows for identical maintenance histories (the
+    /// scheduler's differential guarantee).
+    pub fn sketch_states(&self) -> Vec<SketchStateView> {
+        let mut out = match &self.store {
+            SketchBackend::Inline(store) => store
+                .iter()
+                .flat_map(|(template, entries)| {
+                    entries.iter().map(|e| SketchStateView {
+                        template: template.text().to_string(),
+                        sql: e.sql.clone(),
+                        version: e.maintainer.version(),
+                        bits: e.maintainer.sketch().bits().clone(),
+                    })
+                })
+                .collect(),
+            SketchBackend::Sharded(sched) => sched
+                .inspect()
+                .into_iter()
+                .flat_map(|r| r.states)
+                .collect::<Vec<_>>(),
+        };
+        out.sort();
+        out
     }
 
     /// Evict the operator state of every stored sketch to its serialized
     /// form, freeing the in-memory structures (paper §2). State is
     /// restored transparently before the next maintenance.
     pub fn evict_all_states(&mut self) -> Result<usize> {
-        let mut freed = 0usize;
-        for entry in self.store.values_mut().flatten() {
-            if entry.evicted.is_none() {
-                freed += entry.maintainer.state_heap_size();
-                entry.evicted = Some(crate::state_codec::save_state(&entry.maintainer));
-                entry.maintainer.drop_state();
+        match &mut self.store {
+            SketchBackend::Inline(store) => {
+                let mut freed = 0usize;
+                for entry in store.values_mut().flatten() {
+                    freed += evict_stored(entry);
+                }
+                Ok(freed)
             }
+            SketchBackend::Sharded(sched) => Ok(sched.evict_all()),
         }
-        Ok(freed)
     }
 
     /// Recapture every sketch with fresh equi-depth partitions — the §7.4
     /// response to a significant change in data distribution ("we can
     /// simply update the ranges and recapture sketches").
     pub fn repartition_all(&mut self) -> Result<usize> {
-        let templates: Vec<QueryTemplate> = self.store.keys().cloned().collect();
-        let mut recaptured = 0usize;
-        for template in templates {
-            let Some(entries) = self.store.remove(&template) else {
-                continue;
-            };
-            let mut rebuilt = Vec::with_capacity(entries.len());
-            for old in entries {
-                let Some(pset) = self.choose_partitions(&old.plan)? else {
-                    continue;
-                };
-                let (maintainer, _) = SketchMaintainer::capture(
-                    &old.plan,
-                    &self.db,
-                    pset,
-                    self.config.op_config(),
-                    self.config.selection_pushdown,
-                )?;
-                recaptured += 1;
-                rebuilt.push(StoredSketch {
-                    maintainer,
-                    versions: BTreeMap::new(),
-                    pending_rows: 0,
-                    evicted: None,
-                    ..old
-                });
+        match &mut self.store {
+            SketchBackend::Inline(store) => {
+                let db = self.db.read();
+                repartition_store(store, &db, &self.config)
             }
-            if !rebuilt.is_empty() {
-                self.store.insert(template, rebuilt);
-            }
+            SketchBackend::Sharded(sched) => Ok(sched.repartition_all()),
         }
-        Ok(recaptured)
     }
 
     /// VACUUM the backend: compact table storage and drop delta-log
-    /// records that every stored sketch has already consumed (records at
-    /// or below the minimum maintained version). Returns
-    /// `(reclaimed row slots, dropped delta records)`.
+    /// records that every stored sketch has already consumed. The horizon
+    /// is per table — the minimum maintained version across the sketches
+    /// *referencing* that table — so a low-traffic sketch does not pin
+    /// every other table's log (maintained versions are table-local, see
+    /// [`SketchMaintainer::maintain`]). An unreferenced table's log is
+    /// reclaimed entirely. Returns `(reclaimed row slots, dropped delta
+    /// records)`.
     pub fn vacuum(&mut self) -> (usize, usize) {
-        let min_version = self
-            .store
-            .values()
-            .flatten()
-            .map(|e| e.maintainer.version())
-            .min()
-            .unwrap_or_else(|| self.db.version());
-        self.db.vacuum(min_version)
+        let table_versions: FxHashMap<String, u64> = match &self.store {
+            SketchBackend::Inline(store) => {
+                let mut mins = FxHashMap::default();
+                for e in store.values().flatten() {
+                    for table in e.maintainer.tables() {
+                        let v = mins
+                            .entry(table.clone())
+                            .or_insert_with(|| e.maintainer.version());
+                        *v = (*v).min(e.maintainer.version());
+                    }
+                }
+                mins
+            }
+            SketchBackend::Sharded(sched) => {
+                let mut mins = FxHashMap::default();
+                for report in sched.inspect() {
+                    for (table, version) in report.table_versions {
+                        let v = mins.entry(table).or_insert(version);
+                        *v = (*v).min(version);
+                    }
+                }
+                mins
+            }
+        };
+        let mut db = self.db.write();
+        let everything = db.version();
+        db.vacuum_by(|table| table_versions.get(table).copied().unwrap_or(everything))
     }
 
     /// Summaries of all stored sketches (the store view of paper Fig. 2).
     pub fn describe_sketches(&self) -> Vec<SketchSummary> {
-        let mut out = Vec::new();
-        for (template, entries) in &self.store {
-            for e in entries {
-                out.push(SketchSummary {
-                    template: template.text().to_string(),
-                    sql: e.sql.clone(),
-                    version: e.maintainer.version(),
-                    fragments: e.maintainer.sketch().fragment_count(),
-                    total_fragments: e.maintainer.partitions().total_fragments(),
-                    state_bytes: e.maintainer.state_heap_size(),
-                    retained_versions: e.versions.len(),
-                    stale: e.maintainer.is_stale(&self.db),
-                });
+        let mut out = match &self.store {
+            SketchBackend::Inline(store) => {
+                let db = self.db.read();
+                store
+                    .iter()
+                    .flat_map(|(template, entries)| {
+                        entries.iter().map(|e| summarize(template, e, &db))
+                    })
+                    .collect()
             }
-        }
-        out.sort_by(|a, b| a.template.cmp(&b.template));
+            SketchBackend::Sharded(sched) => sched
+                .inspect()
+                .into_iter()
+                .flat_map(|r| r.summaries)
+                .collect::<Vec<_>>(),
+        };
+        out.sort_by(|a: &SketchSummary, b| a.template.cmp(&b.template));
         out
     }
 
@@ -324,30 +443,47 @@ impl Imp {
     }
 
     /// Maintain every stale sketch (used by eager flushes and the
-    /// background maintainer).
+    /// background maintainer). On the sharded backend this is a
+    /// synchronous sweep: queued routed deltas are processed first (queue
+    /// order), then every still-stale sketch is brought current.
     pub fn maintain_all_stale(&mut self) -> Result<Vec<MaintReport>> {
-        let mut reports = Vec::new();
-        for entry in self.store.values_mut().flatten() {
-            if entry.maintainer.is_stale(&self.db) {
-                restore_if_evicted(entry)?;
-                let report = entry.maintainer.maintain(&self.db)?;
-                entry.pending_rows = 0;
-                if self.config.retain_sketch_versions {
-                    entry.versions.insert(
-                        entry.maintainer.version(),
-                        entry.maintainer.sketch().bits().clone(),
-                    );
+        match &mut self.store {
+            SketchBackend::Inline(store) => {
+                let db = self.db.read();
+                let mut reports = Vec::new();
+                for entry in store.values_mut().flatten() {
+                    if entry.maintainer.is_stale(&db) {
+                        reports.push(maintain_entry(
+                            entry,
+                            &db,
+                            self.config.retain_sketch_versions,
+                        )?);
+                    }
                 }
-                reports.push(report);
+                Ok(reports)
+            }
+            SketchBackend::Sharded(sched) => sched.maintain_stale(),
+        }
+    }
+
+    /// One background-maintenance tick: the in-line backend maintains all
+    /// stale sketches on this thread; the sharded backend enqueues a
+    /// maintain-stale sweep on every shard and returns immediately (the
+    /// workers do the maintenance in parallel, off this thread).
+    pub fn tick_maintenance(&mut self) -> Result<usize> {
+        match &mut self.store {
+            SketchBackend::Inline(_) => Ok(self.maintain_all_stale()?.len()),
+            SketchBackend::Sharded(sched) => {
+                sched.kick_maintenance();
+                Ok(0)
             }
         }
-        Ok(reports)
     }
 
     // ---- updates ----
 
     fn handle_update(&mut self, stmt: &Statement) -> Result<ImpResponse> {
-        let result = self.db.execute_statement(stmt)?;
+        let result = self.db.write().execute_statement(stmt)?;
         match result {
             imp_engine::update::StatementResult::Created => Ok(ImpResponse::Created),
             imp_engine::update::StatementResult::Explained(text) => {
@@ -360,23 +496,29 @@ impl Imp {
                 version,
             } => {
                 let mut maintenance = Vec::new();
-                if let MaintenanceStrategy::Eager { batch_size } = self.config.strategy {
-                    for entry in self.store.values_mut().flatten() {
-                        if entry.maintainer.tables().contains(&table) {
-                            entry.pending_rows += count;
-                            if entry.pending_rows as usize >= batch_size {
-                                restore_if_evicted(entry)?;
-                                let report = entry.maintainer.maintain(&self.db)?;
-                                entry.pending_rows = 0;
-                                if self.config.retain_sketch_versions {
-                                    entry.versions.insert(
-                                        entry.maintainer.version(),
-                                        entry.maintainer.sketch().bits().clone(),
-                                    );
+                match &mut self.store {
+                    SketchBackend::Inline(store) => {
+                        if let MaintenanceStrategy::Eager { batch_size } = self.config.strategy {
+                            let db = self.db.read();
+                            for entry in store.values_mut().flatten() {
+                                if entry.maintainer.tables().contains(&table) {
+                                    entry.pending_rows += count;
+                                    if entry.pending_rows as usize >= batch_size {
+                                        maintenance.push(maintain_entry(
+                                            entry,
+                                            &db,
+                                            self.config.retain_sketch_versions,
+                                        )?);
+                                    }
                                 }
-                                maintenance.push(report);
                             }
                         }
+                    }
+                    SketchBackend::Sharded(sched) => {
+                        // Ingest the table's delta once; the router fans it
+                        // out to the shards whose sketches reference it and
+                        // maintenance proceeds asynchronously.
+                        sched.route(&table);
                     }
                 }
                 Ok(ImpResponse::Affected {
@@ -393,165 +535,362 @@ impl Imp {
 
     fn handle_select(&mut self, sql: &str, select: &SelectStmt) -> Result<ImpResponse> {
         let template = QueryTemplate::of(select);
-        let plan = Resolver::new(&self.db)
+        let plan = Resolver::new(&*self.db.read())
             .resolve_select(select)
             .map_err(EngineError::from)?;
+        if matches!(self.store, SketchBackend::Sharded(_)) {
+            self.select_sharded(sql, template, plan)
+        } else {
+            self.select_inline(sql, template, plan)
+        }
+    }
+
+    /// The in-line (i)/(ii)/(iii) decision of paper Fig. 2.
+    fn select_inline(
+        &mut self,
+        sql: &str,
+        template: QueryTemplate,
+        plan: LogicalPlan,
+    ) -> Result<ImpResponse> {
+        let SketchBackend::Inline(store) = &mut self.store else {
+            unreachable!("select_inline on sharded backend")
+        };
+        let db = self.db.read();
 
         // (ii)/(iii): an existing sketch with the same template — check the
         // reuse condition (from [37]; here: structural subsumption) against
         // every stored candidate.
-        if let Some(entries) = self.store.get_mut(&template) {
+        if let Some(entries) = store.get_mut(&template) {
             if let Some(entry) = entries.iter_mut().find(|e| plan_subsumes(&e.plan, &plan)) {
-                restore_if_evicted(entry)?;
-                let mode = if entry.maintainer.is_stale(&self.db) {
-                    let report = entry.maintainer.maintain(&self.db)?;
-                    entry.pending_rows = 0;
-                    if self.config.retain_sketch_versions {
-                        entry.versions.insert(
-                            entry.maintainer.version(),
-                            entry.maintainer.sketch().bits().clone(),
-                        );
-                    }
+                let mode = if entry.maintainer.is_stale(&db) {
+                    let report = maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
                     QueryMode::Maintained(Box::new(report))
                 } else {
+                    restore_if_evicted(entry)?;
                     QueryMode::UsedFresh
                 };
                 let rewritten = apply_sketch_filter(&plan, entry.maintainer.sketch())?;
-                let result = self.db.execute_plan(&rewritten)?;
+                let result = db.execute_plan(&rewritten)?;
                 return Ok(ImpResponse::Rows { result, mode });
             }
         }
 
         // (i): capture a new sketch — pick partition attributes.
-        let pset = self.choose_partitions(&plan)?;
-        let Some(pset) = pset else {
+        let Some(pset) = choose_partitions(&db, &self.config, &plan)? else {
             // No sketchable attribute: answer directly (NS path).
-            let result = self.db.execute_plan(&plan)?;
+            let result = db.execute_plan(&plan)?;
             return Ok(ImpResponse::Rows {
                 result,
                 mode: QueryMode::NoSketch,
             });
         };
-        let (maintainer, rows) = SketchMaintainer::capture(
-            &plan,
-            &self.db,
-            pset,
-            self.config.op_config(),
-            self.config.selection_pushdown,
-        )?;
-        let result = QueryResult {
-            schema: plan.schema(),
-            rows: order_result(&plan, rows),
-            stats: ExecStats::default(),
-        };
-        let mut versions = BTreeMap::new();
-        if self.config.retain_sketch_versions {
-            versions.insert(maintainer.version(), maintainer.sketch().bits().clone());
-        }
-        let entries = self.store.entry(template).or_default();
+        let (stored, result) = capture_stored(&db, &self.config, sql, plan, pset)?;
+        let entries = store.entry(template).or_default();
         if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
             entries.remove(0); // evict the oldest candidate
         }
-        entries.push(StoredSketch {
-            sql: sql.to_string(),
-            plan,
-            maintainer,
-            versions,
-            pending_rows: 0,
-            evicted: None,
-        });
+        entries.push(stored);
         Ok(ImpResponse::Rows {
             result,
             mode: QueryMode::Captured,
         })
     }
 
-    /// Choose partition attributes per table (§7.4 heuristic: safe
-    /// attributes — for aggregation queries exactly the group-by columns —
-    /// ranked by sampled distinct count, following the cost-based insight
-    /// of [30] that finer-grained attributes yield more selective
-    /// sketches).
-    fn choose_partitions(&self, plan: &LogicalPlan) -> Result<Option<Arc<PartitionSet>>> {
-        let safe = safety::safe_attributes(plan);
-        let mut partitions = Vec::new();
-        for table in plan.tables() {
-            // Explicit override first.
-            let chosen: Option<String> = self
-                .config
-                .partition_overrides
-                .iter()
-                .find(|(t, _)| t.eq_ignore_ascii_case(&table))
-                .map(|(_, a)| a.clone())
-                .or_else(|| {
-                    let mut candidates: Vec<&safety::SafeAttribute> =
-                        safe.iter().filter(|s| s.table == table).collect();
-                    if candidates.len() > 1 {
-                        candidates.sort_by_key(|s| {
-                            std::cmp::Reverse(self.sampled_distinct(&table, s.column))
-                        });
-                    }
-                    candidates.first().map(|s| s.attribute.clone())
-                });
-            let Some(attribute) = chosen else {
-                continue; // table stays unpartitioned (whole-domain range)
+    /// The sharded decision: read the owning shard's published snapshot
+    /// without blocking maintenance; only a stale reuse synchronizes with
+    /// the worker (which brings the sketch current and replies with the
+    /// fresh bits).
+    fn select_sharded(
+        &mut self,
+        sql: &str,
+        template: QueryTemplate,
+        plan: LogicalPlan,
+    ) -> Result<ImpResponse> {
+        let SketchBackend::Sharded(sched) = &self.store else {
+            unreachable!("select_sharded on inline backend")
+        };
+
+        if let Some(published) = sched.find_published(&template, &plan) {
+            let stale = {
+                let db = self.db.read();
+                published.tables.iter().any(|t| {
+                    db.delta_since(t, published.version)
+                        .map(|d| !d.is_empty())
+                        .unwrap_or(false)
+                })
             };
-            let overridden = self
-                .config
-                .partition_overrides
-                .iter()
-                .any(|(t, _)| t.eq_ignore_ascii_case(&table));
-            if !overridden
-                || safety::is_safe(plan, &table, &attribute)
-                || self.config.allow_unsafe_attributes
-            {
-                let fragments = self.config.fragments;
-                partitions.push(RangePartition::equi_depth(
-                    &self.db, &table, &attribute, fragments,
-                )?);
-            } else {
-                return Err(CoreError::Sketch(
-                    imp_sketch::SketchError::UnsafeAttribute {
-                        table: table.clone(),
-                        attribute,
-                    },
-                ));
+            if !stale {
+                // (ii): use the published snapshot as-is — no shard
+                // round trip, maintenance never blocked.
+                let rewritten = apply_sketch_filter(&plan, &published.sketch)?;
+                let result = self.db.read().execute_plan(&rewritten)?;
+                return Ok(ImpResponse::Rows {
+                    result,
+                    mode: QueryMode::UsedFresh,
+                });
             }
+            // (iii): ask the owning shard to bring the sketch current
+            // (queued routed deltas are processed first — queue order).
+            // A worker-side maintenance failure propagates like the
+            // in-line backend's would.
+            if let Some(reply) = sched.maintain_sketch(&template, &plan)? {
+                let rewritten = apply_sketch_filter(&plan, &reply.sketch)?;
+                let result = self.db.read().execute_plan(&rewritten)?;
+                return Ok(ImpResponse::Rows {
+                    result,
+                    mode: QueryMode::Maintained(reply.report),
+                });
+            }
+            // The candidate vanished between snapshot and request
+            // (concurrent template eviction): fall through to a fresh
+            // capture.
         }
-        if partitions.is_empty() {
-            return Ok(None);
-        }
-        Ok(Some(Arc::new(PartitionSet::new(partitions)?)))
+
+        // (i): capture on this thread, then hand ownership to the shard.
+        let captured = {
+            let db = self.db.read();
+            let Some(pset) = choose_partitions(&db, &self.config, &plan)? else {
+                let result = db.execute_plan(&plan)?;
+                return Ok(ImpResponse::Rows {
+                    result,
+                    mode: QueryMode::NoSketch,
+                });
+            };
+            capture_stored(&db, &self.config, sql, plan, pset)?
+        };
+        let (stored, result) = captured;
+        sched.add_sketch(template, stored);
+        Ok(ImpResponse::Rows {
+            result,
+            mode: QueryMode::Captured,
+        })
     }
 }
 
-impl Imp {
-    /// Sampled distinct-value count of `table.column` (first few thousand
-    /// rows) — the ranking signal for partition-attribute choice.
-    fn sampled_distinct(&self, table: &str, column: usize) -> usize {
-        const SAMPLE: usize = 4096;
-        let Ok(t) = self.db.table(table) else {
-            return 0;
-        };
-        let mut seen: imp_storage::FxHashSet<imp_storage::Value> =
-            imp_storage::FxHashSet::default();
-        let mut n = 0usize;
-        t.scan(
-            None,
-            |row| {
-                if n < SAMPLE {
-                    seen.insert(row[column].clone());
-                    n += 1;
-                }
-            },
-            |_| {},
-        );
-        seen.len()
+/// Capture a sketch for `plan` and package it as a [`StoredSketch`] plus
+/// the (ordered) query result the capture produced.
+pub(crate) fn capture_stored(
+    db: &Database,
+    config: &ImpConfig,
+    sql: &str,
+    plan: LogicalPlan,
+    pset: Arc<PartitionSet>,
+) -> Result<(StoredSketch, QueryResult)> {
+    let (maintainer, rows) = SketchMaintainer::capture(
+        &plan,
+        db,
+        pset,
+        config.op_config(),
+        config.selection_pushdown,
+    )?;
+    let result = QueryResult {
+        schema: plan.schema(),
+        rows: order_result(&plan, rows),
+        stats: ExecStats::default(),
+    };
+    let mut versions = BTreeMap::new();
+    if config.retain_sketch_versions {
+        versions.insert(maintainer.version(), maintainer.sketch().bits().clone());
     }
+    Ok((
+        StoredSketch {
+            sql: sql.to_string(),
+            plan,
+            maintainer,
+            versions,
+            pending_rows: 0,
+            evicted: None,
+            published_meta: None,
+        },
+        result,
+    ))
+}
+
+/// Heap footprint of one stored sketch (state + retained versions).
+pub(crate) fn stored_heap_size(s: &StoredSketch) -> usize {
+    s.maintainer.state_heap_size() + s.versions.values().map(BitVec::heap_size).sum::<usize>()
+}
+
+/// Record the current sketch bits under the maintained version (§2
+/// immutable version retention), when enabled.
+pub(crate) fn retain_version(entry: &mut StoredSketch, retain: bool) {
+    if retain {
+        entry.versions.insert(
+            entry.maintainer.version(),
+            entry.maintainer.sketch().bits().clone(),
+        );
+    }
+}
+
+/// Restore (if evicted) and maintain one stored sketch via the direct
+/// fetching path, resetting its eager batch counter and retaining the
+/// new version — the per-entry maintenance step shared by both backends
+/// (in-line sweeps and shard workers), so their arithmetic cannot drift.
+pub(crate) fn maintain_entry(
+    entry: &mut StoredSketch,
+    db: &Database,
+    retain: bool,
+) -> Result<MaintReport> {
+    restore_if_evicted(entry)?;
+    let report = entry.maintainer.maintain(db)?;
+    entry.pending_rows = 0;
+    retain_version(entry, retain);
+    Ok(report)
+}
+
+/// Recapture every sketch of `store` with fresh equi-depth partitions
+/// (§7.4) — shared by [`Imp::repartition_all`] and the shard workers.
+pub(crate) fn repartition_store(
+    store: &mut FxHashMap<QueryTemplate, Vec<StoredSketch>>,
+    db: &Database,
+    config: &ImpConfig,
+) -> Result<usize> {
+    let templates: Vec<QueryTemplate> = store.keys().cloned().collect();
+    let mut recaptured = 0usize;
+    for template in templates {
+        let Some(entries) = store.remove(&template) else {
+            continue;
+        };
+        let mut rebuilt = Vec::with_capacity(entries.len());
+        for old in entries {
+            let Some(pset) = choose_partitions(db, config, &old.plan)? else {
+                continue;
+            };
+            let (maintainer, _) = SketchMaintainer::capture(
+                &old.plan,
+                db,
+                pset,
+                config.op_config(),
+                config.selection_pushdown,
+            )?;
+            recaptured += 1;
+            rebuilt.push(StoredSketch {
+                maintainer,
+                versions: BTreeMap::new(),
+                pending_rows: 0,
+                evicted: None,
+                ..old
+            });
+        }
+        if !rebuilt.is_empty() {
+            store.insert(template, rebuilt);
+        }
+    }
+    Ok(recaptured)
+}
+
+/// Evict one sketch's operator state to its serialized form, returning
+/// the bytes freed (0 when already evicted).
+pub(crate) fn evict_stored(entry: &mut StoredSketch) -> usize {
+    if entry.evicted.is_some() {
+        return 0;
+    }
+    let freed = entry.maintainer.state_heap_size();
+    entry.evicted = Some(crate::state_codec::save_state(&entry.maintainer));
+    entry.maintainer.drop_state();
+    freed
+}
+
+/// Build the [`SketchSummary`] row for one stored sketch.
+pub(crate) fn summarize(
+    template: &QueryTemplate,
+    e: &StoredSketch,
+    db: &Database,
+) -> SketchSummary {
+    SketchSummary {
+        template: template.text().to_string(),
+        sql: e.sql.clone(),
+        version: e.maintainer.version(),
+        fragments: e.maintainer.sketch().fragment_count(),
+        total_fragments: e.maintainer.partitions().total_fragments(),
+        state_bytes: stored_heap_size(e),
+        retained_versions: e.versions.len(),
+        stale: e.maintainer.is_stale(db),
+    }
+}
+
+/// Choose partition attributes per table (§7.4 heuristic: safe
+/// attributes — for aggregation queries exactly the group-by columns —
+/// ranked by sampled distinct count, following the cost-based insight
+/// of [30] that finer-grained attributes yield more selective sketches).
+pub(crate) fn choose_partitions(
+    db: &Database,
+    config: &ImpConfig,
+    plan: &LogicalPlan,
+) -> Result<Option<Arc<PartitionSet>>> {
+    let safe = safety::safe_attributes(plan);
+    let mut partitions = Vec::new();
+    for table in plan.tables() {
+        // Explicit override first.
+        let chosen: Option<String> = config
+            .partition_overrides
+            .iter()
+            .find(|(t, _)| t.eq_ignore_ascii_case(&table))
+            .map(|(_, a)| a.clone())
+            .or_else(|| {
+                let mut candidates: Vec<&safety::SafeAttribute> =
+                    safe.iter().filter(|s| s.table == table).collect();
+                if candidates.len() > 1 {
+                    candidates
+                        .sort_by_key(|s| std::cmp::Reverse(sampled_distinct(db, &table, s.column)));
+                }
+                candidates.first().map(|s| s.attribute.clone())
+            });
+        let Some(attribute) = chosen else {
+            continue; // table stays unpartitioned (whole-domain range)
+        };
+        let overridden = config
+            .partition_overrides
+            .iter()
+            .any(|(t, _)| t.eq_ignore_ascii_case(&table));
+        if !overridden
+            || safety::is_safe(plan, &table, &attribute)
+            || config.allow_unsafe_attributes
+        {
+            let fragments = config.fragments;
+            partitions.push(RangePartition::equi_depth(
+                db, &table, &attribute, fragments,
+            )?);
+        } else {
+            return Err(CoreError::Sketch(
+                imp_sketch::SketchError::UnsafeAttribute {
+                    table: table.clone(),
+                    attribute,
+                },
+            ));
+        }
+    }
+    if partitions.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(Arc::new(PartitionSet::new(partitions)?)))
+}
+
+/// Sampled distinct-value count of `table.column` (first few thousand
+/// rows) — the ranking signal for partition-attribute choice.
+fn sampled_distinct(db: &Database, table: &str, column: usize) -> usize {
+    const SAMPLE: usize = 4096;
+    let Ok(t) = db.table(table) else {
+        return 0;
+    };
+    let mut seen: imp_storage::FxHashSet<imp_storage::Value> = imp_storage::FxHashSet::default();
+    let mut n = 0usize;
+    t.scan(
+        None,
+        |row| {
+            if n < SAMPLE {
+                seen.insert(row[column].clone());
+                n += 1;
+            }
+        },
+        |_| {},
+    );
+    seen.len()
 }
 
 /// Reload evicted operator state before the maintainer is used ("fetched
 /// from the database" in paper §2 terms).
-fn restore_if_evicted(entry: &mut StoredSketch) -> Result<()> {
+pub(crate) fn restore_if_evicted(entry: &mut StoredSketch) -> Result<()> {
     if let Some(bytes) = entry.evicted.take() {
         crate::state_codec::load_state(&mut entry.maintainer, bytes)?;
     }
@@ -822,8 +1161,8 @@ mod tests {
 
     #[test]
     fn sampled_distinct_ranks_attributes() {
-        let imp = Imp::new(db(), ImpConfig::default());
+        let db = db();
         // g has 5 distinct values, v has 50.
-        assert!(imp.sampled_distinct("t", 1) > imp.sampled_distinct("t", 0));
+        assert!(sampled_distinct(&db, "t", 1) > sampled_distinct(&db, "t", 0));
     }
 }

@@ -331,6 +331,17 @@ impl JoinOp {
         self.right.reset();
     }
 
+    /// Visit every annotation handle held by this operator's own state
+    /// (the shared-ownership-aware accounting walk over the side indexes).
+    pub fn for_each_annot(&self, f: &mut dyn FnMut(&std::sync::Arc<imp_storage::BitVec>)) {
+        for idx in [self.left_index.ready(), self.right_index.ready()]
+            .into_iter()
+            .flatten()
+        {
+            idx.for_each_annot(f);
+        }
+    }
+
     /// `(entries, bytes)` of this operator's own side indexes.
     pub fn index_state(&self) -> (usize, usize) {
         let mut entries = 0;

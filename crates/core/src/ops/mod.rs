@@ -303,6 +303,30 @@ impl IncNode {
         }
     }
 
+    /// Visit every `Arc<BitVec>` annotation handle held anywhere in the
+    /// tree's persistent state (top-k entries, join-side indexes).
+    /// Aggregation and merge state hold fragment *counters*, never
+    /// handles, so they contribute nothing. Used by the maintainer's
+    /// shared-ownership-aware heap accounting.
+    pub fn for_each_annot(&self, f: &mut dyn FnMut(&Arc<imp_storage::BitVec>)) {
+        match self {
+            IncNode::TableAccess { .. } => {}
+            IncNode::Selection { input, .. }
+            | IncNode::Projection { input, .. }
+            | IncNode::Passthrough { input } => input.for_each_annot(f),
+            IncNode::Join(j) => {
+                j.for_each_annot(f);
+                j.left_child().for_each_annot(f);
+                j.right_child().for_each_annot(f);
+            }
+            IncNode::Aggregate(a) => a.input_child().for_each_annot(f),
+            IncNode::TopK(t) => {
+                t.for_each_annot(f);
+                t.input_child().for_each_annot(f);
+            }
+        }
+    }
+
     /// Approximate heap footprint of all operator state (Fig. 15/17).
     pub fn heap_size(&self) -> usize {
         match self {

@@ -3,9 +3,15 @@
 //! State is a nested ordered map: the outer map orders entries by the
 //! ORDER BY key (`BTreeMap` standing in for the paper's balanced search
 //! tree); the inner map stores, per key, the multiplicity of each
-//! annotated tuple `⟨t, P⟩`. Deltas are computed the paper's simple way:
-//! delete the previous top-k, insert the updated top-k ("as k is typically
-//! relatively small, we select a simple approach").
+//! annotated tuple `⟨t, P⟩`. The paper computes deltas the simple way —
+//! delete the previous top-k, insert the updated one ("as k is typically
+//! relatively small, we select a simple approach") — here the old/new
+//! diff is *incremental*: the previously emitted top-k is cached together
+//! with its boundary key, a batch whose touched keys all sort strictly
+//! beyond the boundary of a full top-k is recognised as a no-op without
+//! walking the state, and otherwise a single ordered merge of the cached
+//! old against the recomputed new emits only the entries that actually
+//! changed (instead of `-old ∪ +new` plus a normalization pass).
 //!
 //! Annotations are stored as `Arc<BitVec>` handles from
 //! [`AnnotPool::share`](imp_storage::AnnotPool::share) — O(1) to obtain,
@@ -67,6 +73,19 @@ impl Ord for OrderKey {
 
 type Entries = BTreeMap<(Row, Arc<BitVec>), i64>;
 
+/// The top-k emitted at the end of the previous batch (`τ_{k,O}(S)`),
+/// cached so a batch does not start by re-walking the state tree.
+#[derive(Debug)]
+struct TopKCache {
+    /// The clipped top-k entries in state-iteration order, each carrying
+    /// its ORDER BY key so the merge-diff compares without re-deriving.
+    rows: Vec<(OrderKey, Row, Arc<BitVec>, i64)>,
+    /// ORDER BY key of the last included entry; `None` when empty.
+    boundary: Option<OrderKey>,
+    /// Total clipped multiplicity (`min(k, Σ state multiplicities)`).
+    total: i64,
+}
+
 /// Incremental top-k operator.
 #[derive(Debug)]
 pub struct TopKOp {
@@ -78,6 +97,9 @@ pub struct TopKOp {
     buffer: Option<usize>,
     truncated: bool,
     entries: usize,
+    /// Cached previous top-k; `None` after reset / restore (recomputed
+    /// from the state before the next batch is ingested).
+    cache: Option<TopKCache>,
 }
 
 impl TopKOp {
@@ -91,23 +113,83 @@ impl TopKOp {
             buffer,
             truncated: false,
             entries: 0,
+            cache: None,
         }
     }
 
     /// Current top-k: walk keys in order, tuples per key in deterministic
     /// order, clipping the boundary tuple's multiplicity (`τ_{k,O}`).
     /// Rows and annotations come back as O(1) shared handles.
-    fn compute_topk(&self) -> Vec<(Row, Arc<BitVec>, i64)> {
-        let mut out = Vec::new();
+    fn compute_topk(&self) -> TopKCache {
+        let mut rows = Vec::new();
+        let mut boundary = None;
         let mut remaining = self.k as i64;
-        'outer: for entries in self.state.values() {
+        'outer: for (key, entries) in &self.state {
             for ((row, annot), m) in entries {
                 if remaining <= 0 {
                     break 'outer;
                 }
                 let take = (*m).min(remaining);
-                out.push((row.clone(), Arc::clone(annot), take));
+                rows.push((key.clone(), row.clone(), Arc::clone(annot), take));
+                boundary = Some(key.clone());
                 remaining -= take;
+            }
+        }
+        TopKCache {
+            rows,
+            boundary,
+            total: self.k as i64 - remaining.max(0),
+        }
+    }
+
+    /// Ordered merge-diff of the cached old top-k against the recomputed
+    /// new one: emits `-m` for entries that left, `+m` for entries that
+    /// entered, and the signed multiplicity change for entries present in
+    /// both — nothing for the (typical) unchanged prefix. Both inputs are
+    /// in state-iteration order (ORDER BY key, then `(row, annotation)`),
+    /// so one linear pass suffices.
+    fn diff_topk(&self, old: &TopKCache, new: &TopKCache, pool: &mut AnnotPool) -> DeltaBatch {
+        let mut out = DeltaBatch::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.rows.len() || j < new.rows.len() {
+            let ord = match (old.rows.get(i), new.rows.get(j)) {
+                (Some((ok, or, oa, _)), Some((nk, nr, na, _))) => (ok, or, oa).cmp(&(nk, nr, na)),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => break,
+            };
+            match ord {
+                Ordering::Less => {
+                    let (_, row, annot, m) = &old.rows[i];
+                    out.push(DeltaEntry {
+                        row: row.clone(),
+                        annot: pool.intern_arc(Arc::clone(annot)),
+                        mult: -m,
+                    });
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    let (_, row, annot, m) = &new.rows[j];
+                    out.push(DeltaEntry {
+                        row: row.clone(),
+                        annot: pool.intern_arc(Arc::clone(annot)),
+                        mult: *m,
+                    });
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let m = new.rows[j].3 - old.rows[i].3;
+                    if m != 0 {
+                        let (_, row, annot, _) = &new.rows[j];
+                        out.push(DeltaEntry {
+                            row: row.clone(),
+                            annot: pool.intern_arc(Arc::clone(annot)),
+                            mult: m,
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
             }
         }
         out
@@ -124,11 +206,22 @@ impl TopKOp {
         if input.is_empty() {
             return Ok(DeltaBatch::new());
         }
-        let old_topk = self.compute_topk();
+        // Old top-k: the cache when valid, else (fresh operator or state
+        // just restored from the codec) one walk of the pre-batch state.
+        let old_topk = match self.cache.take() {
+            Some(c) => c,
+            None => self.compute_topk(),
+        };
+        // A batch leaves the top-k untouched iff the old top-k was full
+        // and every touched key sorts strictly beyond its boundary.
+        let mut dirty = false;
 
         for d in input {
             ctx.metrics.rows_processed += 1;
             let key = OrderKey::new(&d.row, &self.keys);
+            dirty = dirty
+                || old_topk.total < self.k as i64
+                || old_topk.boundary.as_ref().is_none_or(|b| key <= *b);
             let annot = ctx.pool.share(d.annot);
             if d.mult > 0 {
                 if self.truncated && self.horizon().is_some_and(|h| key > *h) {
@@ -203,31 +296,26 @@ impl TopKOp {
             }
         }
         if ctx.needs_recapture {
+            // The maintainer will bootstrap from scratch; the cache dies
+            // with the state.
+            self.cache = None;
             return Ok(DeltaBatch::new());
         }
 
-        let new_topk = self.compute_topk();
-        if old_topk == new_topk {
+        if !dirty {
+            // Every touched key sorts beyond the boundary of a full
+            // top-k: `τ_{k,O}(S′) = τ_{k,O}(S)` without walking the state.
+            self.cache = Some(old_topk);
             return Ok(DeltaBatch::new());
         }
-        // Δ-τ_k(S) ∪ Δ+τ_k(S′). Annotations re-enter the pool by content
-        // (an O(1) probe for already-known sketches, no bitvector copy).
-        let mut out = DeltaBatch::with_capacity(old_topk.len() + new_topk.len());
-        for (row, annot, m) in old_topk {
-            out.push(DeltaEntry {
-                row,
-                annot: ctx.pool.intern_arc(annot),
-                mult: -m,
-            });
-        }
-        for (row, annot, m) in new_topk {
-            out.push(DeltaEntry {
-                row,
-                annot: ctx.pool.intern_arc(annot),
-                mult: m,
-            });
-        }
-        Ok(crate::delta::normalize_delta(out))
+
+        // Δ-τ_k(S) ∪ Δ+τ_k(S′), emitted as an ordered merge-diff so only
+        // the entries that changed re-enter the pool (an O(1) content
+        // probe for already-known annotations, no bitvector copy).
+        let new_topk = self.compute_topk();
+        let out = self.diff_topk(&old_topk, &new_topk, ctx.pool);
+        self.cache = Some(new_topk);
+        Ok(out)
     }
 
     /// Drop all state.
@@ -235,12 +323,24 @@ impl TopKOp {
         self.state.clear();
         self.entries = 0;
         self.truncated = false;
+        self.cache = None;
         self.input.reset();
     }
 
     /// Number of stored annotated tuples (`l` in §8.4.3 / Fig. 15).
     pub fn stored_entries(&self) -> usize {
         self.entries
+    }
+
+    /// Visit every annotation handle held by this operator's state (the
+    /// shared-ownership-aware accounting walk; the diff cache only clones
+    /// handles already present in the state).
+    pub fn for_each_annot(&self, f: &mut dyn FnMut(&Arc<BitVec>)) {
+        for entries in self.state.values() {
+            for (_, annot) in entries.keys() {
+                f(annot);
+            }
+        }
     }
 
     /// Input child (state persistence walks the tree).
@@ -281,6 +381,7 @@ impl TopKOp {
         use imp_storage::codec::*;
         self.state.clear();
         self.entries = 0;
+        self.cache = None;
         self.truncated = decode_u64(buf)? != 0;
         let n = decode_u64(buf)?;
         let asc: Vec<bool> = self.keys.iter().map(|k| k.asc).collect();

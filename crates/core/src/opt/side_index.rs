@@ -141,6 +141,16 @@ impl JoinSideIndex {
         self.map.keys()
     }
 
+    /// Visit every annotation handle held by the index (the
+    /// shared-ownership-aware accounting walk).
+    pub fn for_each_annot(&self, f: &mut dyn FnMut(&Arc<BitVec>)) {
+        for bucket in self.map.values() {
+            for e in bucket {
+                f(&e.annot);
+            }
+        }
+    }
+
     /// Number of stored annotated tuples (the budgeted quantity).
     pub fn len(&self) -> usize {
         self.entries

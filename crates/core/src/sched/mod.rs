@@ -1,0 +1,282 @@
+//! # `imp_core::sched` — sharded multi-query maintenance scheduling
+//!
+//! The paper's middleware maintains *many* sketches against one shared
+//! update stream. The in-line store serializes that work on whichever
+//! thread triggers it; this module scales it out while preserving the
+//! in-line semantics bit-for-bit (the differential property the
+//! `sched_differential` suite proves).
+//!
+//! ## Flow: router → shards → snapshots
+//!
+//! ```text
+//!   update ──▶ DeltaRouter ── Arc<TableDelta> ──▶ shard 0 ─┐
+//!                 │   (ingest once per table,   ▶ shard 1 ─┤ ShardPool
+//!                 │    fan out to interested    ▶ shard N ─┘   │
+//!                 │    shards only)                            │ publish
+//!                 ▼                                            ▼
+//!   query ◀── Imp::execute ◀──── read ────── SnapshotBoard (versioned)
+//! ```
+//!
+//! * **[`router::DeltaRouter`]** ingests each table's delta-log suffix
+//!   once, as a shared [`router::TableDelta`] (`Arc` rows via the row
+//!   interner), and sends it only to the shards whose sketches reference
+//!   the table. Per-record versions make redelivery/overlap harmless
+//!   (receivers skip already-consumed versions).
+//! * **[`pool::ShardPool`]** runs N workers; each owns a disjoint shard
+//!   of the sketch store, partitioned by query-template hash. A worker
+//!   drains its queue in gathered batches with per-table **coalescing**
+//!   (pending batches for one table merge into a single maintenance run,
+//!   bounded by [`crate::middleware::ImpConfig::coalesce_budget`]) and
+//!   bounded queues give **backpressure** to the update path.
+//! * **[`snapshot::SnapshotBoard`]** publishes each shard's sketches as
+//!   immutable, epoch-stamped snapshots after every state change, so the
+//!   USE/rewrite path reads fresh sketches without ever blocking (or
+//!   being blocked by) maintenance. Only a query that *needs* a stale
+//!   sketch synchronizes with the owning shard.
+//!
+//! Maintenance arithmetic is split-invariant (see
+//! [`crate::maintain::SketchMaintainer::maintain_from`]): however the
+//! update stream is chopped into routed batches and coalesced groups,
+//! sketch bits and maintained versions equal the sequential in-line
+//! outcome.
+
+pub mod pool;
+pub mod router;
+pub mod shard;
+pub mod snapshot;
+
+pub use pool::{PausedShards, ShardPool, SHARD_QUEUE_CAP};
+pub use router::{DeltaRouter, RoutedEntry, TableDelta};
+pub use shard::{MaintainReply, ShardReport};
+pub use snapshot::{PublishedSketch, ShardSnapshot, SnapshotBoard};
+
+use crate::maintain::MaintReport;
+use crate::metrics::{SchedMetrics, SchedStats};
+use crate::middleware::{plan_subsumes, ImpConfig, StoredSketch};
+use crate::sched::shard::ShardMsg;
+use crossbeam::channel::bounded;
+use imp_engine::Database;
+use imp_sql::{LogicalPlan, QueryTemplate};
+use parking_lot::{Mutex, RwLock};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The scheduler facade: router + shard pool + snapshot board.
+pub struct Scheduler {
+    pool: ShardPool,
+    router: Mutex<DeltaRouter>,
+    board: Arc<SnapshotBoard>,
+    metrics: Arc<SchedMetrics>,
+    db: Arc<RwLock<Database>>,
+}
+
+impl Scheduler {
+    /// Spawn the scheduler for `config.sched_workers` shards (≥ 1).
+    pub(crate) fn new(db: Arc<RwLock<Database>>, config: &ImpConfig) -> Scheduler {
+        let workers = config.sched_workers.max(1);
+        let board = Arc::new(SnapshotBoard::new(workers));
+        let metrics = Arc::new(SchedMetrics::new(workers));
+        let pool = ShardPool::spawn(workers, &db, config, &board, &metrics);
+        Scheduler {
+            pool,
+            router: Mutex::new(DeltaRouter::new()),
+            board,
+            metrics,
+            db,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn workers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The shard owning `template` (stable template-hash partitioning).
+    pub fn shard_of(&self, template: &QueryTemplate) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        template.hash(&mut hasher);
+        (hasher.finish() % self.pool.len() as u64) as usize
+    }
+
+    /// Current scheduler counters.
+    pub fn stats(&self) -> SchedStats {
+        self.metrics.snapshot()
+    }
+
+    /// Epoch of the latest published snapshot (0 = none yet).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.board.epoch()
+    }
+
+    /// Number of sketches currently published across all shards.
+    /// Snapshots are republished on every count-changing operation, so
+    /// this equals the stored count without an inspection barrier.
+    pub fn published_count(&self) -> usize {
+        (0..self.pool.len())
+            .map(|shard| self.board.read(shard).sketches.len())
+            .sum()
+    }
+
+    /// Ingest `table`'s unrouted delta once and fan it out to interested
+    /// shards (called after every committed update).
+    pub fn route(&self, table: &str) {
+        let collected = {
+            let mut router = self.router.lock();
+            let db = self.db.read();
+            router.collect(&db, table)
+        };
+        let Some((delta, shards)) = collected else {
+            return;
+        };
+        self.metrics
+            .routed_batches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.routed_rows.fetch_add(
+            delta.entries.len() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        for shard in shards {
+            self.metrics
+                .fanout_messages
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.pool.send(shard, ShardMsg::Delta(Arc::clone(&delta)));
+        }
+    }
+
+    /// Hand a freshly captured sketch to its owning shard (synchronous:
+    /// the sketch is stored and published when this returns, so the next
+    /// query sees it).
+    pub(crate) fn add_sketch(&self, template: QueryTemplate, sketch: StoredSketch) {
+        let shard = self.shard_of(&template);
+        {
+            let mut router = self.router.lock();
+            let db = self.db.read();
+            router.register(&db, sketch.maintainer.tables(), shard);
+        }
+        let (tx, rx) = bounded(1);
+        self.pool.send(
+            shard,
+            ShardMsg::AddSketch {
+                template,
+                sketch: Box::new(sketch),
+                reply: tx,
+            },
+        );
+        let _ = rx.recv();
+    }
+
+    /// The published candidate subsuming `plan`, if any (non-blocking
+    /// snapshot read).
+    pub fn find_published(
+        &self,
+        template: &QueryTemplate,
+        plan: &LogicalPlan,
+    ) -> Option<PublishedSketch> {
+        let snapshot = self.board.read(self.shard_of(template));
+        snapshot
+            .sketches
+            .iter()
+            .find(|p| p.template == *template && plan_subsumes(&p.plan, plan))
+            .cloned()
+    }
+
+    /// Ask the owning shard to bring the subsuming candidate fully
+    /// current (synchronous; queued routed deltas are processed first).
+    /// `Ok(None)` when no stored candidate subsumes the plan anymore; a
+    /// worker-side maintenance failure propagates like the in-line
+    /// backend's would.
+    pub(crate) fn maintain_sketch(
+        &self,
+        template: &QueryTemplate,
+        plan: &LogicalPlan,
+    ) -> crate::Result<Option<MaintainReply>> {
+        let (tx, rx) = bounded(1);
+        self.pool.send(
+            self.shard_of(template),
+            ShardMsg::MaintainSketch {
+                template: template.clone(),
+                plan: Box::new(plan.clone()),
+                reply: tx,
+            },
+        );
+        rx.recv().unwrap_or(Ok(None))
+    }
+
+    /// Scatter one control message to every shard, then gather every
+    /// reply (shards process in parallel; replies collect in shard
+    /// order). A shard whose worker died is skipped — its reply channel
+    /// closes.
+    fn broadcast<R>(&self, make: impl Fn(crossbeam::channel::Sender<R>) -> ShardMsg) -> Vec<R> {
+        let mut replies = Vec::with_capacity(self.pool.len());
+        for shard in 0..self.pool.len() {
+            let (tx, rx) = bounded(1);
+            self.pool.send(shard, make(tx));
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .collect()
+    }
+
+    /// Synchronously maintain every stale sketch on every shard (shards
+    /// work in parallel; reports are collected in shard order). Every
+    /// shard completes its sweep; the first error, if any, is returned
+    /// after the successful reports are collected.
+    pub fn maintain_stale(&self) -> crate::Result<Vec<MaintReport>> {
+        let mut reports = Vec::new();
+        let mut first_error = None;
+        for (shard_reports, error) in
+            self.broadcast(|tx| ShardMsg::MaintainStale { reply: Some(tx) })
+        {
+            reports.extend(shard_reports);
+            if first_error.is_none() {
+                first_error = error;
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(reports),
+        }
+    }
+
+    /// Fire-and-forget maintain-stale sweep (background ticks).
+    pub fn kick_maintenance(&self) {
+        for shard in 0..self.pool.len() {
+            self.pool
+                .send(shard, ShardMsg::MaintainStale { reply: None });
+        }
+    }
+
+    /// Barrier: returns once every message sent before this call has been
+    /// fully processed on every shard.
+    pub fn drain(&self) {
+        let _: Vec<()> = self.broadcast(|tx| ShardMsg::Drain { reply: tx });
+    }
+
+    /// Park every worker after it finishes its current gather (queues
+    /// keep accepting routed batches — the deterministic way to observe
+    /// coalescing and queue depth). Resume by dropping the guard.
+    pub fn pause(&self) -> PausedShards {
+        self.pool.pause()
+    }
+
+    /// Synchronous store reports from every shard.
+    pub fn inspect(&self) -> Vec<ShardReport> {
+        self.broadcast(|tx| ShardMsg::Inspect { reply: tx })
+    }
+
+    /// Evict all operator state on every shard; returns bytes freed.
+    pub fn evict_all(&self) -> usize {
+        self.broadcast(|tx| ShardMsg::Evict { reply: tx })
+            .into_iter()
+            .sum()
+    }
+
+    /// Recapture every sketch with fresh partitions on every shard.
+    pub fn repartition_all(&self) -> usize {
+        self.broadcast(|tx| ShardMsg::Repartition { reply: tx })
+            .into_iter()
+            .sum()
+    }
+}

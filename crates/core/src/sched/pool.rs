@@ -1,0 +1,166 @@
+//! Worker-pool lifecycle: spawn, message plumbing, pause/resume, join.
+
+use crate::metrics::SchedMetrics;
+use crate::middleware::ImpConfig;
+use crate::sched::shard::{ShardMsg, ShardWorker};
+use crate::sched::snapshot::SnapshotBoard;
+use crossbeam::channel::{bounded, Sender};
+use imp_engine::Database;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Capacity of each shard's message queue. A full queue blocks the
+/// router's send — backpressure onto the update path (counted in
+/// [`SchedMetrics::backpressure_stalls`]).
+pub const SHARD_QUEUE_CAP: usize = 256;
+
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// `N` worker threads, each owning a disjoint shard of the sketch store.
+pub struct ShardPool {
+    shards: Vec<ShardHandle>,
+    metrics: Arc<SchedMetrics>,
+    /// Resume senders of outstanding pauses, so dropping the pool while a
+    /// [`PausedShards`] guard is still alive unparks the workers instead
+    /// of deadlocking the join (sends to already-resumed workers are
+    /// harmless no-ops).
+    paused: Mutex<Vec<Sender<()>>>,
+}
+
+impl ShardPool {
+    /// Spawn `workers` shard threads sharing `db`.
+    pub(crate) fn spawn(
+        workers: usize,
+        db: &Arc<RwLock<Database>>,
+        config: &ImpConfig,
+        board: &Arc<SnapshotBoard>,
+        metrics: &Arc<SchedMetrics>,
+    ) -> ShardPool {
+        let shards = (0..workers)
+            .map(|id| {
+                let (tx, rx) = bounded::<ShardMsg>(SHARD_QUEUE_CAP);
+                let worker = ShardWorker::new(
+                    id,
+                    Arc::clone(db),
+                    rx,
+                    config.clone(),
+                    Arc::clone(board),
+                    Arc::clone(metrics),
+                );
+                let handle = std::thread::Builder::new()
+                    .name(format!("imp-shard-{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardPool {
+            shards,
+            metrics: Arc::clone(metrics),
+            paused: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True iff the pool has no shards (never: spawn requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Send to one shard, blocking when its queue is full (backpressure;
+    /// the stall is counted). The depth gauge is bumped *before* the
+    /// send, so it counts queued plus in-flight blocked messages — it
+    /// must not be incremented after, or the worker could dequeue first
+    /// and underflow the gauge.
+    pub(crate) fn send(&self, shard: usize, msg: ShardMsg) {
+        self.metrics.enqueued(shard);
+        match self.shards[shard].tx.try_send(msg) {
+            Ok(()) => {}
+            Err(crossbeam::channel::TrySendError::Full(msg)) => {
+                self.metrics
+                    .backpressure_stalls
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = self.shards[shard].tx.send(msg);
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                self.metrics.dequeued(shard); // worker gone (shutdown race)
+            }
+        }
+    }
+
+    /// Park every worker (acked), returning the resume handles.
+    pub(crate) fn pause(&self) -> PausedShards {
+        let mut resumes = Vec::with_capacity(self.shards.len());
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (ack_tx, ack_rx) = bounded::<()>(1);
+            let (resume_tx, resume_rx) = bounded::<()>(1);
+            self.send(
+                shard,
+                ShardMsg::Pause {
+                    ack: ack_tx,
+                    resume: resume_rx,
+                },
+            );
+            acks.push(ack_rx);
+            resumes.push(resume_tx);
+        }
+        for ack in acks {
+            let _ = ack.recv();
+        }
+        self.paused.lock().extend(resumes.iter().cloned());
+        PausedShards { resumes }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Unpark workers whose PausedShards guard is still alive — they
+        // must drain to their Stop message for the join to return.
+        for tx in self.paused.lock().drain(..) {
+            let _ = tx.send(());
+        }
+        for shard in 0..self.shards.len() {
+            self.send(shard, ShardMsg::Stop);
+        }
+        for s in &mut self.shards {
+            if let Some(handle) = s.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Guard returned by [`crate::sched::Scheduler::pause`]: every shard
+/// worker is parked (their queues keep filling — the deterministic way to
+/// observe coalescing). Dropping the guard resumes them.
+pub struct PausedShards {
+    resumes: Vec<Sender<()>>,
+}
+
+impl PausedShards {
+    /// Unpark all workers.
+    pub fn resume(self) {
+        drop(self); // Drop impl sends the resumes
+    }
+}
+
+impl Drop for PausedShards {
+    fn drop(&mut self) {
+        for tx in &self.resumes {
+            let _ = tx.send(());
+        }
+    }
+}

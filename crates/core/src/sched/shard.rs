@@ -1,0 +1,474 @@
+//! Shard workers: each owns a disjoint slice of the sketch store.
+//!
+//! A worker drains its queue in gathered batches: the first message is
+//! taken blocking, then everything already queued is taken non-blocking
+//! until a control message or the coalescing budget ends the gather.
+//! Routed [`TableDelta`]s gathered for the same table **coalesce** into
+//! one pending group, so one maintenance run absorbs them in a single
+//! pass per sketch (the paper's batched-eager maintenance, applied per
+//! shard). Control messages act as barriers: pending deltas are flushed
+//! first, then the control request runs against the settled store.
+//!
+//! Workers never take the middleware lock — they share the database via
+//! `Arc<RwLock<Database>>` read guards and publish results as immutable
+//! snapshots (see [`crate::sched::snapshot`]).
+
+use crate::maintain::MaintReport;
+use crate::metrics::SchedMetrics;
+use crate::middleware::{
+    restore_if_evicted, retain_version, stored_heap_size, summarize, ImpConfig, PublishedMeta,
+    SketchStateView, SketchSummary, StoredSketch, MAX_SKETCHES_PER_TEMPLATE,
+};
+use crate::sched::router::TableDelta;
+use crate::sched::snapshot::{PublishedSketch, SnapshotBoard};
+use crate::Result;
+use crossbeam::channel::{Receiver, Sender};
+use imp_engine::Database;
+use imp_sketch::SketchSet;
+use imp_sql::{LogicalPlan, QueryTemplate};
+use imp_storage::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Reply to an on-demand maintenance request: the report plus the fresh
+/// sketch (cloned bits — the worker keeps the live one).
+#[derive(Debug)]
+pub struct MaintainReply {
+    /// The maintenance report (for [`crate::middleware::QueryMode::Maintained`]).
+    pub report: Box<MaintReport>,
+    /// The maintained sketch.
+    pub sketch: SketchSet,
+}
+
+/// Synchronous snapshot of one shard's store (inspection barriers).
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Per-sketch summaries (unsorted).
+    pub summaries: Vec<SketchSummary>,
+    /// Comparable sketch states (unsorted).
+    pub states: Vec<SketchStateView>,
+    /// Total heap bytes of the shard's sketch state.
+    pub heap: usize,
+    /// Minimum maintained version across the shard's sketches.
+    pub min_version: Option<u64>,
+    /// Per table, the minimum maintained version across the shard's
+    /// sketches referencing it (the table's vacuum horizon).
+    pub table_versions: Vec<(String, u64)>,
+    /// Number of stored sketches.
+    pub count: usize,
+    /// Last maintenance error, if any — sticky: it stays reported until a
+    /// newer error supersedes it, so unrelated admin inspections cannot
+    /// swallow the only record of an async routed-maintenance failure.
+    pub last_error: Option<String>,
+}
+
+/// Messages a shard worker understands.
+pub(crate) enum ShardMsg {
+    /// A routed table delta (coalescable).
+    Delta(Arc<TableDelta>),
+    /// Take ownership of a freshly captured sketch.
+    AddSketch {
+        /// Store key.
+        template: QueryTemplate,
+        /// The sketch (boxed: large).
+        sketch: Box<StoredSketch>,
+        /// Ack once stored and published.
+        reply: Sender<()>,
+    },
+    /// Bring the subsuming candidate of `template`/`plan` fully current.
+    MaintainSketch {
+        /// Store key.
+        template: QueryTemplate,
+        /// The querying plan (subsumption check).
+        plan: Box<LogicalPlan>,
+        /// `Ok(None)` when no candidate subsumes the plan anymore; a
+        /// maintenance failure propagates to the requesting caller.
+        reply: Sender<Result<Option<MaintainReply>>>,
+    },
+    /// Maintain every stale sketch; reply with the reports when asked.
+    MaintainStale {
+        /// `None` = fire-and-forget kick (background ticks). The reply
+        /// carries the successful reports plus the first error, if any.
+        reply: Option<Sender<(Vec<MaintReport>, Option<crate::CoreError>)>>,
+    },
+    /// Report the shard's store state.
+    Inspect {
+        /// Reply channel.
+        reply: Sender<ShardReport>,
+    },
+    /// Evict all operator state to serialized form; reply = bytes freed.
+    Evict {
+        /// Reply channel.
+        reply: Sender<usize>,
+    },
+    /// Recapture everything with fresh equi-depth partitions.
+    Repartition {
+        /// Reply = sketches recaptured.
+        reply: Sender<usize>,
+    },
+    /// Barrier: every earlier message has been fully processed.
+    Drain {
+        /// Reply channel.
+        reply: Sender<()>,
+    },
+    /// Park the worker until `resume` yields (or its sender drops).
+    Pause {
+        /// Acked once parked.
+        ack: Sender<()>,
+        /// Unparks the worker.
+        resume: Receiver<()>,
+    },
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// One shard worker's state (runs on its own thread).
+pub(crate) struct ShardWorker {
+    id: usize,
+    db: Arc<RwLock<Database>>,
+    rx: Receiver<ShardMsg>,
+    config: ImpConfig,
+    board: Arc<SnapshotBoard>,
+    metrics: Arc<SchedMetrics>,
+    store: FxHashMap<QueryTemplate, Vec<StoredSketch>>,
+    /// Table → coalesced routed batches awaiting one maintenance run.
+    pending: FxHashMap<String, Vec<Arc<TableDelta>>>,
+    last_error: Option<String>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        id: usize,
+        db: Arc<RwLock<Database>>,
+        rx: Receiver<ShardMsg>,
+        config: ImpConfig,
+        board: Arc<SnapshotBoard>,
+        metrics: Arc<SchedMetrics>,
+    ) -> ShardWorker {
+        ShardWorker {
+            id,
+            db,
+            rx,
+            config,
+            board,
+            metrics,
+            store: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            last_error: None,
+        }
+    }
+
+    /// The worker loop: gather → flush pending deltas → run controls.
+    pub(crate) fn run(mut self) {
+        loop {
+            let Ok(first) = self.rx.recv() else {
+                break; // all senders gone
+            };
+            self.metrics.dequeued(self.id);
+            let mut controls = Vec::new();
+            let mut stop = false;
+            let mut budget_hit = self.accept(first, &mut controls, &mut stop);
+            // Gather whatever is already queued. The gather ends when a
+            // control message arrives (it must observe the flushed
+            // store) or a table's pending entries reach the per-table
+            // coalescing budget.
+            while controls.is_empty() && !stop && !budget_hit {
+                match self.rx.try_recv() {
+                    Ok(msg) => {
+                        self.metrics.dequeued(self.id);
+                        budget_hit = self.accept(msg, &mut controls, &mut stop);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if !self.pending.is_empty() {
+                self.flush_pending();
+            }
+            for control in controls {
+                self.handle_control(control);
+            }
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// Sort one message into pending deltas / controls / stop. Returns
+    /// true when the accepted delta's table reached the per-table
+    /// coalescing budget (its next batch must go into a new run).
+    fn accept(&mut self, msg: ShardMsg, controls: &mut Vec<ShardMsg>, stop: &mut bool) -> bool {
+        match msg {
+            ShardMsg::Delta(delta) => {
+                let parts = self.pending.entry(delta.table.clone()).or_default();
+                if !parts.is_empty() {
+                    // A pending batch for the same table already waits:
+                    // this one coalesces into the same maintenance run.
+                    self.metrics
+                        .coalesced_batches
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                parts.push(delta);
+                let table_entries: usize = parts.iter().map(|p| p.entries.len()).sum();
+                table_entries >= self.config.coalesce_budget.max(1)
+            }
+            ShardMsg::Stop => {
+                *stop = true;
+                false
+            }
+            control => {
+                controls.push(control);
+                false
+            }
+        }
+    }
+
+    /// One maintenance run over the coalesced pending deltas.
+    fn flush_pending(&mut self) {
+        let routed = std::mem::take(&mut self.pending);
+        let db = self.db.read();
+        for entry in self.store.values_mut().flatten() {
+            if !entry
+                .maintainer
+                .tables()
+                .iter()
+                .any(|t| routed.contains_key(t))
+            {
+                continue;
+            }
+            let mut run = || -> Result<()> {
+                restore_if_evicted(entry)?;
+                entry.maintainer.maintain_from(&db, &routed)?;
+                retain_version(entry, self.config.retain_sketch_versions);
+                Ok(())
+            };
+            match run() {
+                Ok(()) => {
+                    self.metrics
+                        .maintain_runs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(e) => self.last_error = Some(e.to_string()),
+            }
+        }
+        drop(db);
+        self.publish();
+    }
+
+    fn handle_control(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Delta(_) | ShardMsg::Stop => unreachable!("not a control message"),
+            ShardMsg::AddSketch {
+                template,
+                sketch,
+                reply,
+            } => {
+                let entries = self.store.entry(template).or_default();
+                if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
+                    entries.remove(0); // evict the oldest candidate
+                }
+                entries.push(*sketch);
+                self.publish();
+                let _ = reply.send(());
+            }
+            ShardMsg::MaintainSketch {
+                template,
+                plan,
+                reply,
+            } => {
+                let result = self.maintain_one(&template, &plan);
+                if matches!(result, Ok(Some(_))) {
+                    self.publish();
+                }
+                let _ = reply.send(result);
+            }
+            ShardMsg::MaintainStale { reply } => {
+                let (reports, error) = self.maintain_stale();
+                if !reports.is_empty() {
+                    self.publish();
+                }
+                match reply {
+                    Some(reply) => {
+                        let _ = reply.send((reports, error));
+                    }
+                    None => {
+                        // Fire-and-forget kick: surface the error through
+                        // the next inspection instead.
+                        if let Some(e) = error {
+                            self.last_error = Some(e.to_string());
+                        }
+                    }
+                }
+            }
+            ShardMsg::Inspect { reply } => {
+                let _ = reply.send(self.inspect());
+            }
+            ShardMsg::Evict { reply } => {
+                let mut freed = 0usize;
+                for entry in self.store.values_mut().flatten() {
+                    freed += crate::middleware::evict_stored(entry);
+                }
+                let _ = reply.send(freed);
+            }
+            ShardMsg::Repartition { reply } => {
+                let _ = reply.send(self.repartition());
+            }
+            ShardMsg::Drain { reply } => {
+                let _ = reply.send(());
+            }
+            ShardMsg::Pause { ack, resume } => {
+                let _ = ack.send(());
+                let _ = resume.recv(); // parked until resumed (or dropped)
+            }
+        }
+    }
+
+    /// Bring the subsuming candidate current via the direct fetching path
+    /// (any still-queued routed batches become version-filtered no-ops).
+    /// `Ok(None)` = no candidate subsumes the plan; errors propagate to
+    /// the requesting caller, mirroring the in-line backend.
+    fn maintain_one(
+        &mut self,
+        template: &QueryTemplate,
+        plan: &LogicalPlan,
+    ) -> Result<Option<MaintainReply>> {
+        let Some(entries) = self.store.get_mut(template) else {
+            return Ok(None);
+        };
+        let Some(entry) = entries
+            .iter_mut()
+            .find(|e| crate::middleware::plan_subsumes(&e.plan, plan))
+        else {
+            return Ok(None);
+        };
+        let db = self.db.read();
+        let report =
+            crate::middleware::maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
+        self.metrics
+            .maintain_runs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Some(MaintainReply {
+            report: Box::new(report),
+            sketch: entry.maintainer.sketch().clone(),
+        }))
+    }
+
+    /// Maintain every stale sketch, continuing past failures (other
+    /// shards keep working either way); the first error rides along.
+    fn maintain_stale(&mut self) -> (Vec<MaintReport>, Option<crate::CoreError>) {
+        let db = self.db.read();
+        let mut reports = Vec::new();
+        let mut first_error = None;
+        for entry in self.store.values_mut().flatten() {
+            if !entry.maintainer.is_stale(&db) {
+                continue;
+            }
+            match crate::middleware::maintain_entry(entry, &db, self.config.retain_sketch_versions)
+            {
+                Ok(report) => {
+                    self.metrics
+                        .maintain_runs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    } else {
+                        self.last_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        (reports, first_error)
+    }
+
+    fn inspect(&mut self) -> ShardReport {
+        let db = self.db.read();
+        let mut summaries = Vec::new();
+        let mut states = Vec::new();
+        let mut heap = 0usize;
+        let mut min_version: Option<u64> = None;
+        let mut table_versions: FxHashMap<String, u64> = FxHashMap::default();
+        let mut count = 0usize;
+        for (template, entries) in &self.store {
+            for e in entries {
+                summaries.push(summarize(template, e, &db));
+                states.push(SketchStateView {
+                    template: template.text().to_string(),
+                    sql: e.sql.clone(),
+                    version: e.maintainer.version(),
+                    bits: e.maintainer.sketch().bits().clone(),
+                });
+                heap += stored_heap_size(e);
+                min_version = Some(
+                    min_version.map_or(e.maintainer.version(), |m| m.min(e.maintainer.version())),
+                );
+                for table in e.maintainer.tables() {
+                    let v = table_versions
+                        .entry(table.clone())
+                        .or_insert_with(|| e.maintainer.version());
+                    *v = (*v).min(e.maintainer.version());
+                }
+                count += 1;
+            }
+        }
+        ShardReport {
+            summaries,
+            states,
+            heap,
+            min_version,
+            table_versions: table_versions.into_iter().collect(),
+            count,
+            last_error: self.last_error.clone(),
+        }
+    }
+
+    /// Recapture every sketch with fresh equi-depth partitions (§7.4) —
+    /// the shared [`crate::middleware::repartition_store`] loop, with the
+    /// error surfaced through inspection (no synchronous caller to fail).
+    fn repartition(&mut self) -> usize {
+        let db = self.db.read();
+        let recaptured =
+            match crate::middleware::repartition_store(&mut self.store, &db, &self.config) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.last_error = Some(e.to_string());
+                    0
+                }
+            };
+        drop(db);
+        self.publish();
+        recaptured
+    }
+
+    /// Publish the shard's current sketches as an immutable snapshot.
+    /// The plan/SQL/tables of each entry are `Arc`-wrapped once and
+    /// cached — per flush only the sketch bits are cloned.
+    fn publish(&mut self) {
+        let sketches = self
+            .store
+            .iter_mut()
+            .flat_map(|(template, entries)| {
+                entries.iter_mut().map(|e| {
+                    if e.published_meta.is_none() {
+                        e.published_meta = Some(PublishedMeta {
+                            sql: Arc::from(e.sql.as_str()),
+                            plan: Arc::new(e.plan.clone()),
+                            tables: e.maintainer.tables().to_vec().into(),
+                        });
+                    }
+                    let meta = e.published_meta.as_ref().expect("just filled");
+                    PublishedSketch {
+                        template: template.clone(),
+                        sql: Arc::clone(&meta.sql),
+                        plan: Arc::clone(&meta.plan),
+                        tables: Arc::clone(&meta.tables),
+                        sketch: Arc::new(e.maintainer.sketch().clone()),
+                        version: e.maintainer.version(),
+                    }
+                })
+            })
+            .collect();
+        self.board.publish(self.id, sketches);
+    }
+}

@@ -1,0 +1,103 @@
+//! Versioned published sketch snapshots.
+//!
+//! Shard workers own the live [`crate::middleware::StoredSketch`]s; the
+//! USE/rewrite path of [`crate::middleware::Imp::execute`] must read
+//! fresh sketches *without* blocking maintenance. After every state
+//! change a worker publishes an immutable [`ShardSnapshot`] of its shard
+//! — `Arc`-shared plans and sketch bits, stamped with a monotonically
+//! increasing board epoch — into its slot of the [`SnapshotBoard`].
+//! Readers lock a slot only long enough to clone the `Arc`; writers only
+//! long enough to swap it.
+
+use imp_sketch::SketchSet;
+use imp_sql::{LogicalPlan, QueryTemplate};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One published sketch: everything the query path needs to decide reuse
+/// and rewrite, shared by `Arc` (cloning the struct copies no sketch or
+/// plan data).
+#[derive(Debug, Clone)]
+pub struct PublishedSketch {
+    /// Store key.
+    pub template: QueryTemplate,
+    /// Original SQL of the capturing query.
+    pub sql: Arc<str>,
+    /// Resolved plan (subsumption checks).
+    pub plan: Arc<LogicalPlan>,
+    /// Base tables (staleness checks).
+    pub tables: Arc<[String]>,
+    /// The sketch, valid as of `version`.
+    pub sketch: Arc<SketchSet>,
+    /// Database version the sketch is valid for.
+    pub version: u64,
+}
+
+/// Immutable snapshot of one shard's sketches.
+#[derive(Debug, Default)]
+pub struct ShardSnapshot {
+    /// Board epoch at publication (0 = never published).
+    pub epoch: u64,
+    /// The shard's sketches at that epoch.
+    pub sketches: Vec<PublishedSketch>,
+}
+
+/// One slot per shard, swapped atomically under a short mutex.
+#[derive(Debug)]
+pub struct SnapshotBoard {
+    slots: Vec<Mutex<Arc<ShardSnapshot>>>,
+    epoch: AtomicU64,
+}
+
+impl SnapshotBoard {
+    /// Empty board for `shards` slots.
+    pub fn new(shards: usize) -> SnapshotBoard {
+        SnapshotBoard {
+            slots: (0..shards)
+                .map(|_| Mutex::new(Arc::new(ShardSnapshot::default())))
+                .collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Publish `sketches` as `shard`'s new snapshot; returns its epoch.
+    pub fn publish(&self, shard: usize, sketches: Vec<PublishedSketch>) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.slots[shard].lock() = Arc::new(ShardSnapshot { epoch, sketches });
+        epoch
+    }
+
+    /// `shard`'s current snapshot (O(1): clones the `Arc`).
+    pub fn read(&self, shard: usize) -> Arc<ShardSnapshot> {
+        Arc::clone(&self.slots[shard].lock())
+    }
+
+    /// Highest epoch published so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_slot() {
+        let board = SnapshotBoard::new(2);
+        assert_eq!(board.epoch(), 0);
+        assert_eq!(board.read(0).epoch, 0);
+        let e1 = board.publish(0, Vec::new());
+        let e2 = board.publish(1, Vec::new());
+        assert!(e1 < e2);
+        assert_eq!(board.read(0).epoch, e1);
+        assert_eq!(board.read(1).epoch, e2);
+        assert_eq!(board.epoch(), e2);
+    }
+}

@@ -334,6 +334,58 @@ fn topk_incremental_maintenance() {
 }
 
 #[test]
+fn topk_incremental_diff_regression() {
+    // The cached-old/merge-diff top-k path (incremental `compute_topk`
+    // diff): batches entirely beyond the boundary of a full top-k emit an
+    // empty sketch delta, batches crossing it emit the exact delta, and
+    // the cache survives eviction/restore (it is rebuilt, not persisted).
+    let mut db = sales_db();
+    let sql = "SELECT brand, price FROM sales ORDER BY price DESC LIMIT 2";
+    let plan = db.plan_sql(sql).unwrap();
+    let pset = price_pset();
+    let (mut m, _) =
+        SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+            .unwrap();
+    // Top-2 = 3875 (ρ4), 1345 (ρ3).
+    assert_eq!(m.sketch().fragments_of_partition(0), vec![2, 3]);
+
+    // (1) Inserts strictly beyond the boundary (price < 1345, DESC order)
+    // cannot enter the top-2: the clean-batch fast path emits no delta.
+    db.execute_sql("INSERT INTO sales VALUES (20, 'Acer', 500, 1)")
+        .unwrap();
+    db.execute_sql("INSERT INTO sales VALUES (21, 'Acer', 700, 1)")
+        .unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert!(report.sketch_delta.added.is_empty() && report.sketch_delta.removed.is_empty());
+    assert_eq!(m.sketch(), &capture(&plan, &db, &pset).unwrap().sketch);
+
+    // (2) Deleting beyond the boundary is also clean.
+    db.execute_sql("DELETE FROM sales WHERE sid = 20").unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert!(report.sketch_delta.added.is_empty() && report.sketch_delta.removed.is_empty());
+
+    // (3) A new maximum crosses the boundary: the merge-diff emits the
+    // change and the sketch tracks a fresh recapture. 1600 lands in ρ4;
+    // old #2 (1345, ρ3) falls out → ρ3 removed.
+    db.execute_sql("INSERT INTO sales VALUES (22, 'Asus', 1600, 1)")
+        .unwrap();
+    let report = m.maintain(&db).unwrap();
+    assert_eq!(report.sketch_delta.removed, vec![2]);
+    assert_eq!(m.sketch(), &capture(&plan, &db, &pset).unwrap().sketch);
+
+    // (4) Evict + restore drops the cache; the next batch rebuilds the
+    // old top-k from the restored state and stays exact.
+    let saved = imp_core::state_codec::save_state(&m);
+    m.drop_state();
+    imp_core::state_codec::load_state(&mut m, saved).unwrap();
+    db.execute_sql("DELETE FROM sales WHERE sid = 22").unwrap();
+    db.execute_sql("INSERT INTO sales VALUES (23, 'Dell', 2000, 1)")
+        .unwrap();
+    m.maintain(&db).unwrap();
+    assert_eq!(m.sketch(), &capture(&plan, &db, &pset).unwrap().sketch);
+}
+
+#[test]
 fn min_max_aggregates_maintained() {
     let mut db = sales_db();
     let sql = "SELECT brand, min(price) AS mn, max(price) AS mx FROM sales \
@@ -515,10 +567,10 @@ fn background_maintainer_tick_driven_convergence() {
     };
     let template = imp_sql::QueryTemplate::of(&sel);
     let entry = guard.sketch_entry(&template).expect("sketch stored");
-    assert!(!entry.maintainer.is_stale(guard.db()));
+    assert!(!entry.maintainer.is_stale(&guard.db()));
     let truth = capture(
         entry.maintainer.plan(),
-        guard.db(),
+        &guard.db(),
         entry.maintainer.partitions(),
     )
     .unwrap();
@@ -528,6 +580,84 @@ fn background_maintainer_tick_driven_convergence() {
         entry.maintainer.sketch().fragments_of_partition(0),
         vec![1, 2, 3]
     );
+}
+
+#[test]
+fn shared_ownership_accounting_counts_annot_contents_once() {
+    // Fig. 13e/f / 17 memory columns: annotation contents held by
+    // top-k / join-index `Arc<BitVec>` handles must be counted exactly
+    // once — by the pool while it owns the allocations (no double count),
+    // and by the state after a between-runs pool flush leaves the handles
+    // as sole owners (no zero count).
+    let mut db = sales_db();
+    db.create_table(
+        "brands",
+        Schema::new(vec![Field::new("bname", DataType::Str)]),
+    )
+    .unwrap();
+    db.table_mut("brands")
+        .unwrap()
+        .bulk_load([row!["Apple"], row!["HP"], row!["Dell"]])
+        .unwrap();
+    let queries = [
+        "SELECT brand, price FROM sales ORDER BY price DESC LIMIT 3",
+        "SELECT price, bname FROM sales JOIN brands ON (brand = bname)",
+    ];
+    for sql in queries {
+        let plan = db.plan_sql(sql).unwrap();
+        let pset = price_pset();
+        let (mut m, _) =
+            SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
+                .unwrap();
+        // Run one real maintenance so join-side indexes exist.
+        db.execute_sql("INSERT INTO sales VALUES (30, 'HP', 1250, 1)")
+            .unwrap();
+        m.maintain(&db).unwrap();
+        let (topk_entries, _) = m.topk_state().unwrap_or((0, 0));
+        let (idx_entries, _) = m.join_index_state();
+        assert!(
+            topk_entries > 0 || idx_entries > 0,
+            "state must hold annotation handles for {sql}"
+        );
+
+        // While the pool owns the allocations the state contributes no
+        // extra annotation bytes (no double count).
+        assert_eq!(m.unpooled_annot_bytes(), 0, "double count for {sql}");
+
+        // Between-runs pool flush: the handles become sole owners and the
+        // accounting attributes their contents to the state (no zero
+        // count), exactly once per distinct allocation.
+        let total_before = m.state_heap_size();
+        let pool_before = m.pool().heap_size();
+        m.flush_pool_caches();
+        let unpooled = m.unpooled_annot_bytes();
+        assert!(unpooled > 0, "zero count after pool flush for {sql}");
+        // The flush may only shed bytes the pool alone held: the drop in
+        // the total must not exceed the pool's own shrinkage (the state's
+        // handle contents did not vanish from the accounting).
+        let total_after = m.state_heap_size();
+        let pool_shrunk = pool_before - m.pool().heap_size();
+        assert!(
+            total_before - total_after <= pool_shrunk,
+            "state-held annotation contents vanished from the accounting for {sql}"
+        );
+
+        // Eviction round trip re-interns the state's annotations: the
+        // pool owns them again and the extra attribution returns to zero.
+        let saved = imp_core::state_codec::save_state(&m);
+        m.drop_state();
+        imp_core::state_codec::load_state(&mut m, saved).unwrap();
+        assert_eq!(
+            m.unpooled_annot_bytes(),
+            0,
+            "double count after restore for {sql}"
+        );
+
+        // And maintenance stays exact across the whole exercise.
+        db.execute_sql("DELETE FROM sales WHERE sid = 30").unwrap();
+        m.maintain(&db).unwrap();
+        assert_eq!(m.sketch(), &capture(&plan, &db, &pset).unwrap().sketch);
+    }
 }
 
 #[test]

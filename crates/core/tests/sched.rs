@@ -1,0 +1,198 @@
+//! Integration tests of the sharded maintenance scheduler
+//! (`imp_core::sched`): lifecycle through the middleware, deterministic
+//! coalescing under pause, snapshot publication, and pool-backed
+//! background maintenance.
+
+use imp_core::middleware::{Imp, ImpConfig, ImpResponse, QueryMode};
+use imp_engine::Database;
+use imp_storage::{row, DataType, Field, Schema};
+
+const Q: &str = "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 100";
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("t")
+        .unwrap()
+        .bulk_load((0..60).map(|i| row![i % 6, i]))
+        .unwrap();
+    db
+}
+
+fn sharded_config(workers: usize) -> ImpConfig {
+    ImpConfig {
+        fragments: 6,
+        sched_workers: workers,
+        ..ImpConfig::default()
+    }
+}
+
+#[test]
+fn sharded_lifecycle_capture_use_maintain() {
+    let mut imp = Imp::new(seed_db(), sharded_config(2));
+    let ImpResponse::Rows { mode, .. } = imp.execute(Q).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::Captured));
+    assert_eq!(imp.sketch_count(), 1);
+
+    // Fresh reuse straight from the published snapshot.
+    let ImpResponse::Rows { mode, result } = imp.execute(Q).unwrap() else {
+        panic!()
+    };
+    assert!(matches!(mode, QueryMode::UsedFresh));
+    let expected = imp.db().query(Q).unwrap().canonical();
+    assert_eq!(result.canonical(), expected);
+
+    // An update routes its delta; after a drain the snapshot is fresh
+    // again and the query must not need maintenance.
+    imp.execute("INSERT INTO t VALUES (3, 500)").unwrap();
+    imp.scheduler().unwrap().drain();
+    let ImpResponse::Rows { mode, result } = imp.execute(Q).unwrap() else {
+        panic!()
+    };
+    assert!(
+        matches!(mode, QueryMode::UsedFresh),
+        "drained snapshot must serve the query without maintenance, got {mode:?}"
+    );
+    let expected = imp.db().query(Q).unwrap().canonical();
+    assert_eq!(result.canonical(), expected);
+
+    // Without a drain the query still answers correctly (either the
+    // worker won the race or the select synchronizes with it).
+    imp.execute("INSERT INTO t VALUES (4, 500)").unwrap();
+    let ImpResponse::Rows { result, .. } = imp.execute(Q).unwrap() else {
+        panic!()
+    };
+    let expected = imp.db().query(Q).unwrap().canonical();
+    assert_eq!(result.canonical(), expected);
+}
+
+#[test]
+fn paused_shards_coalesce_same_table_batches() {
+    let mut imp = Imp::new(seed_db(), sharded_config(2));
+    imp.execute(Q).unwrap(); // capture
+
+    let epoch_before = imp.scheduler().unwrap().snapshot_epoch();
+    let paused = imp.scheduler().unwrap().pause();
+    for i in 0..4 {
+        imp.execute(&format!("INSERT INTO t VALUES (2, {})", 50 + i))
+            .unwrap();
+    }
+    // All four batches sit in the owning shard's queue.
+    let stats = imp.scheduler().unwrap().stats();
+    assert_eq!(stats.routed_batches, 4);
+    assert!(
+        stats.per_shard.iter().any(|s| s.max_depth >= 4),
+        "queue depth must reflect the parked batches: {stats:?}"
+    );
+    paused.resume();
+    imp.scheduler().unwrap().drain();
+
+    let stats = imp.scheduler().unwrap().stats();
+    assert!(
+        stats.coalesced_batches >= 3,
+        "4 parked same-table batches must coalesce, got {stats:?}"
+    );
+    assert!(stats.maintain_runs >= 1);
+    assert!(imp.scheduler().unwrap().snapshot_epoch() > epoch_before);
+
+    // Coalesced maintenance converged to the ground truth.
+    let truth = Imp::new(
+        seed_db(),
+        ImpConfig {
+            fragments: 6,
+            ..ImpConfig::default()
+        },
+    );
+    let mut truth = truth;
+    truth.execute(Q).unwrap();
+    for i in 0..4 {
+        truth
+            .execute(&format!("INSERT INTO t VALUES (2, {})", 50 + i))
+            .unwrap();
+    }
+    truth.maintain_all_stale().unwrap();
+    assert_eq!(imp.sketch_states(), truth.sketch_states());
+}
+
+#[test]
+fn sharded_evict_restore_and_admin_ops() {
+    let mut imp = Imp::new(seed_db(), sharded_config(3));
+    imp.execute(Q).unwrap();
+    imp.execute("INSERT INTO t VALUES (1, 40)").unwrap();
+    let reports = imp.maintain_all_stale().unwrap();
+    assert!(reports.len() <= 1); // routed processing may already be done
+
+    let freed = imp.evict_all_states().unwrap();
+    assert!(freed > 0);
+    // Maintenance after eviction restores transparently on the worker.
+    imp.execute("INSERT INTO t VALUES (1, 41)").unwrap();
+    imp.scheduler().unwrap().drain();
+    let ImpResponse::Rows { result, .. } = imp.execute(Q).unwrap() else {
+        panic!()
+    };
+    assert_eq!(result.canonical(), imp.db().query(Q).unwrap().canonical());
+
+    assert_eq!(imp.repartition_all().unwrap(), 1);
+    let summaries = imp.describe_sketches();
+    assert_eq!(summaries.len(), 1);
+    assert!(!summaries[0].stale);
+    assert!(imp.store_heap_size() > 0);
+    let (_, dropped) = imp.vacuum();
+    // Everything maintained: the whole log can go.
+    assert!(dropped > 0);
+}
+
+#[test]
+fn dropping_imp_with_live_pause_guard_does_not_deadlock() {
+    // The pool's Drop must unpark workers whose PausedShards guard is
+    // still alive — otherwise the worker join hangs forever.
+    let mut imp = Imp::new(seed_db(), sharded_config(2));
+    imp.execute(Q).unwrap();
+    imp.execute("INSERT INTO t VALUES (2, 60)").unwrap();
+    let _guard = imp.scheduler().unwrap().pause();
+    drop(imp);
+}
+
+#[test]
+fn background_maintainer_converges_on_sharded_store() {
+    use imp_core::strategy::BackgroundMaintainer;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut imp = Imp::new(seed_db(), sharded_config(2));
+    imp.execute(Q).unwrap();
+    let imp = Arc::new(Mutex::new(imp));
+    let bg = BackgroundMaintainer::spawn(Arc::clone(&imp), Duration::from_millis(2));
+    {
+        let mut guard = imp.lock();
+        guard.execute("INSERT INTO t VALUES (5, 999)").unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        {
+            let guard = imp.lock();
+            if guard.describe_sketches().iter().all(|s| !s.stale) {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sharded background maintenance never converged"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    bg.stop();
+    let guard = imp.lock();
+    let states = guard.sketch_states();
+    assert_eq!(states.len(), 1);
+}

@@ -21,13 +21,16 @@
 //! * [`workload`] — mixed query/update streams (1U5Q / 1U1Q / 5U1Q of
 //!   §8.1), delta generators (insert / delete / mixed), and the top-k
 //!   deletion strategies of §8.4.3 (min-group, random, R-M ratios).
-//! * [`queries`] — the Appendix A query texts.
+//! * [`queries`] — the Appendix A query texts, re-exported from
+//!   [`imp_sql::queries`] (they live next to the parser that validates
+//!   them).
 
 pub mod crimes;
-pub mod queries;
 pub mod synthetic;
 pub mod tpch;
 pub mod workload;
+
+pub use imp_sql::queries;
 
 pub use synthetic::SyntheticConfig;
 pub use workload::{MixedWorkload, WorkloadOp};

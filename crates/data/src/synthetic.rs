@@ -53,16 +53,10 @@ impl Default for SyntheticConfig {
     }
 }
 
-/// Attribute names: `id`, `a`, then `b`, `c`, … for the extras.
-pub fn attr_name(i: usize) -> String {
-    // b, c, d, ... j, k, l ...
-    let c = (b'b' + (i % 25) as u8) as char;
-    if i < 25 {
-        c.to_string()
-    } else {
-        format!("{c}{}", i / 25)
-    }
-}
+/// Attribute names: `id`, `a`, then `b`, `c`, … for the extras. The
+/// naming is owned by [`imp_sql::queries`] (the Appendix A query texts
+/// reference these attributes); re-exported here for the generators.
+pub use imp_sql::queries::attr_name;
 
 /// Linear coefficient of extra attribute `k` (`b` has slope 1.0, `c` 1.2, …).
 pub fn coef(k: usize) -> f64 {

@@ -161,12 +161,23 @@ impl Database {
     /// below `keep_after` (the oldest version any consumer still needs).
     /// Returns `(reclaimed row slots, dropped delta records)`.
     pub fn vacuum(&mut self, keep_after: u64) -> (usize, usize) {
+        self.vacuum_by(|_| keep_after)
+    }
+
+    /// VACUUM with a per-table horizon: `keep_after(table)` is the oldest
+    /// version any consumer of *that table's* log still needs, so a
+    /// low-traffic table's lagging consumer no longer pins every other
+    /// table's log. The callback receives the catalog key (lowercase),
+    /// matching resolver/plan table names. Returns
+    /// `(reclaimed row slots, dropped delta records)`.
+    pub fn vacuum_by(&mut self, keep_after: impl Fn(&str) -> u64) -> (usize, usize) {
         let mut reclaimed = 0usize;
         let mut dropped = 0usize;
-        for table in self.tables.values_mut() {
+        for (key, table) in self.tables.iter_mut() {
             reclaimed += table.compact();
             let before = table.delta_log().len();
-            table.delta_log_mut().truncate_through(keep_after);
+            let horizon = keep_after(key);
+            table.delta_log_mut().truncate_through(horizon);
             dropped += before - table.delta_log().len();
         }
         (reclaimed, dropped)

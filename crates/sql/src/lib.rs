@@ -16,6 +16,8 @@
 //!   constants in selection conditions are replaced with placeholders such
 //!   that two queries that only differ in these constants have the same
 //!   key" (paper §7.1). Used as the sketch-store key.
+//! * [`queries`] — the Appendix A workload query texts, validated against
+//!   this parser in-crate (the generators in `imp-data` build on them).
 
 pub mod ast;
 pub mod error;
@@ -23,6 +25,7 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod queries;
 pub mod resolver;
 pub mod template;
 

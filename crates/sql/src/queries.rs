@@ -1,6 +1,23 @@
 //! The paper's workload queries (Appendix A), adapted only where the
 //! substrate differs (dates as `YYYYMMDD` integers; table names follow the
-//! generators in this crate).
+//! generators in `imp-data`).
+//!
+//! The texts live next to the parser so they are validated in-crate (see
+//! the tests below); `imp-data` builds its workload streams on top of
+//! them and re-exports this module unchanged.
+
+/// Attribute names of the Appendix A synthetic schema: after `id` and the
+/// group attribute `a`, the extras are `b`, `c`, … (the `imp-data`
+/// generators lay tables out with exactly these names).
+pub fn attr_name(i: usize) -> String {
+    // b, c, d, ... j, k, l ...
+    let c = (b'b' + (i % 25) as u8) as char;
+    if i < 25 {
+        c.to_string()
+    } else {
+        format!("{c}{}", i / 25)
+    }
+}
 
 /// `Q_endtoend` (A.1.7): group-by aggregation with a HAVING window on the
 /// average. The constants are parameters — the mixed workload varies them.
@@ -22,7 +39,7 @@ pub fn q_having(table: &str, n_aggs: usize) -> String {
         }
         for i in 3..n_aggs {
             // avg(e) > 0 and avg(f) > 0 ... (A.1.1 ten-function variant)
-            let attr = crate::synthetic::attr_name(i);
+            let attr = attr_name(i);
             conds.push(format!("avg({attr}) > 0"));
         }
         sql.push_str(&format!(" HAVING {}", conds.join(" AND ")));
@@ -91,7 +108,7 @@ pub const CRIMES_CQ2: &str = "SELECT district, community_area, ward, beat, \
      GROUP BY district, community_area, ward, beat HAVING count(id) > 1000";
 
 /// `Q_space` (A.4): TPC-H Q10 — revenue of customers with returned items,
-/// top 20 by revenue. Dates are YYYYMMDD integers (see crate docs).
+/// top 20 by revenue. Dates are YYYYMMDD integers (see `imp-data` docs).
 pub const Q_SPACE: &str = "SELECT c_custkey, c_name, \
        sum(l_extendedprice * (1 - l_discount)) AS revenue, \
        c_acctbal, n_name, c_address, c_phone, c_comment \
@@ -119,6 +136,34 @@ pub const TPCH_TOPK: &str = "SELECT l_orderkey, sum(l_extendedprice) AS v FROM l
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{parse_one, QueryTemplate, Statement};
+
+    #[test]
+    fn every_appendix_query_parses() {
+        let texts = [
+            q_endtoend(100, 200),
+            q_having("r500", 1),
+            q_having("r500", 10),
+            q_groups("r500", 1_600),
+            q_join("r500", "h", 1_000, 2_000),
+            q_joinsel("r500", "h"),
+            q_sketch("r500", "h"),
+            q_selpd("r500", 500),
+            q_topk("r500", 10),
+            CRIMES_CQ1.to_string(),
+            CRIMES_CQ2.to_string(),
+            Q_SPACE.to_string(),
+            TPCH_HAVING.to_string(),
+            TPCH_SINGLE.to_string(),
+            TPCH_TOPK.to_string(),
+        ];
+        for sql in texts {
+            assert!(
+                matches!(parse_one(&sql), Ok(Statement::Select(_))),
+                "failed to parse: {sql}"
+            );
+        }
+    }
 
     #[test]
     fn q_having_agg_counts() {
@@ -129,8 +174,14 @@ mod tests {
     }
 
     #[test]
+    fn attr_names() {
+        assert_eq!(attr_name(0), "b");
+        assert_eq!(attr_name(8), "j");
+        assert_eq!(attr_name(25), "b1");
+    }
+
+    #[test]
     fn templates_align_for_endtoend() {
-        use imp_sql::{parse_one, QueryTemplate, Statement};
         let a = q_endtoend(100, 200);
         let b = q_endtoend(300, 400);
         let Statement::Select(sa) = parse_one(&a).unwrap() else {

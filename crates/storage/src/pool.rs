@@ -222,6 +222,18 @@ impl AnnotPool {
         Arc::clone(&self.vecs[id.index()])
     }
 
+    /// Does the pool own this exact allocation? True only when `handle`
+    /// points at a pooled bitvector (not merely an equal one), i.e. the
+    /// contents are already covered by [`AnnotPool::heap_size`]. Used by
+    /// shared-ownership-aware accounting: operator-state `Arc<BitVec>`
+    /// handles whose allocation the pool does *not* own (e.g. after a
+    /// between-runs [`AnnotPool::clear`]) must be attributed to the state.
+    pub fn owns(&self, handle: &Arc<BitVec>) -> bool {
+        self.index
+            .get(handle.as_ref())
+            .is_some_and(|id| Arc::ptr_eq(&self.vecs[id.index()], handle))
+    }
+
     /// Cumulative activity counters.
     pub fn stats(&self) -> PoolStats {
         self.stats

@@ -1,10 +1,19 @@
 //! Offline shim for `crossbeam`, backed by `std::sync::mpsc`.
 //!
-//! Provides [`channel::bounded`], [`channel::tick`], and a [`select!`]
-//! macro supporting the two-arm `recv(rx) -> pat => body` form this
-//! workspace uses. `select!` polls with a 1 ms sleep rather than
-//! blocking on an OS primitive — adequate for the background-maintenance
-//! ticker it drives.
+//! Provides [`channel::bounded`], [`channel::tick`],
+//! [`channel::Receiver::recv_timeout`], and a [`select!`] macro
+//! supporting the two-arm `recv(rx) -> pat => body` form this workspace
+//! uses. `select!` polls with a 1 ms sleep rather than blocking on an OS
+//! primitive — adequate for the background-maintenance ticker it drives.
+//! The scheduler's shard workers (`imp_core::sched`) avoid `select!`
+//! entirely: each worker drains a single queue with `recv`/`recv_timeout`
+//! plus non-blocking `try_recv` batches, which `std::sync::mpsc` backs
+//! with real OS blocking (no polling).
+//!
+//! Remaining fidelity deltas vs. the real crate: no `unbounded`
+//! channels, no multi-receiver dynamic `Select`, `select!` supports
+//! exactly two `recv` arms and polls at 1 ms, and a zero-capacity
+//! `bounded` degrades to capacity 1 (no rendezvous semantics).
 
 pub mod channel {
     //! Multi-producer multi-consumer channels (mpsc-backed subset).
@@ -23,6 +32,15 @@ pub mod channel {
     pub enum TryRecvError {
         /// Channel currently has no message.
         Empty,
+        /// Channel is closed and drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
         /// Channel is closed and drained.
         Disconnected,
     }
@@ -80,6 +98,16 @@ pub mod channel {
             self.inner.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block until a message arrives, the channel closes, or `timeout`
+        /// elapses. Backed by the OS primitive of
+        /// [`mpsc::Receiver::recv_timeout`] — no polling.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
     }
@@ -189,6 +217,23 @@ mod tests {
     fn ticker_ticks() {
         let ticker = tick(Duration::from_millis(1));
         assert!(ticker.recv().is_ok());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Offline shim for `parking_lot`, backed by `std::sync`.
 //!
-//! Only [`Mutex`] is provided. As in the real crate, `lock()` returns the
-//! guard directly (poisoning is absorbed: a panic while holding the lock
-//! does not poison it for later users).
+//! [`Mutex`] and [`RwLock`] are provided. As in the real crate,
+//! `lock()` / `read()` / `write()` return the guard directly (poisoning
+//! is absorbed: a panic while holding the lock does not poison it for
+//! later users). Guard types are the `std` ones; fairness and the
+//! `parking_lot` upgrade/downgrade APIs are not reproduced.
 
-use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+use std::sync::{Mutex as StdMutex, PoisonError, RwLock as StdRwLock};
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual exclusion with a non-poisoning `lock()`.
 #[derive(Debug, Default)]
@@ -40,10 +44,73 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Reader-writer lock with non-poisoning `read()` / `write()`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = Arc::new(RwLock::new(0u64));
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 0);
+        }
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2000);
+    }
 
     #[test]
     fn lock_across_threads() {

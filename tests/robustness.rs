@@ -324,6 +324,53 @@ fn vacuum_preserves_maintenance_correctness() {
 }
 
 #[test]
+fn vacuum_horizon_is_per_table() {
+    // Maintained versions are table-local (split-invariant versioning):
+    // a sketch over a low-traffic table must not pin every other table's
+    // delta log. Sketch on `t` only; heavy updates on `u`; after
+    // maintaining the `t` sketch, vacuum must reclaim `u`'s records even
+    // though the sketch's version predates them.
+    let mut db = db_gv(&[(1, 10), (2, 20)]);
+    db.create_table(
+        "u",
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("w", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    let q = "SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 5";
+    let mut imp = Imp::new(
+        db,
+        ImpConfig {
+            fragments: 2,
+            ..Default::default()
+        },
+    );
+    imp.execute(q).unwrap();
+    imp.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+    imp.execute(q).unwrap(); // maintain: consumes t's record
+    for i in 0..10 {
+        imp.execute(&format!("INSERT INTO u VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    let (_, dropped) = imp.vacuum();
+    assert_eq!(
+        dropped, 11,
+        "t's consumed record and all of unsketched u's records reclaimed"
+    );
+    // The t sketch keeps working.
+    imp.execute("INSERT INTO t VALUES (1, 7)").unwrap();
+    let ImpResponse::Rows { result, .. } = imp.execute(q).unwrap() else {
+        panic!()
+    };
+    assert_eq!(
+        result.canonical(),
+        vec![(row![1, 17], 1), (row![2, 20], 1), (row![3, 30], 1)]
+    );
+}
+
+#[test]
 fn vacuum_keeps_unconsumed_deltas() {
     // A stale sketch still needs its delta records: vacuum must not drop
     // them before maintenance ran.
