@@ -1,0 +1,388 @@
+//! The lifecycle autopilot: plan demotions/promotions, apply them to a
+//! sketch store.
+//!
+//! Every stored sketch sits on a rung of the **lifecycle ladder**:
+//!
+//! ```text
+//!   Maintained ──▶ Lazy ──▶ Evicted(-to-codec) ──▶ dropped
+//!        ▲__________│____________│    (promotion restores + maintains,
+//!                                      so the sketch lands byte-identical
+//!                                      to one that was never demoted)
+//! ```
+//!
+//! * **Maintained** — proactively maintained: routed scheduler deltas,
+//!   eager batches, and stale sweeps all include it.
+//! * **Lazy** — state stays in memory but nothing maintains it
+//!   proactively; the first query that needs it maintains it on demand
+//!   (split-invariant versioning makes the result identical to eager
+//!   upkeep).
+//! * **Evicted** — operator state is serialized through
+//!   [`crate::state_codec`] (the paper's §2 eviction hook) and the
+//!   in-memory structures are freed; the sketch bits stay available for
+//!   fresh reuse, and the state is restored transparently before the next
+//!   maintenance. Retained immutable versions are released too.
+//! * **dropped** — the sketch leaves the store entirely (its tracker
+//!   stats go too); a re-hot template re-captures on its next query and
+//!   re-enters the ladder at `Maintained` with a fresh capture-seeded
+//!   grace window.
+//!
+//! One [`plan_round`] demotes the losers of the budgeted selection a
+//! single rung — gentle by default — and escalates (straight to
+//! `Evicted`, then to drop) on the enforcement rounds
+//! [`crate::advisor::Advisor`] runs while the store is still over budget.
+//! Decisions only ever change *cost*: demoted sketches answer queries
+//! through the same on-demand maintenance/restore/capture paths the
+//! store already has, so answers are bit-for-bit unchanged.
+
+use crate::advisor::cost::AdvisorParams;
+use crate::advisor::select::{select_keep, Candidate};
+use crate::advisor::tracker::{SketchKey, WorkloadTracker};
+use crate::middleware::{
+    evict_stored, maintain_entry, restore_if_evicted, ImpConfig, StoredSketch,
+};
+use crate::Result;
+use imp_engine::Database;
+use imp_sql::QueryTemplate;
+use imp_storage::FxHashMap;
+
+/// A stored sketch's rung on the advisor's lifecycle ladder (dropped
+/// sketches are removed from the store, so they need no variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Lifecycle {
+    /// Proactively maintained (the default for every capture).
+    #[default]
+    Maintained,
+    /// In memory, but only maintained on demand by a query.
+    Lazy,
+    /// Operator state evicted to its serialized form; restored on demand.
+    Evicted,
+}
+
+impl Lifecycle {
+    /// The next rung down the ladder (`None` = drop).
+    pub fn demoted(self) -> Option<Lifecycle> {
+        match self {
+            Lifecycle::Maintained => Some(Lifecycle::Lazy),
+            Lifecycle::Lazy => Some(Lifecycle::Evicted),
+            Lifecycle::Evicted => None,
+        }
+    }
+
+    /// Short display label (summaries, harness tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Lifecycle::Maintained => "maintained",
+            Lifecycle::Lazy => "lazy",
+            Lifecycle::Evicted => "evicted",
+        }
+    }
+}
+
+/// The advisor-relevant view of one stored sketch, gathered from the
+/// in-line store directly or from shard workers via the `AdviseGather`
+/// control barrier.
+#[derive(Debug, Clone)]
+pub struct SketchCard {
+    /// Store key.
+    pub template: QueryTemplate,
+    /// Original SQL of the capturing query (candidate identity within the
+    /// template).
+    pub sql: String,
+    /// Current lifecycle rung.
+    pub lifecycle: Lifecycle,
+    /// Resident heap bytes right now (the budget is enforced against the
+    /// sum of these, matching `Imp::store_heap_size`).
+    pub resident: usize,
+    /// Heap bytes the sketch costs *if kept maintained*: the resident
+    /// footprint plus, for evicted sketches, the serialized state size
+    /// as a proxy for what restoring would bring back. The knapsack must
+    /// price a promotion at its full cost — admitting an evicted sketch
+    /// by its residual would promote it, overflow the budget, and
+    /// re-evict it next round (thrash).
+    pub heap: usize,
+}
+
+impl SketchCard {
+    /// The tracker key of this sketch.
+    pub fn key(&self) -> SketchKey {
+        SketchKey::new(self.template.text(), self.sql.clone())
+    }
+}
+
+/// What to do with one stored sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdviseOp {
+    /// Move down to the given rung (strictly below the current one).
+    Demote(Lifecycle),
+    /// Remove the sketch from the store.
+    Drop,
+    /// Restore/maintain to current and mark [`Lifecycle::Maintained`].
+    Promote,
+}
+
+/// One planned action, addressed by store identity.
+#[derive(Debug, Clone)]
+pub struct AdviseAction {
+    /// Store key (also routes the action to its owning shard).
+    pub template: QueryTemplate,
+    /// Candidate identity within the template.
+    pub sql: String,
+    /// The operation.
+    pub op: AdviseOp,
+}
+
+/// One planned round: the actions plus how many sketches the knapsack
+/// kept.
+#[derive(Debug, Clone, Default)]
+pub struct PlannedRound {
+    /// Actions to apply (may be empty — the store is already settled).
+    pub actions: Vec<AdviseAction>,
+    /// Size of the keep-set.
+    pub kept: usize,
+}
+
+/// Plan one autopilot round over the gathered cards.
+///
+/// `escalation` is 0 for the regular pass (losers demote one rung,
+/// keepers promote) and rises on the enforcement rounds the advisor runs
+/// while the store is still over budget: 1 forces losers at least to
+/// [`Lifecycle::Evicted`], ≥ 2 drops them. Promotions only happen at
+/// escalation 0 — enforcement must never grow the store.
+pub fn plan_round(
+    cards: &[SketchCard],
+    tracker: &WorkloadTracker,
+    params: &AdvisorParams,
+    budget: usize,
+    escalation: u32,
+) -> PlannedRound {
+    let candidates: Vec<Candidate> = cards
+        .iter()
+        .enumerate()
+        .map(|(index, card)| {
+            let mut score = params.score(&tracker.get(&card.key()), card.heap);
+            if card.lifecycle != Lifecycle::Maintained {
+                // Promotion hysteresis: challengers must beat incumbents
+                // by a margin, or equal workloads flap every pass.
+                score *= params.promote_margin;
+            }
+            Candidate {
+                index,
+                score,
+                heap: card.heap,
+            }
+        })
+        .collect();
+    let kept = select_keep(&candidates, budget);
+    let mut actions = Vec::new();
+    let mut kept_iter = kept.iter().peekable();
+    for (index, card) in cards.iter().enumerate() {
+        let is_kept = kept_iter.peek() == Some(&&index);
+        if is_kept {
+            kept_iter.next();
+            if card.lifecycle != Lifecycle::Maintained && escalation == 0 {
+                actions.push(AdviseAction {
+                    template: card.template.clone(),
+                    sql: card.sql.clone(),
+                    op: AdviseOp::Promote,
+                });
+            }
+            continue;
+        }
+        let op = match escalation {
+            0 => match card.lifecycle.demoted() {
+                Some(rung) => AdviseOp::Demote(rung),
+                None => AdviseOp::Drop,
+            },
+            1 => match card.lifecycle {
+                Lifecycle::Maintained | Lifecycle::Lazy => AdviseOp::Demote(Lifecycle::Evicted),
+                Lifecycle::Evicted => AdviseOp::Drop,
+            },
+            _ => AdviseOp::Drop,
+        };
+        actions.push(AdviseAction {
+            template: card.template.clone(),
+            sql: card.sql.clone(),
+            op,
+        });
+    }
+    PlannedRound {
+        actions,
+        kept: kept.len(),
+    }
+}
+
+/// Outcome of applying a batch of actions to one store (summed across
+/// shards on the sharded backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Sketches newly marked [`Lifecycle::Lazy`].
+    pub demoted_lazy: usize,
+    /// Sketches whose state was evicted to its serialized form.
+    pub evicted: usize,
+    /// Sketches removed from the store.
+    pub dropped: usize,
+    /// Sketches restored/maintained back to [`Lifecycle::Maintained`].
+    pub promoted: usize,
+    /// Heap bytes freed by evicting operator state to its serialized
+    /// form.
+    pub freed_bytes: usize,
+}
+
+impl ApplyOutcome {
+    /// Merge another outcome (per-shard replies).
+    pub fn absorb(&mut self, other: &ApplyOutcome) {
+        self.demoted_lazy += other.demoted_lazy;
+        self.evicted += other.evicted;
+        self.dropped += other.dropped;
+        self.promoted += other.promoted;
+        self.freed_bytes += other.freed_bytes;
+    }
+
+    /// Did any action demote (including drops)?
+    pub fn any_demotion(&self) -> bool {
+        self.demoted_lazy + self.evicted + self.dropped > 0
+    }
+}
+
+/// Apply planned actions to a sketch-store map — shared by the in-line
+/// backend and the shard workers, so their lifecycle arithmetic cannot
+/// drift. Actions addressing sketches that no longer exist are skipped
+/// (a query may have raced a capture or drop in between on the sharded
+/// backend). Promotion maintenance errors propagate; the maintenance
+/// cost of successful promotions is recorded in `tracker`.
+pub(crate) fn apply_to_store(
+    store: &mut FxHashMap<QueryTemplate, Vec<StoredSketch>>,
+    db: &Database,
+    config: &ImpConfig,
+    tracker: &WorkloadTracker,
+    actions: &[AdviseAction],
+) -> Result<ApplyOutcome> {
+    let mut outcome = ApplyOutcome::default();
+    for action in actions {
+        let Some(entries) = store.get_mut(&action.template) else {
+            continue;
+        };
+        let Some(pos) = entries.iter().position(|e| e.sql == action.sql) else {
+            continue;
+        };
+        match action.op {
+            AdviseOp::Demote(Lifecycle::Maintained) => {
+                debug_assert!(false, "Demote(Maintained) is not a demotion");
+            }
+            AdviseOp::Demote(Lifecycle::Lazy) => {
+                entries[pos].lifecycle = Lifecycle::Lazy;
+                outcome.demoted_lazy += 1;
+            }
+            AdviseOp::Demote(Lifecycle::Evicted) => {
+                let entry = &mut entries[pos];
+                entry.lifecycle = Lifecycle::Evicted;
+                outcome.freed_bytes += evict_stored(entry);
+                // Retained immutable versions are a memory luxury the
+                // demoted sketch no longer gets.
+                entry.versions.clear();
+                outcome.evicted += 1;
+            }
+            AdviseOp::Drop => {
+                entries.remove(pos);
+                if entries.is_empty() {
+                    store.remove(&action.template);
+                }
+                // The stats go too, or ad-hoc templates would grow the
+                // tracker without bound; a re-capture starts a fresh
+                // entry with the capture-seeded grace window.
+                tracker.forget(&SketchKey::new(action.template.text(), action.sql.clone()));
+                outcome.dropped += 1;
+            }
+            AdviseOp::Promote => {
+                let entry = &mut entries[pos];
+                restore_if_evicted(entry)?;
+                if entry.maintainer.is_stale(db) {
+                    let report = maintain_entry(entry, db, config.retain_sketch_versions)?;
+                    tracker.record_maintenance(
+                        SketchKey::new(action.template.text(), action.sql.clone()),
+                        report.advisor_cost(),
+                    );
+                }
+                entry.lifecycle = Lifecycle::Maintained;
+                outcome.promoted += 1;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::tracker::UseKind;
+
+    fn card(name: &str, lifecycle: Lifecycle, heap: usize) -> SketchCard {
+        let stmt = imp_sql::parse_one(&format!("SELECT a FROM {name} WHERE a > 1")).unwrap();
+        let imp_sql::Statement::Select(sel) = stmt else {
+            unreachable!()
+        };
+        SketchCard {
+            template: QueryTemplate::of(&sel),
+            sql: format!("SELECT a FROM {name} WHERE a > 1"),
+            lifecycle,
+            resident: heap,
+            heap,
+        }
+    }
+
+    #[test]
+    fn ladder_descends_one_rung_then_drops() {
+        assert_eq!(Lifecycle::Maintained.demoted(), Some(Lifecycle::Lazy));
+        assert_eq!(Lifecycle::Lazy.demoted(), Some(Lifecycle::Evicted));
+        assert_eq!(Lifecycle::Evicted.demoted(), None);
+    }
+
+    #[test]
+    fn losers_step_down_and_keepers_promote() {
+        let tracker = WorkloadTracker::new();
+        let params = AdvisorParams::default();
+        let hot = card("hot", Lifecycle::Lazy, 100);
+        let cold = card("cold", Lifecycle::Maintained, 100);
+        tracker.record_use(hot.key(), UseKind::Fresh, 100_000);
+        let round = plan_round(&[hot.clone(), cold.clone()], &tracker, &params, 1_000, 0);
+        assert_eq!(round.kept, 1);
+        assert_eq!(round.actions.len(), 2);
+        assert!(round
+            .actions
+            .iter()
+            .any(|a| a.sql == hot.sql && a.op == AdviseOp::Promote));
+        assert!(round
+            .actions
+            .iter()
+            .any(|a| a.sql == cold.sql && a.op == AdviseOp::Demote(Lifecycle::Lazy)));
+    }
+
+    #[test]
+    fn escalation_jumps_rungs() {
+        let tracker = WorkloadTracker::new();
+        let params = AdvisorParams::default();
+        let cards = [
+            card("m", Lifecycle::Maintained, 100),
+            card("l", Lifecycle::Lazy, 100),
+            card("e", Lifecycle::Evicted, 100),
+        ];
+        let r1 = plan_round(&cards, &tracker, &params, 0, 1);
+        assert!(r1
+            .actions
+            .iter()
+            .all(|a| matches!(a.op, AdviseOp::Demote(Lifecycle::Evicted) | AdviseOp::Drop)));
+        let r2 = plan_round(&cards, &tracker, &params, 0, 2);
+        assert!(r2.actions.iter().all(|a| a.op == AdviseOp::Drop));
+    }
+
+    #[test]
+    fn enforcement_rounds_never_promote() {
+        let tracker = WorkloadTracker::new();
+        let params = AdvisorParams::default();
+        let hot = card("hot", Lifecycle::Evicted, 100);
+        tracker.record_use(hot.key(), UseKind::Fresh, 100_000);
+        let round = plan_round(&[hot], &tracker, &params, 1_000, 1);
+        assert!(round.actions.is_empty());
+        assert_eq!(round.kept, 1);
+    }
+}

@@ -22,6 +22,13 @@
 //!   `Q ⋈ Δ` join terms without backend round trips.
 //! * [`maintain`] — [`maintain::SketchMaintainer`], the incremental
 //!   maintenance procedure `I(Q, Φ, S, Δ𝒟) = (ΔP, S′)` of Def. 4.5.
+//! * [`advisor`] — workload-driven, cost-based sketch selection: a
+//!   [`advisor::WorkloadTracker`] records per-sketch uses / estimated rows
+//!   skipped / maintenance cost, a cost model scores each stored sketch
+//!   (`benefit − α·maintain − β·heap`), and a lifecycle autopilot keeps
+//!   the best set under [`middleware::ImpConfig::sketch_memory_budget`],
+//!   demoting the rest (maintained → lazy → evicted → dropped) and
+//!   promoting re-hot templates back.
 //! * [`sched`] — the sharded multi-query maintenance scheduler: a
 //!   per-table [`sched::DeltaRouter`], a [`sched::ShardPool`] of workers
 //!   owning disjoint template-hash shards of the sketch store (per-table
@@ -31,6 +38,7 @@
 //!   the user-facing [`middleware::Imp`] system (in-line or sharded store,
 //!   selected by [`middleware::ImpConfig::sched_workers`]).
 
+pub mod advisor;
 pub mod delta;
 pub mod error;
 pub mod fragcount;
@@ -43,6 +51,7 @@ pub mod sched;
 pub mod state_codec;
 pub mod strategy;
 
+pub use advisor::{Advisor, AdvisorParams, AdvisorReport, Lifecycle, WorkloadTracker};
 pub use delta::{
     delta_heap_size, delta_heap_size_flat, delta_magnitude, normalize_delta, AnnotId, AnnotPool,
     DeltaBatch, DeltaEntry,

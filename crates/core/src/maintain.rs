@@ -48,6 +48,18 @@ pub struct MaintReport {
     pub state_bytes: usize,
 }
 
+impl MaintReport {
+    /// The run's cost as the [`crate::advisor`] accounts it: wall-clock
+    /// nanoseconds plus the delta rows consumed (fetched from the log or
+    /// routed in).
+    pub fn advisor_cost(&self) -> crate::advisor::MaintCost {
+        crate::advisor::MaintCost {
+            nanos: self.duration.as_nanos() as u64,
+            delta_rows: self.metrics.delta_rows_fetched,
+        }
+    }
+}
+
 /// Per-query maintenance state: sketch + operator states + version.
 #[derive(Debug)]
 pub struct SketchMaintainer {

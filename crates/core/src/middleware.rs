@@ -19,6 +19,10 @@
 //!   routed; queries read versioned published sketch snapshots and only
 //!   synchronize with a shard when they need a stale sketch maintained.
 
+use crate::advisor::{
+    Advisor, AdvisorParams, AdvisorReport, Lifecycle, SketchCard, SketchKey, UseKind,
+    MAX_ENFORCEMENT_ROUNDS,
+};
 use crate::error::CoreError;
 use crate::maintain::{MaintReport, SketchMaintainer};
 use crate::ops::OpConfig;
@@ -27,7 +31,7 @@ use crate::strategy::MaintenanceStrategy;
 use crate::Result;
 use imp_engine::{Bag, Database, QueryResult};
 use imp_engine::{EngineError, ExecStats};
-use imp_sketch::{apply_sketch_filter, safety, PartitionSet, RangePartition};
+use imp_sketch::{apply_sketch_filter, safety, PartitionSet, RangePartition, SketchSet};
 use imp_sql::ast::BinOp;
 use imp_sql::{Expr, LogicalPlan, QueryTemplate, Resolver, SelectStmt, Statement};
 use imp_storage::{BitVec, FxHashMap};
@@ -79,6 +83,16 @@ pub struct ImpConfig {
     /// Scheduler coalescing bound: pending routed delta rows *per table*
     /// a shard folds into a single maintenance run before flushing.
     pub coalesce_budget: usize,
+    /// Heap-byte budget for the sketch store, enforced by the
+    /// [`crate::advisor`] autopilot: every [`Imp::tick_maintenance`] (and
+    /// explicit [`Imp::advise`]) runs a selection pass that keeps the
+    /// highest-scoring sketches fully maintained and demotes the rest
+    /// along the lifecycle ladder until `store_heap_size() ≤ budget`.
+    /// `None` (default) disables the autopilot; the workload tracker
+    /// still records usage either way.
+    pub sketch_memory_budget: Option<usize>,
+    /// Cost-model weights of the advisor (`benefit − α·maintain − β·heap`).
+    pub advisor: AdvisorParams,
 }
 
 /// Default [`ImpConfig::coalesce_budget`].
@@ -99,6 +113,8 @@ impl Default for ImpConfig {
             retain_sketch_versions: true,
             sched_workers: 0,
             coalesce_budget: DEFAULT_COALESCE_BUDGET,
+            sketch_memory_budget: None,
+            advisor: AdvisorParams::default(),
         }
     }
 }
@@ -176,6 +192,10 @@ pub struct StoredSketch {
     /// set, the in-memory state has been reset and must be restored from
     /// these bytes before the next maintenance.
     pub evicted: Option<bytes::Bytes>,
+    /// Rung on the advisor's lifecycle ladder (see [`crate::advisor`]).
+    /// Everything below [`Lifecycle::Maintained`] is excluded from
+    /// proactive maintenance and only brought current on demand.
+    pub lifecycle: Lifecycle,
     /// Cached immutable publication metadata (sharded backend): the
     /// plan/SQL/tables wrapped in `Arc` once, so snapshot publication
     /// does not deep-clone them on every maintenance flush. Lazily
@@ -212,6 +232,8 @@ pub struct SketchSummary {
     pub retained_versions: usize,
     /// Stale w.r.t. the current database?
     pub stale: bool,
+    /// Rung on the advisor's lifecycle ladder.
+    pub lifecycle: Lifecycle,
 }
 
 /// One row of [`Imp::sketch_states`]: the externally comparable state of
@@ -246,6 +268,7 @@ pub struct Imp {
     db: Arc<RwLock<Database>>,
     store: SketchBackend,
     config: ImpConfig,
+    advisor: Advisor,
 }
 
 impl Imp {
@@ -253,12 +276,27 @@ impl Imp {
     /// sketch store is sharded across a worker pool (see [`crate::sched`]).
     pub fn new(db: Database, config: ImpConfig) -> Imp {
         let db = Arc::new(RwLock::new(db));
+        let advisor = Advisor::new(config.advisor);
         let store = if config.sched_workers > 0 {
-            SketchBackend::Sharded(Scheduler::new(Arc::clone(&db), &config))
+            SketchBackend::Sharded(Scheduler::new(
+                Arc::clone(&db),
+                &config,
+                Arc::clone(advisor.tracker()),
+            ))
         } else {
             SketchBackend::Inline(FxHashMap::default())
         };
-        Imp { db, store, config }
+        Imp {
+            db,
+            store,
+            config,
+            advisor,
+        }
+    }
+
+    /// The workload advisor (tracker access and cost-model parameters).
+    pub fn advisor(&self) -> &Advisor {
+        &self.advisor
     }
 
     /// Shared read access to the backend database.
@@ -360,6 +398,40 @@ impl Imp {
         }
     }
 
+    /// Evict the operator state of every sketch stored for one template
+    /// (all constant-variant candidates), returning the bytes freed — the
+    /// single-template counterpart of [`Self::evict_all_states`], used by
+    /// the advisor autopilot and available for targeted memory pressure.
+    /// On the sharded backend the request travels as an `Evict` control
+    /// barrier to the owning shard only. Unknown templates free 0 bytes.
+    pub fn evict_state(&mut self, template: &QueryTemplate) -> Result<usize> {
+        match &mut self.store {
+            SketchBackend::Inline(store) => Ok(store
+                .get_mut(template)
+                .map(|entries| entries.iter_mut().map(evict_stored).sum())
+                .unwrap_or(0)),
+            SketchBackend::Sharded(sched) => Ok(sched.evict_template(template)),
+        }
+    }
+
+    /// Flush every stored sketch's annotation-pool and row-interner
+    /// caches (the between-runs [`crate::maintain::POOL_FLUSH_LEN`] flush,
+    /// exposed for memory-pressure callers and the heap-accounting
+    /// tests). Returns the number of sketches flushed.
+    pub fn flush_pool_caches(&mut self) -> usize {
+        match &mut self.store {
+            SketchBackend::Inline(store) => {
+                let mut flushed = 0usize;
+                for entry in store.values_mut().flatten() {
+                    entry.maintainer.flush_pool_caches();
+                    flushed += 1;
+                }
+                flushed
+            }
+            SketchBackend::Sharded(sched) => sched.flush_pools(),
+        }
+    }
+
     /// Recapture every sketch with fresh equi-depth partitions — the §7.4
     /// response to a significant change in data distribution ("we can
     /// simply update the ranges and recapture sketches").
@@ -442,22 +514,30 @@ impl Imp {
         }
     }
 
-    /// Maintain every stale sketch (used by eager flushes and the
-    /// background maintainer). On the sharded backend this is a
-    /// synchronous sweep: queued routed deltas are processed first (queue
-    /// order), then every still-stale sketch is brought current.
+    /// Maintain every stale [`Lifecycle::Maintained`] sketch (used by
+    /// eager flushes and the background maintainer; advisor-demoted
+    /// sketches are only maintained on demand by a query). On the sharded
+    /// backend this is a synchronous sweep: queued routed deltas are
+    /// processed first (queue order), then every still-stale sketch is
+    /// brought current.
     pub fn maintain_all_stale(&mut self) -> Result<Vec<MaintReport>> {
         match &mut self.store {
             SketchBackend::Inline(store) => {
                 let db = self.db.read();
                 let mut reports = Vec::new();
-                for entry in store.values_mut().flatten() {
-                    if entry.maintainer.is_stale(&db) {
-                        reports.push(maintain_entry(
-                            entry,
-                            &db,
-                            self.config.retain_sketch_versions,
-                        )?);
+                for (template, entries) in store.iter_mut() {
+                    for entry in entries.iter_mut() {
+                        if entry.lifecycle == Lifecycle::Maintained
+                            && entry.maintainer.is_stale(&db)
+                        {
+                            let report =
+                                maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
+                            self.advisor.tracker().record_maintenance(
+                                SketchKey::new(template.text(), entry.sql.clone()),
+                                report.advisor_cost(),
+                            );
+                            reports.push(report);
+                        }
                     }
                 }
                 Ok(reports)
@@ -469,14 +549,119 @@ impl Imp {
     /// One background-maintenance tick: the in-line backend maintains all
     /// stale sketches on this thread; the sharded backend enqueues a
     /// maintain-stale sweep on every shard and returns immediately (the
-    /// workers do the maintenance in parallel, off this thread).
+    /// workers do the maintenance in parallel, off this thread). With a
+    /// [`ImpConfig::sketch_memory_budget`] configured, every tick also
+    /// runs one advisor autopilot pass ([`Self::advise`]).
     pub fn tick_maintenance(&mut self) -> Result<usize> {
-        match &mut self.store {
-            SketchBackend::Inline(_) => Ok(self.maintain_all_stale()?.len()),
+        let maintained = match &mut self.store {
+            SketchBackend::Inline(_) => None,
             SketchBackend::Sharded(sched) => {
                 sched.kick_maintenance();
-                Ok(0)
+                Some(0)
             }
+        };
+        let maintained = match maintained {
+            Some(n) => n,
+            None => self.maintain_all_stale()?.len(),
+        };
+        if self.config.sketch_memory_budget.is_some() {
+            self.advise()?;
+        }
+        Ok(maintained)
+    }
+
+    /// Run one advisor autopilot pass: score every stored sketch from the
+    /// workload tracker, keep the best set under
+    /// [`ImpConfig::sketch_memory_budget`], demote the losers along the
+    /// lifecycle ladder (escalating until the store fits the budget), and
+    /// promote re-hot demoted sketches back to full maintenance. A no-op
+    /// (default report) when no budget is configured. On the sharded
+    /// backend the gather/apply steps run as control barriers on the
+    /// shard workers.
+    pub fn advise(&mut self) -> Result<AdvisorReport> {
+        let Some(budget) = self.config.sketch_memory_budget else {
+            return Ok(AdvisorReport::default());
+        };
+        let mut report = AdvisorReport {
+            budget,
+            ..AdvisorReport::default()
+        };
+        let mut applied_last = false;
+        for escalation in 0..=MAX_ENFORCEMENT_ROUNDS {
+            // One gather per round serves both planning and the budget
+            // check — the cards' resident sum equals `store_heap_size`
+            // without the full bits-and-summaries inspection barrier.
+            let cards = self.gather_cards();
+            let resident: usize = cards.iter().map(|c| c.resident).sum();
+            if escalation == 0 {
+                report.heap_before = resident;
+                // Prune tracker entries orphaned by store removals, so
+                // the tracker stays bounded by the live store.
+                let live: imp_storage::FxHashSet<SketchKey> =
+                    cards.iter().map(SketchCard::key).collect();
+                self.advisor.tracker().retain_live(&live);
+            }
+            report.heap_after = resident;
+            applied_last = false;
+            if escalation > 0 && resident <= budget {
+                break;
+            }
+            let planned = self.advisor.plan_round(&cards, budget, escalation);
+            if escalation == 0 {
+                // The regular round consumed the hot windows; cool them so
+                // benefit/cost estimates are moving averages over passes.
+                self.advisor.decay();
+            }
+            report.kept = planned.kept;
+            if planned.actions.is_empty() {
+                break;
+            }
+            report.rounds = escalation + 1;
+            let outcome = self.apply_advice(&planned.actions)?;
+            report.outcome.absorb(&outcome);
+            applied_last = true;
+        }
+        if applied_last {
+            // The final permitted round still applied actions: re-measure
+            // so the report reflects the settled store.
+            report.heap_after = self.gather_cards().iter().map(|c| c.resident).sum();
+        }
+        Ok(report)
+    }
+
+    /// The advisor's view of every stored sketch, sorted by store key so
+    /// both backends (and repeated passes) plan over identical orders.
+    fn gather_cards(&self) -> Vec<SketchCard> {
+        let mut cards = match &self.store {
+            SketchBackend::Inline(store) => store
+                .iter()
+                .flat_map(|(template, entries)| entries.iter().map(|e| advisor_card(template, e)))
+                .collect(),
+            SketchBackend::Sharded(sched) => sched.advise_gather(),
+        };
+        cards.sort_by(|a: &SketchCard, b| {
+            (a.template.text(), &a.sql).cmp(&(b.template.text(), &b.sql))
+        });
+        cards
+    }
+
+    /// Apply one planned advisor round to the store.
+    fn apply_advice(
+        &mut self,
+        actions: &[crate::advisor::AdviseAction],
+    ) -> Result<crate::advisor::ApplyOutcome> {
+        match &mut self.store {
+            SketchBackend::Inline(store) => {
+                let db = self.db.read();
+                crate::advisor::autopilot::apply_to_store(
+                    store,
+                    &db,
+                    &self.config,
+                    self.advisor.tracker(),
+                    actions,
+                )
+            }
+            SketchBackend::Sharded(sched) => sched.advise_apply(actions),
         }
     }
 
@@ -500,15 +685,24 @@ impl Imp {
                     SketchBackend::Inline(store) => {
                         if let MaintenanceStrategy::Eager { batch_size } = self.config.strategy {
                             let db = self.db.read();
-                            for entry in store.values_mut().flatten() {
-                                if entry.maintainer.tables().contains(&table) {
-                                    entry.pending_rows += count;
-                                    if entry.pending_rows as usize >= batch_size {
-                                        maintenance.push(maintain_entry(
-                                            entry,
-                                            &db,
-                                            self.config.retain_sketch_versions,
-                                        )?);
+                            for (template, entries) in store.iter_mut() {
+                                for entry in entries.iter_mut() {
+                                    if entry.lifecycle == Lifecycle::Maintained
+                                        && entry.maintainer.tables().contains(&table)
+                                    {
+                                        entry.pending_rows += count;
+                                        if entry.pending_rows as usize >= batch_size {
+                                            let report = maintain_entry(
+                                                entry,
+                                                &db,
+                                                self.config.retain_sketch_versions,
+                                            )?;
+                                            self.advisor.tracker().record_maintenance(
+                                                SketchKey::new(template.text(), entry.sql.clone()),
+                                                report.advisor_cost(),
+                                            );
+                                            maintenance.push(report);
+                                        }
                                     }
                                 }
                             }
@@ -562,13 +756,28 @@ impl Imp {
         // every stored candidate.
         if let Some(entries) = store.get_mut(&template) {
             if let Some(entry) = entries.iter_mut().find(|e| plan_subsumes(&e.plan, &plan)) {
+                let key = SketchKey::new(template.text(), entry.sql.clone());
                 let mode = if entry.maintainer.is_stale(&db) {
                     let report = maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
+                    self.advisor
+                        .tracker()
+                        .record_maintenance(key.clone(), report.advisor_cost());
                     QueryMode::Maintained(Box::new(report))
                 } else {
-                    restore_if_evicted(entry)?;
+                    // Evicted state stays evicted: the rewrite only needs
+                    // the sketch bits (restoration happens lazily before
+                    // the next maintenance).
                     QueryMode::UsedFresh
                 };
+                let kind = match &mode {
+                    QueryMode::Maintained(_) => UseKind::Maintained,
+                    _ => UseKind::Fresh,
+                };
+                self.advisor.tracker().record_use(
+                    key,
+                    kind,
+                    estimate_rows_skipped(&db, entry.maintainer.sketch()),
+                );
                 let rewritten = apply_sketch_filter(&plan, entry.maintainer.sketch())?;
                 let result = db.execute_plan(&rewritten)?;
                 return Ok(ImpResponse::Rows { result, mode });
@@ -585,11 +794,20 @@ impl Imp {
             });
         };
         let (stored, result) = capture_stored(&db, &self.config, sql, plan, pset)?;
-        let entries = store.entry(template).or_default();
-        if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
-            entries.remove(0); // evict the oldest candidate
+        self.advisor.tracker().record_use(
+            SketchKey::new(template.text(), stored.sql.clone()),
+            UseKind::Captured,
+            estimate_rows_skipped(&db, stored.maintainer.sketch()),
+        );
+        if let Some(entries) = store.get_mut(&template) {
+            if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
+                let old = entries.remove(0); // evict the oldest candidate
+                self.advisor
+                    .tracker()
+                    .forget(&SketchKey::new(template.text(), old.sql));
+            }
         }
-        entries.push(stored);
+        store.entry(template).or_default().push(stored);
         Ok(ImpResponse::Rows {
             result,
             mode: QueryMode::Captured,
@@ -611,6 +829,7 @@ impl Imp {
         };
 
         if let Some(published) = sched.find_published(&template, &plan) {
+            let key = SketchKey::new(template.text(), published.sql.to_string());
             let stale = {
                 let db = self.db.read();
                 published.tables.iter().any(|t| {
@@ -623,7 +842,13 @@ impl Imp {
                 // (ii): use the published snapshot as-is — no shard
                 // round trip, maintenance never blocked.
                 let rewritten = apply_sketch_filter(&plan, &published.sketch)?;
-                let result = self.db.read().execute_plan(&rewritten)?;
+                let db = self.db.read();
+                self.advisor.tracker().record_use(
+                    key,
+                    UseKind::Fresh,
+                    estimate_rows_skipped(&db, &published.sketch),
+                );
+                let result = db.execute_plan(&rewritten)?;
                 return Ok(ImpResponse::Rows {
                     result,
                     mode: QueryMode::UsedFresh,
@@ -632,10 +857,17 @@ impl Imp {
             // (iii): ask the owning shard to bring the sketch current
             // (queued routed deltas are processed first — queue order).
             // A worker-side maintenance failure propagates like the
-            // in-line backend's would.
+            // in-line backend's would. The worker records the maintenance
+            // cost; only the use is recorded here.
             if let Some(reply) = sched.maintain_sketch(&template, &plan)? {
                 let rewritten = apply_sketch_filter(&plan, &reply.sketch)?;
-                let result = self.db.read().execute_plan(&rewritten)?;
+                let db = self.db.read();
+                self.advisor.tracker().record_use(
+                    key,
+                    UseKind::Maintained,
+                    estimate_rows_skipped(&db, &reply.sketch),
+                );
+                let result = db.execute_plan(&rewritten)?;
                 return Ok(ImpResponse::Rows {
                     result,
                     mode: QueryMode::Maintained(reply.report),
@@ -659,6 +891,11 @@ impl Imp {
             capture_stored(&db, &self.config, sql, plan, pset)?
         };
         let (stored, result) = captured;
+        self.advisor.tracker().record_use(
+            SketchKey::new(template.text(), stored.sql.clone()),
+            UseKind::Captured,
+            estimate_rows_skipped(&self.db.read(), stored.maintainer.sketch()),
+        );
         sched.add_sketch(template, stored);
         Ok(ImpResponse::Rows {
             result,
@@ -700,10 +937,27 @@ pub(crate) fn capture_stored(
             versions,
             pending_rows: 0,
             evicted: None,
+            lifecycle: Lifecycle::Maintained,
             published_meta: None,
         },
         result,
     ))
+}
+
+/// Estimate the backend rows a rewrite with this sketch skips, summed
+/// over its partitioned tables: per-partition sketch selectivity × the
+/// table's equi-depth fragment shares (see
+/// [`imp_engine::estimate_skipped_rows`]). The advisor's per-use benefit
+/// signal.
+pub(crate) fn estimate_rows_skipped(db: &Database, sketch: &SketchSet) -> u64 {
+    let pset = sketch.partitions();
+    let mut skipped = 0u64;
+    for i in 0..pset.len() {
+        let p = pset.partition(i);
+        let rows = db.table(&p.table).map(|t| t.row_count()).unwrap_or(0);
+        skipped += imp_engine::estimate_skipped_rows(rows, sketch.partition_selectivity(i));
+    }
+    skipped
 }
 
 /// Heap footprint of one stored sketch (state + retained versions).
@@ -791,6 +1045,22 @@ pub(crate) fn evict_stored(entry: &mut StoredSketch) -> usize {
     freed
 }
 
+/// Build the advisor's [`SketchCard`] for one stored sketch — shared by
+/// the in-line gather and the shard workers' `AdviseGather` barrier. The
+/// card's `heap` prices the sketch at its *kept-maintained* footprint:
+/// resident bytes plus, when evicted, the serialized state size (the
+/// restore proxy).
+pub(crate) fn advisor_card(template: &QueryTemplate, e: &StoredSketch) -> SketchCard {
+    let resident = stored_heap_size(e);
+    SketchCard {
+        template: template.clone(),
+        sql: e.sql.clone(),
+        lifecycle: e.lifecycle,
+        resident,
+        heap: resident + e.evicted.as_ref().map(|b| b.len()).unwrap_or(0),
+    }
+}
+
 /// Build the [`SketchSummary`] row for one stored sketch.
 pub(crate) fn summarize(
     template: &QueryTemplate,
@@ -806,6 +1076,7 @@ pub(crate) fn summarize(
         state_bytes: stored_heap_size(e),
         retained_versions: e.versions.len(),
         stale: e.maintainer.is_stale(db),
+        lifecycle: e.lifecycle,
     }
 }
 

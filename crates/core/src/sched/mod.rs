@@ -50,6 +50,7 @@ pub use router::{DeltaRouter, RoutedEntry, TableDelta};
 pub use shard::{MaintainReply, ShardReport};
 pub use snapshot::{PublishedSketch, ShardSnapshot, SnapshotBoard};
 
+use crate::advisor::{AdviseAction, ApplyOutcome, SketchCard, WorkloadTracker};
 use crate::maintain::MaintReport;
 use crate::metrics::{SchedMetrics, SchedStats};
 use crate::middleware::{plan_subsumes, ImpConfig, StoredSketch};
@@ -72,11 +73,15 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Spawn the scheduler for `config.sched_workers` shards (≥ 1).
-    pub(crate) fn new(db: Arc<RwLock<Database>>, config: &ImpConfig) -> Scheduler {
+    pub(crate) fn new(
+        db: Arc<RwLock<Database>>,
+        config: &ImpConfig,
+        tracker: Arc<WorkloadTracker>,
+    ) -> Scheduler {
         let workers = config.sched_workers.max(1);
         let board = Arc::new(SnapshotBoard::new(workers));
         let metrics = Arc::new(SchedMetrics::new(workers));
-        let pool = ShardPool::spawn(workers, &db, config, &board, &metrics);
+        let pool = ShardPool::spawn(workers, &db, config, &board, &metrics, &tracker);
         Scheduler {
             pool,
             router: Mutex::new(DeltaRouter::new()),
@@ -268,9 +273,87 @@ impl Scheduler {
 
     /// Evict all operator state on every shard; returns bytes freed.
     pub fn evict_all(&self) -> usize {
-        self.broadcast(|tx| ShardMsg::Evict { reply: tx })
+        self.broadcast(|tx| ShardMsg::Evict {
+            template: None,
+            reply: tx,
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Evict the operator state of one template's candidates on its
+    /// owning shard; returns bytes freed.
+    pub fn evict_template(&self, template: &QueryTemplate) -> usize {
+        let (tx, rx) = bounded(1);
+        self.pool.send(
+            self.shard_of(template),
+            ShardMsg::Evict {
+                template: Some(template.clone()),
+                reply: tx,
+            },
+        );
+        rx.recv().unwrap_or(0)
+    }
+
+    /// Flush every sketch's annotation-pool / row-interner caches on
+    /// every shard; returns the number of sketches flushed.
+    pub fn flush_pools(&self) -> usize {
+        self.broadcast(|tx| ShardMsg::FlushPools { reply: tx })
             .into_iter()
             .sum()
+    }
+
+    /// Gather the advisor's view of every stored sketch (control
+    /// barrier; shards reply in parallel, order is normalized by the
+    /// caller's sort).
+    pub fn advise_gather(&self) -> Vec<SketchCard> {
+        self.broadcast(|tx| ShardMsg::AdviseGather { reply: tx })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Scatter one planned advisor round to the owning shards and gather
+    /// the summed outcome. Promotion maintenance errors propagate (first
+    /// error, after every shard replied).
+    pub fn advise_apply(&self, actions: &[AdviseAction]) -> crate::Result<ApplyOutcome> {
+        let mut per_shard: Vec<Vec<AdviseAction>> =
+            (0..self.pool.len()).map(|_| Vec::new()).collect();
+        for action in actions {
+            per_shard[self.shard_of(&action.template)].push(action.clone());
+        }
+        let mut replies = Vec::new();
+        for (shard, shard_actions) in per_shard.into_iter().enumerate() {
+            if shard_actions.is_empty() {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.pool.send(
+                shard,
+                ShardMsg::AdviseApply {
+                    actions: shard_actions,
+                    reply: tx,
+                },
+            );
+            replies.push(rx);
+        }
+        let mut outcome = ApplyOutcome::default();
+        let mut first_error = None;
+        for rx in replies {
+            match rx.recv() {
+                Ok(Ok(o)) => outcome.absorb(&o),
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {} // worker gone (shutdown race)
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
     }
 
     /// Recapture every sketch with fresh partitions on every shard.

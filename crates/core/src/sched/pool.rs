@@ -1,5 +1,6 @@
 //! Worker-pool lifecycle: spawn, message plumbing, pause/resume, join.
 
+use crate::advisor::WorkloadTracker;
 use crate::metrics::SchedMetrics;
 use crate::middleware::ImpConfig;
 use crate::sched::shard::{ShardMsg, ShardWorker};
@@ -40,6 +41,7 @@ impl ShardPool {
         config: &ImpConfig,
         board: &Arc<SnapshotBoard>,
         metrics: &Arc<SchedMetrics>,
+        tracker: &Arc<WorkloadTracker>,
     ) -> ShardPool {
         let shards = (0..workers)
             .map(|id| {
@@ -51,6 +53,7 @@ impl ShardPool {
                     config.clone(),
                     Arc::clone(board),
                     Arc::clone(metrics),
+                    Arc::clone(tracker),
                 );
                 let handle = std::thread::Builder::new()
                     .name(format!("imp-shard-{id}"))

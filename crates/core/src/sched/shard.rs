@@ -13,6 +13,9 @@
 //! `Arc<RwLock<Database>>` read guards and publish results as immutable
 //! snapshots (see [`crate::sched::snapshot`]).
 
+use crate::advisor::{
+    AdviseAction, ApplyOutcome, Lifecycle, SketchCard, SketchKey, WorkloadTracker,
+};
 use crate::maintain::MaintReport;
 use crate::metrics::SchedMetrics;
 use crate::middleware::{
@@ -96,10 +99,32 @@ pub(crate) enum ShardMsg {
         /// Reply channel.
         reply: Sender<ShardReport>,
     },
-    /// Evict all operator state to serialized form; reply = bytes freed.
+    /// Evict operator state to serialized form; reply = bytes freed.
     Evict {
+        /// `None` = every sketch of the shard; `Some` = only that
+        /// template's candidates ([`crate::middleware::Imp::evict_state`]).
+        template: Option<QueryTemplate>,
         /// Reply channel.
         reply: Sender<usize>,
+    },
+    /// Flush every sketch's annotation-pool / row-interner caches; reply
+    /// = sketches flushed.
+    FlushPools {
+        /// Reply channel.
+        reply: Sender<usize>,
+    },
+    /// Report the advisor's view of the shard's sketches.
+    AdviseGather {
+        /// Reply channel.
+        reply: Sender<Vec<SketchCard>>,
+    },
+    /// Apply one planned advisor round to the shard's sketches.
+    AdviseApply {
+        /// Actions addressed to this shard's templates.
+        actions: Vec<AdviseAction>,
+        /// Lifecycle transitions applied (promotion maintenance errors
+        /// propagate to the advising caller).
+        reply: Sender<Result<ApplyOutcome>>,
     },
     /// Recapture everything with fresh equi-depth partitions.
     Repartition {
@@ -133,6 +158,8 @@ pub(crate) struct ShardWorker {
     store: FxHashMap<QueryTemplate, Vec<StoredSketch>>,
     /// Table → coalesced routed batches awaiting one maintenance run.
     pending: FxHashMap<String, Vec<Arc<TableDelta>>>,
+    /// Shared workload tracker (maintenance costs recorded worker-side).
+    tracker: Arc<WorkloadTracker>,
     last_error: Option<String>,
 }
 
@@ -144,6 +171,7 @@ impl ShardWorker {
         config: ImpConfig,
         board: Arc<SnapshotBoard>,
         metrics: Arc<SchedMetrics>,
+        tracker: Arc<WorkloadTracker>,
     ) -> ShardWorker {
         ShardWorker {
             id,
@@ -154,6 +182,7 @@ impl ShardWorker {
             metrics,
             store: FxHashMap::default(),
             pending: FxHashMap::default(),
+            tracker,
             last_error: None,
         }
     }
@@ -222,32 +251,43 @@ impl ShardWorker {
         }
     }
 
-    /// One maintenance run over the coalesced pending deltas.
+    /// One maintenance run over the coalesced pending deltas. Sketches
+    /// the advisor demoted below [`Lifecycle::Maintained`] are skipped —
+    /// they are brought current on demand by the next query that needs
+    /// them (the delta log keeps their records; vacuum horizons respect
+    /// every stored sketch's maintained version).
     fn flush_pending(&mut self) {
         let routed = std::mem::take(&mut self.pending);
         let db = self.db.read();
-        for entry in self.store.values_mut().flatten() {
-            if !entry
-                .maintainer
-                .tables()
-                .iter()
-                .any(|t| routed.contains_key(t))
-            {
-                continue;
-            }
-            let mut run = || -> Result<()> {
-                restore_if_evicted(entry)?;
-                entry.maintainer.maintain_from(&db, &routed)?;
-                retain_version(entry, self.config.retain_sketch_versions);
-                Ok(())
-            };
-            match run() {
-                Ok(()) => {
-                    self.metrics
-                        .maintain_runs
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        for (template, entries) in self.store.iter_mut() {
+            for entry in entries.iter_mut() {
+                if entry.lifecycle != Lifecycle::Maintained
+                    || !entry
+                        .maintainer
+                        .tables()
+                        .iter()
+                        .any(|t| routed.contains_key(t))
+                {
+                    continue;
                 }
-                Err(e) => self.last_error = Some(e.to_string()),
+                let mut run = || -> Result<MaintReport> {
+                    restore_if_evicted(entry)?;
+                    let report = entry.maintainer.maintain_from(&db, &routed)?;
+                    retain_version(entry, self.config.retain_sketch_versions);
+                    Ok(report)
+                };
+                match run() {
+                    Ok(report) => {
+                        self.metrics
+                            .maintain_runs
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.tracker.record_maintenance(
+                            SketchKey::new(template.text(), entry.sql.clone()),
+                            report.advisor_cost(),
+                        );
+                    }
+                    Err(e) => self.last_error = Some(e.to_string()),
+                }
             }
         }
         drop(db);
@@ -262,11 +302,14 @@ impl ShardWorker {
                 sketch,
                 reply,
             } => {
-                let entries = self.store.entry(template).or_default();
-                if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
-                    entries.remove(0); // evict the oldest candidate
+                if let Some(entries) = self.store.get_mut(&template) {
+                    if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
+                        let old = entries.remove(0); // evict the oldest candidate
+                        self.tracker
+                            .forget(&SketchKey::new(template.text(), old.sql));
+                    }
                 }
-                entries.push(*sketch);
+                self.store.entry(template).or_default().push(*sketch);
                 self.publish();
                 let _ = reply.send(());
             }
@@ -302,12 +345,54 @@ impl ShardWorker {
             ShardMsg::Inspect { reply } => {
                 let _ = reply.send(self.inspect());
             }
-            ShardMsg::Evict { reply } => {
+            ShardMsg::Evict { template, reply } => {
                 let mut freed = 0usize;
-                for entry in self.store.values_mut().flatten() {
+                let targeted: Box<dyn Iterator<Item = &mut StoredSketch>> = match &template {
+                    Some(t) => match self.store.get_mut(t) {
+                        Some(entries) => Box::new(entries.iter_mut()),
+                        None => Box::new(std::iter::empty()),
+                    },
+                    None => Box::new(self.store.values_mut().flatten()),
+                };
+                for entry in targeted {
                     freed += crate::middleware::evict_stored(entry);
                 }
                 let _ = reply.send(freed);
+            }
+            ShardMsg::FlushPools { reply } => {
+                let mut flushed = 0usize;
+                for entry in self.store.values_mut().flatten() {
+                    entry.maintainer.flush_pool_caches();
+                    flushed += 1;
+                }
+                let _ = reply.send(flushed);
+            }
+            ShardMsg::AdviseGather { reply } => {
+                let cards = self
+                    .store
+                    .iter()
+                    .flat_map(|(template, entries)| {
+                        entries
+                            .iter()
+                            .map(|e| crate::middleware::advisor_card(template, e))
+                    })
+                    .collect();
+                let _ = reply.send(cards);
+            }
+            ShardMsg::AdviseApply { actions, reply } => {
+                let result = {
+                    let db = self.db.read();
+                    crate::advisor::autopilot::apply_to_store(
+                        &mut self.store,
+                        &db,
+                        &self.config,
+                        &self.tracker,
+                        &actions,
+                    )
+                };
+                // Drops and promotions change published counts/bits.
+                self.publish();
+                let _ = reply.send(result);
             }
             ShardMsg::Repartition { reply } => {
                 let _ = reply.send(self.repartition());
@@ -346,35 +431,49 @@ impl ShardWorker {
         self.metrics
             .maintain_runs
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.tracker.record_maintenance(
+            SketchKey::new(template.text(), entry.sql.clone()),
+            report.advisor_cost(),
+        );
         Ok(Some(MaintainReply {
             report: Box::new(report),
             sketch: entry.maintainer.sketch().clone(),
         }))
     }
 
-    /// Maintain every stale sketch, continuing past failures (other
+    /// Maintain every stale [`Lifecycle::Maintained`] sketch (demoted
+    /// ones wait for an on-demand query), continuing past failures (other
     /// shards keep working either way); the first error rides along.
     fn maintain_stale(&mut self) -> (Vec<MaintReport>, Option<crate::CoreError>) {
         let db = self.db.read();
         let mut reports = Vec::new();
         let mut first_error = None;
-        for entry in self.store.values_mut().flatten() {
-            if !entry.maintainer.is_stale(&db) {
-                continue;
-            }
-            match crate::middleware::maintain_entry(entry, &db, self.config.retain_sketch_versions)
-            {
-                Ok(report) => {
-                    self.metrics
-                        .maintain_runs
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    reports.push(report);
+        for (template, entries) in self.store.iter_mut() {
+            for entry in entries.iter_mut() {
+                if entry.lifecycle != Lifecycle::Maintained || !entry.maintainer.is_stale(&db) {
+                    continue;
                 }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    } else {
-                        self.last_error = Some(e.to_string());
+                match crate::middleware::maintain_entry(
+                    entry,
+                    &db,
+                    self.config.retain_sketch_versions,
+                ) {
+                    Ok(report) => {
+                        self.metrics
+                            .maintain_runs
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.tracker.record_maintenance(
+                            SketchKey::new(template.text(), entry.sql.clone()),
+                            report.advisor_cost(),
+                        );
+                        reports.push(report);
+                    }
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        } else {
+                            self.last_error = Some(e.to_string());
+                        }
                     }
                 }
             }

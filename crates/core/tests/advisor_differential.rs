@@ -1,0 +1,170 @@
+//! Differential property test for the advisor autopilot: a randomized
+//! multi-table insert/delete workload runs through (a) an unbudgeted
+//! keep-everything store, (b) a tightly budgeted in-line store, and (c) a
+//! tightly budgeted 2–4-worker sharded store. The budget is half the
+//! keep-everything heap, so every autopilot pass demotes (and re-hot
+//! templates promote back). Advisor decisions may change *cost*, never
+//! *answers*: all three stores must return byte-identical query answers
+//! every round, and the budgeted stores' `store_heap_size()` must be at
+//! or under budget after every pass.
+
+use imp_core::middleware::{Imp, ImpConfig, ImpResponse};
+use imp_engine::Database;
+use imp_storage::{row, DataType, Field, Schema};
+use proptest::prelude::*;
+
+const KEYS: i64 = 6;
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "ta",
+        Schema::new(vec![
+            Field::new("ka", DataType::Int),
+            Field::new("va", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "tb",
+        Schema::new(vec![
+            Field::new("kb", DataType::Int),
+            Field::new("vb", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "tc",
+        Schema::new(vec![
+            Field::new("kc", DataType::Int),
+            Field::new("wc", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    for k in 0..KEYS {
+        db.table_mut("ta")
+            .unwrap()
+            .bulk_load([row![k, k * 10], row![k, 5]])
+            .unwrap();
+        db.table_mut("tb")
+            .unwrap()
+            .bulk_load([row![k, (k + 1) % KEYS]])
+            .unwrap();
+        db.table_mut("tc")
+            .unwrap()
+            .bulk_load([row![k, k * 100], row![k, 7]])
+            .unwrap();
+    }
+    db
+}
+
+fn config(workers: usize, budget: Option<usize>) -> ImpConfig {
+    ImpConfig {
+        fragments: 4,
+        topk_buffer: Some(4),
+        sched_workers: workers,
+        coalesce_budget: 8,
+        sketch_memory_budget: budget,
+        ..ImpConfig::default()
+    }
+}
+
+/// The same multi-query workload as the scheduler differential suite:
+/// aggregation, join + aggregation, and top-k over grouped sums.
+const QUERIES: [&str; 3] = [
+    "SELECT ka, sum(va) AS s FROM ta GROUP BY ka HAVING sum(va) > 40",
+    "SELECT kb, sum(va) AS s FROM ta JOIN tb ON (ka = kb) GROUP BY kb HAVING sum(va) > 10",
+    "SELECT kc, sum(wc) AS sw FROM tc GROUP BY kc ORDER BY sw DESC LIMIT 2",
+];
+
+const TABLES: [(&str, &str); 3] = [("ta", "ka"), ("tb", "kb"), ("tc", "kc")];
+
+fn run_query(imp: &mut Imp, sql: &str) -> Vec<(imp_storage::Row, i64)> {
+    let ImpResponse::Rows { result, .. } = imp.execute(sql).unwrap() else {
+        panic!("expected rows for {sql}")
+    };
+    result.canonical()
+}
+
+/// Keep-everything heap for the three captured sketches — the budget
+/// baseline (deterministic: depends only on the seed data and queries).
+fn keep_everything_heap() -> usize {
+    let mut probe = Imp::new(seed_db(), config(0, None));
+    for sql in QUERIES {
+        probe.execute(sql).unwrap();
+    }
+    probe.store_heap_size()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn budgeted_stores_answer_byte_identically(
+        ops in prop::collection::vec(
+            (0usize..3, 0i64..KEYS, any::<bool>(), 0i64..60),
+            1..36,
+        ),
+        workers in 2usize..5,
+    ) {
+        let budget = keep_everything_heap() / 2;
+        let mut all = Imp::new(seed_db(), config(0, None));
+        let mut adv = Imp::new(seed_db(), config(0, Some(budget)));
+        let mut advp = Imp::new(seed_db(), config(workers, Some(budget)));
+        for sql in QUERIES {
+            let a = run_query(&mut all, sql);
+            let b = run_query(&mut adv, sql);
+            let c = run_query(&mut advp, sql);
+            prop_assert_eq!(&a, &b, "capture diverged (inline) for {}", sql);
+            prop_assert_eq!(&a, &c, "capture diverged (sharded) for {}", sql);
+        }
+
+        let mut demotions = 0usize;
+        let mut promotions = 0usize;
+        for (round, batch) in ops.chunks(3).enumerate() {
+            for &(t, key, delete, val) in batch {
+                let (table, key_col) = TABLES[t];
+                let sql = if delete {
+                    format!("DELETE FROM {table} WHERE {key_col} = {key}")
+                } else {
+                    format!("INSERT INTO {table} VALUES ({key}, {val})")
+                };
+                all.execute(&sql).unwrap();
+                adv.execute(&sql).unwrap();
+                advp.execute(&sql).unwrap();
+            }
+            all.tick_maintenance().unwrap();
+            let ra = adv.advise().unwrap();
+            let rp = advp.advise().unwrap();
+            demotions += ra.outcome.demoted_lazy + ra.outcome.evicted + ra.outcome.dropped;
+            promotions += ra.outcome.promoted + rp.outcome.promoted;
+            prop_assert!(
+                adv.store_heap_size() <= budget,
+                "inline heap {} > budget {} at round {} ({:?})",
+                adv.store_heap_size(), budget, round, ra
+            );
+            prop_assert!(
+                advp.store_heap_size() <= budget,
+                "sharded heap {} > budget {} at round {} ({:?})",
+                advp.store_heap_size(), budget, round, rp
+            );
+
+            // Every query, every round: answers must match bit for bit —
+            // whether the budgeted store reuses, maintains on demand,
+            // restores from the codec, or recaptures a dropped sketch.
+            for sql in QUERIES {
+                let a = run_query(&mut all, sql);
+                let b = run_query(&mut adv, sql);
+                let c = run_query(&mut advp, sql);
+                prop_assert_eq!(&a, &b, "inline diverged at round {} for {}", round, sql);
+                prop_assert_eq!(&a, &c, "sharded diverged at round {} for {}", round, sql);
+            }
+        }
+        // The budget is half the keep-everything heap: the autopilot must
+        // actually have demoted something.
+        prop_assert!(demotions > 0, "tight budget never demoted");
+        // Promotions depend on the sampled workload; they are counted
+        // (and exercised by the advisor suite) but not asserted here.
+        let _ = promotions;
+    }
+}

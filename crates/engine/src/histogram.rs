@@ -60,10 +60,38 @@ pub fn cuts_from_sorted(sorted: &[Value], fragments: usize) -> Vec<Value> {
     cuts
 }
 
+/// Estimate how many of a table's rows a sketch rewrite skips, given the
+/// sketch's *marked fraction* of the table's fragments (its selectivity,
+/// e.g. `SketchSet::partition_selectivity` in `imp-sketch`).
+///
+/// Fragments come from equi-depth histograms, so each holds roughly the
+/// same number of tuples; an unmarked fragment's share of the table is
+/// never scanned. This is the per-use benefit signal of the
+/// `imp_core::advisor` cost model — an estimate (skew and later updates
+/// shift real fragment populations), which is all selection needs.
+pub fn estimate_skipped_rows(table_rows: usize, marked_fraction: f64) -> u64 {
+    if !(0.0..1.0).contains(&marked_fraction) {
+        return 0;
+    }
+    (table_rows as f64 * (1.0 - marked_fraction)) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use imp_storage::{row, DataType, Field, Schema};
+
+    #[test]
+    fn skipped_rows_follow_equi_depth_shares() {
+        // 3 of 4 fragments unmarked → ~75% of rows skipped.
+        assert_eq!(estimate_skipped_rows(1000, 0.25), 750);
+        // Everything marked (or degenerate inputs): nothing skipped.
+        assert_eq!(estimate_skipped_rows(1000, 1.0), 0);
+        assert_eq!(estimate_skipped_rows(1000, 1.5), 0);
+        assert_eq!(estimate_skipped_rows(1000, -0.1), 0);
+        // Nothing marked: the whole table is skipped.
+        assert_eq!(estimate_skipped_rows(1000, 0.0), 1000);
+    }
 
     #[test]
     fn cuts_split_evenly() {

@@ -23,7 +23,7 @@ pub mod update;
 pub use database::{Database, QueryResult};
 pub use error::EngineError;
 pub use eval::{execute, Bag, ExecStats};
-pub use histogram::equi_depth_cuts;
+pub use histogram::{equi_depth_cuts, estimate_skipped_rows};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

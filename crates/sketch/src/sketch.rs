@@ -115,6 +115,27 @@ impl SketchSet {
         out
     }
 
+    /// Fraction of all fragments the sketch marks, in `[0, 1]` (1.0 for a
+    /// fragment-less sketch: nothing can be skipped). The lower the
+    /// selectivity, the more backend data a USE rewrite prunes — the
+    /// benefit signal of the `imp_core::advisor` cost model.
+    pub fn selectivity(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 1.0;
+        }
+        self.fragment_count() as f64 / self.bits.len() as f64
+    }
+
+    /// Selectivity restricted to one partition's fragments (per-table
+    /// skipping estimates; same conventions as [`Self::selectivity`]).
+    pub fn partition_selectivity(&self, partition: usize) -> f64 {
+        let n = self.pset.partition(partition).fragment_count();
+        if n == 0 {
+            return 1.0;
+        }
+        self.fragments_of_partition(partition).len() as f64 / n as f64
+    }
+
     /// Heap footprint of the bitvector — the "memory of sketches" quantity
     /// of Fig. 18.
     pub fn heap_size(&self) -> usize {
@@ -201,6 +222,16 @@ mod tests {
             removed: vec![0],
         });
         assert_eq!(s.fragments_of_partition(0), vec![1]);
+    }
+
+    #[test]
+    fn selectivity_is_marked_fraction() {
+        let mut s = SketchSet::empty(price_pset());
+        assert_eq!(s.selectivity(), 0.0);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.selectivity(), 0.5);
+        assert_eq!(s.partition_selectivity(0), 0.5);
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! [`criterion_main!`] macros (including the
 //! `name = ...; config = ...; targets = ...` form).
 //!
-//! No statistics, outlier rejection, or HTML reports — each benchmark
-//! runs `sample_size` samples bounded by `measurement_time` and prints
-//! mean / min time per iteration. Numbers are comparable run-to-run on
-//! the same machine, which is all the figure harnesses need.
+//! No outlier rejection or HTML reports — each benchmark runs
+//! `sample_size` samples bounded by `measurement_time` and prints mean /
+//! median / stddev / min time per iteration (the median and stddev make
+//! run-to-run comparisons stable against scheduler noise without the
+//! real crate's full bootstrap statistics). Numbers are comparable
+//! run-to-run on the same machine, which is all the figure harnesses
+//! need.
 
 use std::time::{Duration, Instant};
 
@@ -109,14 +112,43 @@ impl Bencher {
         }
         let total: Duration = self.samples.iter().sum();
         let mean = total / self.samples.len() as u32;
+        let median = median(&self.samples);
+        let stddev = stddev(&self.samples, mean);
         let min = self.samples.iter().min().copied().unwrap_or_default();
         println!(
-            "{id:<40} mean {:>12?}  min {:>12?}  ({} samples)",
+            "{id:<40} mean {:>12?}  median {:>12?}  stddev {:>12?}  min {:>12?}  ({} samples)",
             mean,
+            median,
+            stddev,
             min,
             self.samples.len()
         );
     }
+}
+
+/// Median sample (upper median for even counts — bias is irrelevant at
+/// these sample sizes and keeps the computation allocation-light).
+fn median(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Population standard deviation around `mean` (zero for one sample).
+fn stddev(samples: &[Duration], mean: Duration) -> Duration {
+    if samples.len() < 2 {
+        return Duration::ZERO;
+    }
+    let mean_s = mean.as_secs_f64();
+    let var = samples
+        .iter()
+        .map(|s| {
+            let d = s.as_secs_f64() - mean_s;
+            d * d
+        })
+        .sum::<f64>()
+        / samples.len() as f64;
+    Duration::from_secs_f64(var.sqrt())
 }
 
 /// Group benchmark functions, optionally under a shared [`Criterion`]
@@ -173,5 +205,26 @@ mod tests {
     #[test]
     fn grouped_entry_point_runs() {
         benches();
+    }
+
+    #[test]
+    fn median_and_stddev_are_stable_statistics() {
+        let ms = Duration::from_millis;
+        // Odd count: the exact middle.
+        assert_eq!(median(&[ms(3), ms(1), ms(100)]), ms(3));
+        // Even count: the upper median.
+        assert_eq!(median(&[ms(1), ms(2), ms(3), ms(4)]), ms(3));
+        // A single outlier moves the mean but not the median.
+        let samples = [ms(10), ms(10), ms(10), ms(1000)];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        assert_eq!(median(&samples), ms(10));
+        assert!(mean > ms(250));
+        // Identical samples: zero spread; single sample: defined as zero.
+        assert_eq!(stddev(&[ms(5), ms(5), ms(5)], ms(5)), Duration::ZERO);
+        assert_eq!(stddev(&[ms(5)], ms(5)), Duration::ZERO);
+        // Known case: {4, 8} around mean 6 → population stddev 2.
+        let s = stddev(&[ms(4), ms(8)], ms(6));
+        assert!((s.as_secs_f64() - 0.002).abs() < 1e-9);
     }
 }
