@@ -1,0 +1,244 @@
+//! CI regression gate over the `BENCH_*.json` trajectory.
+//!
+//! Diffs the current run's reports against the committed
+//! `bench/baseline/` snapshot and exits non-zero when any gated metric
+//! exceeds `factor × baseline + unit floor` (factor 2.0 by default,
+//! `IMP_BENCH_GATE_FACTOR` or `--factor` overrides; see
+//! `imp_bench::report` for the gating rules and floors).
+//!
+//! ```text
+//! bench_check [--baseline DIR] [--current DIR] [--factor F] [--self-test]
+//! ```
+//!
+//! * `--baseline` — committed snapshot directory (default `bench/baseline`).
+//! * `--current`  — directory holding this run's `BENCH_*.json` (default `.`).
+//! * `--factor`   — regression factor override.
+//! * `--self-test` — no files: build an in-memory baseline, inject a
+//!   synthetic 2× regression, and verify the gate catches it (and that a
+//!   clean run passes). Run in CI before the real gate so a silently
+//!   broken comparator can't wave regressions through.
+//!
+//! Baseline files recorded at a different `IMP_BENCH_SCALE` than the
+//! current run are skipped (numbers across scales are incomparable), so
+//! a local full-scale run next to the scale-0.01 baseline is a no-op
+//! rather than a wall of false regressions.
+
+use imp_bench::report::{compare, gate_factor, BenchReport, Regression};
+use imp_bench::{print_table, Record, Unit};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline_dir = PathBuf::from("bench/baseline");
+    let mut current_dir = PathBuf::from(".");
+    let mut factor = gate_factor();
+    let mut self_test = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_dir = required(&mut args, "--baseline").into(),
+            "--current" => current_dir = required(&mut args, "--current").into(),
+            "--factor" => {
+                factor = imp_bench::parse_env("--factor", &required(&mut args, "--factor"))
+            }
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                println!("bench_check [--baseline DIR] [--current DIR] [--factor F] [--self-test]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_check: unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if self_test {
+        return run_self_test(factor);
+    }
+    run_gate(&baseline_dir, &current_dir, factor)
+}
+
+fn required(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| panic!("bench_check: {flag} needs a value"))
+}
+
+/// Load every `BENCH_*.json` in `dir`, sorted by file name.
+fn load_reports(dir: &Path) -> Vec<(String, BenchReport)> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {}: {e}", dir.display());
+            return out;
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = match std::fs::read_to_string(entry.path()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_check: cannot read {name}: {e}");
+                continue;
+            }
+        };
+        match BenchReport::from_json(&text) {
+            Ok(report) => out.push((name, report)),
+            Err(e) => eprintln!("bench_check: {name} is not a valid report: {e}"),
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn run_gate(baseline_dir: &Path, current_dir: &Path, factor: f64) -> ExitCode {
+    let baselines = load_reports(baseline_dir);
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_check: no BENCH_*.json baselines under {} — nothing to gate",
+            baseline_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let currents = load_reports(current_dir);
+
+    let mut compared = 0usize;
+    let mut missing_files = 0usize;
+    let mut all_regressions: Vec<Regression> = Vec::new();
+    for (name, baseline) in &baselines {
+        let Some((_, current)) = currents.iter().find(|(n, _)| n == name) else {
+            println!(
+                "{name}: missing from current run ({})",
+                current_dir.display()
+            );
+            missing_files += 1;
+            continue;
+        };
+        let outcome = compare(baseline, current, factor);
+        for note in &outcome.notes {
+            println!("note: {note}");
+        }
+        println!(
+            "{name}: {} gated metrics compared, {} regression(s)",
+            outcome.compared,
+            outcome.regressions.len()
+        );
+        compared += outcome.compared;
+        all_regressions.extend(outcome.regressions);
+    }
+
+    if !all_regressions.is_empty() {
+        let rows: Vec<Vec<String>> = all_regressions
+            .iter()
+            .map(|r| {
+                vec![
+                    r.harness.clone(),
+                    r.experiment.clone(),
+                    r.config.clone(),
+                    r.metric.clone(),
+                    format!("{:.0}", r.baseline),
+                    format!("{:.0}", r.current),
+                    if r.factor.is_finite() {
+                        format!("{:.2}x", r.factor)
+                    } else {
+                        "inf".into()
+                    },
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("REGRESSIONS (current > {factor}x baseline + floor)"),
+            &[
+                "harness",
+                "experiment",
+                "config",
+                "metric",
+                "baseline",
+                "current",
+                "ratio",
+            ],
+            &rows,
+        );
+        eprintln!(
+            "\nbench_check: FAIL — {} regression(s) across {} compared metrics. \
+             If intentional, refresh bench/baseline/ (see README \"Benchmark trajectory\").",
+            all_regressions.len(),
+            compared
+        );
+        return ExitCode::FAILURE;
+    }
+    if missing_files > 0 {
+        eprintln!(
+            "\nbench_check: FAIL — {missing_files} baseline harness file(s) absent from the \
+             current run; every baselined harness must emit its report"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nbench_check: OK — {compared} gated metrics within {factor}x of baseline");
+    ExitCode::SUCCESS
+}
+
+/// Prove the gate actually gates: a clean pair passes, an injected 2×
+/// regression (above the unit floor) fails, sub-floor noise passes, and
+/// ungated metrics are ignored however bad they look.
+fn run_self_test(factor: f64) -> ExitCode {
+    let report_with = |maintain_ns: f64, heap: u64, rate: f64| {
+        let mut r = BenchReport::new("self_test");
+        r.add(
+            Record::new("exp", "cfg")
+                .metric("maintain_ns_median", maintain_ns, Unit::Ns, true)
+                .heap("state_bytes", heap)
+                .ratio("memo_rate", rate),
+        );
+        r
+    };
+    // 50 ms baseline: far above the 5 ms Ns floor so the factor governs.
+    let baseline = report_with(50e6, 1 << 20, 0.9);
+
+    let clean = compare(&baseline, &report_with(55e6, 1 << 20, 0.9), factor);
+    assert!(
+        clean.regressions.is_empty() && clean.compared == 2,
+        "self-test: clean run flagged: {clean:?}"
+    );
+
+    let slow = report_with(50e6 * factor + 6e6, 1 << 20, 0.9);
+    let caught = compare(&baseline, &slow, factor);
+    assert_eq!(
+        caught.regressions.len(),
+        1,
+        "self-test: injected {factor}x timing regression not caught: {caught:?}"
+    );
+    assert_eq!(caught.regressions[0].metric, "maintain_ns_median");
+
+    let bloated = report_with(50e6, (3 << 20) + 8192, 0.9);
+    let caught_heap = compare(&baseline, &bloated, factor);
+    assert_eq!(
+        caught_heap.regressions.len(),
+        1,
+        "self-test: injected heap regression not caught: {caught_heap:?}"
+    );
+
+    // A collapsed memo rate is ungated — trajectory-only.
+    let rate_drop = compare(&baseline, &report_with(50e6, 1 << 20, 0.0), factor);
+    assert!(
+        rate_drop.regressions.is_empty(),
+        "self-test: ungated metric gated: {rate_drop:?}"
+    );
+
+    // Scale mismatch skips instead of comparing.
+    let mut rescaled = report_with(500e6, 1 << 30, 0.9);
+    rescaled.scale *= 10.0;
+    let skipped = compare(&baseline, &rescaled, factor);
+    assert!(
+        skipped.compared == 0 && skipped.regressions.is_empty(),
+        "self-test: cross-scale reports were compared: {skipped:?}"
+    );
+
+    println!("bench_check: self-test OK (factor {factor})");
+    ExitCode::SUCCESS
+}

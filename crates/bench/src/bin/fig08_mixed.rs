@@ -35,6 +35,7 @@ fn main() {
     let ratios: [(usize, usize); 3] = [(1, 5), (1, 1), (5, 1)];
     let delta_sizes = [1usize, 20, 200, 2000];
 
+    let mut report = BenchReport::new("fig08_mixed");
     let mut out_rows = Vec::new();
     for (u, q) in ratios {
         for delta in delta_sizes {
@@ -56,13 +57,40 @@ fn main() {
             );
             let imp_t = run_imp(&mut imp, &wl.ops);
 
+            let ops_f = wl.len() as f64;
+            report.add(
+                Record::new("mixed", format!("{}/d{delta}", wl.label()))
+                    .time("ns_total", ns)
+                    .time("fm_total", fm.total)
+                    .time("imp_total", imp_t)
+                    .metric("ns_per_op", ns.as_nanos() as f64 / ops_f, Unit::Ns, false)
+                    .metric(
+                        "imp_per_op",
+                        imp_t.as_nanos() as f64 / ops_f,
+                        Unit::Ns,
+                        false,
+                    )
+                    .count("fm_captures", fm.captures as u64, false)
+                    .count("fm_recaptures", fm.recaptures as u64, false)
+                    .ratio(
+                        "fm_over_imp",
+                        fm.total.as_secs_f64() / imp_t.as_secs_f64().max(1e-9),
+                    )
+                    .ratio(
+                        "ns_over_imp",
+                        ns.as_secs_f64() / imp_t.as_secs_f64().max(1e-9),
+                    ),
+            );
             out_rows.push(vec![
                 wl.label(),
                 delta.to_string(),
                 ms(ns.as_secs_f64() * 1e3),
-                ms(fm.as_secs_f64() * 1e3),
+                ms(fm.total.as_secs_f64() * 1e3),
                 ms(imp_t.as_secs_f64() * 1e3),
-                format!("{:.1}x", fm.as_secs_f64() / imp_t.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.1}x",
+                    fm.total.as_secs_f64() / imp_t.as_secs_f64().max(1e-9)
+                ),
                 format!("{:.1}x", ns.as_secs_f64() / imp_t.as_secs_f64().max(1e-9)),
             ]);
         }
@@ -72,4 +100,5 @@ fn main() {
         &["ratio", "delta", "NS", "FM", "IMP", "FM/IMP", "NS/IMP"],
         &out_rows,
     );
+    report.finish();
 }

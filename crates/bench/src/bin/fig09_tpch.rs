@@ -60,7 +60,7 @@ fn lineitem_deletes(n_updates: usize, delta: usize, seed: u64) -> Vec<WorkloadOp
         .collect()
 }
 
-fn run_scale(label: &str, tpch_scale: f64) {
+fn run_scale(label: &str, tpch_scale: f64, report: &mut BenchReport) {
     let mut db = Database::new();
     imp_data::tpch::load(&mut db, tpch_scale, 17).unwrap();
     let li = db.table("lineitem").unwrap().row_count();
@@ -83,6 +83,7 @@ fn run_scale(label: &str, tpch_scale: f64) {
             ("lineitem", "l_orderkey"),
         ),
     ];
+    let scale_tag = label.split(' ').next().unwrap_or(label);
     let mut rows = Vec::new();
     for (name, sql, (ptable, pattr)) in queries {
         for delta in [10usize, 50, 100, 500, 1000] {
@@ -90,6 +91,17 @@ fn run_scale(label: &str, tpch_scale: f64) {
             let pset = pset_for(&db, ptable, pattr, 100);
             let updates = lineitem_inserts(reps(), delta, delta as u64);
             let m = measure_inc_vs_full(&mut db, &plan, &pset, &updates, OpConfig::default());
+            let qtag = name.split(' ').next().unwrap_or(name);
+            report.add(
+                Record::new("inc_vs_full", format!("{scale_tag}/{qtag}/d{delta}"))
+                    .time_stats("imp", &m.imp_stats)
+                    .time_stats("fm", &m.fm_stats)
+                    .count("recaptures", m.recaptures as u64, true)
+                    .count("db_roundtrips", m.metrics.db_roundtrips, true)
+                    .count("rt_saved", m.metrics.db_roundtrips_avoided, false)
+                    .heap("delta_bytes_pooled", m.metrics.delta_bytes_pooled)
+                    .ratio("fm_over_imp", m.fm_ms / m.imp_ms.max(1e-6)),
+            );
             rows.push(vec![
                 name.to_string(),
                 delta.to_string(),
@@ -108,9 +120,10 @@ fn run_scale(label: &str, tpch_scale: f64) {
 
 fn main() {
     println!("Fig. 9 — TPC-H incremental vs full maintenance");
+    let mut report = BenchReport::new("fig09_tpch");
     // (a)/(b): two scales ("SF1" and "SF10" shapes).
-    run_scale("small (SF-S)", 0.01 * scale());
-    run_scale("large (SF-L, 10x)", 0.1 * scale());
+    run_scale("small (SF-S)", 0.01 * scale(), &mut report);
+    run_scale("large (SF-L, 10x)", 0.1 * scale(), &mut report);
 
     // (c): insert vs delete deltas at the large scale.
     let mut db = Database::new();
@@ -123,6 +136,11 @@ fn main() {
         let m_ins = measure_inc_vs_full(&mut db, &plan, &pset, &ins, OpConfig::default());
         let del = lineitem_deletes(reps(), delta, 9 + delta as u64);
         let m_del = measure_inc_vs_full(&mut db, &plan, &pset, &del, OpConfig::default());
+        report.add(
+            Record::new("insert_vs_delete", format!("d{delta}"))
+                .time_stats("insert", &m_ins.imp_stats)
+                .time_stats("delete", &m_del.imp_stats),
+        );
         rows.push(vec![delta.to_string(), ms(m_ins.imp_ms), ms(m_del.imp_ms)]);
     }
     print_table(
@@ -130,4 +148,5 @@ fn main() {
         &["delta", "insert", "delete"],
         &rows,
     );
+    report.finish();
 }

@@ -45,6 +45,7 @@ fn main() {
     println!("Fig. 10 — Crimes dataset ({rows} rows; substitution: synthetic generator)");
     let mut db = Database::new();
     imp_data::crimes::load(&mut db, rows, 11).unwrap();
+    let mut report = BenchReport::new("fig10_crimes");
 
     // (a) CQ1/CQ2, inserts.
     let mut out = Vec::new();
@@ -54,6 +55,14 @@ fn main() {
             let pset = pset_for(&db, "crimes", "beat", 100);
             let updates = crime_inserts(reps(), delta, rows * 10, delta as u64);
             let m = measure_inc_vs_full(&mut db, &plan, &pset, &updates, OpConfig::default());
+            report.add(
+                Record::new("inc_vs_full", format!("{name}/d{delta}"))
+                    .time_stats("imp", &m.imp_stats)
+                    .time_stats("fm", &m.fm_stats)
+                    .count("recaptures", m.recaptures as u64, true)
+                    .heap("delta_bytes_pooled", m.metrics.delta_bytes_pooled)
+                    .ratio("fm_over_imp", m.fm_ms / m.imp_ms.max(1e-6)),
+            );
             out.push(vec![
                 name.to_string(),
                 delta.to_string(),
@@ -78,6 +87,11 @@ fn main() {
         let m_ins = measure_inc_vs_full(&mut db, &plan, &pset, &ins, OpConfig::default());
         let del = crime_deletes(reps(), delta, rows, 37 + delta as u64);
         let m_del = measure_inc_vs_full(&mut db, &plan, &pset, &del, OpConfig::default());
+        report.add(
+            Record::new("insert_vs_delete", format!("d{delta}"))
+                .time_stats("insert", &m_ins.imp_stats)
+                .time_stats("delete", &m_del.imp_stats),
+        );
         out.push(vec![delta.to_string(), ms(m_ins.imp_ms), ms(m_del.imp_ms)]);
     }
     print_table(
@@ -85,4 +99,5 @@ fn main() {
         &["delta", "insert", "delete"],
         &out,
     );
+    report.finish();
 }

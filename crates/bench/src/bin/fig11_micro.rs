@@ -66,6 +66,8 @@ fn sweep(
     groups: i64,
     frags: usize,
     label: String,
+    experiment: &str,
+    report: &mut BenchReport,
     realistic: &mut Vec<Vec<String>>,
     breakeven: &mut Vec<Vec<String>>,
 ) {
@@ -74,6 +76,25 @@ fn sweep(
         let pset = pset_for(db, table, "a", frags);
         let ups = insert_stream(table, reps(), delta, groups, table_rows * 8, delta as u64);
         let m = measure_inc_vs_full(db, &plan, &pset, &ups, OpConfig::default());
+        let memo_total = m.metrics.pool_unions_computed + m.metrics.pool_union_memo_hits;
+        report.add(
+            Record::new(experiment, format!("{label}/d{delta}"))
+                .time_stats("imp", &m.imp_stats)
+                .time_stats("fm", &m.fm_stats)
+                .count("db_roundtrips", m.metrics.db_roundtrips, true)
+                .count("rt_saved", m.metrics.db_roundtrips_avoided, false)
+                .heap("delta_bytes_pooled", m.metrics.delta_bytes_pooled)
+                .metric(
+                    "delta_bytes_flat",
+                    m.metrics.delta_bytes_flat as f64,
+                    Unit::Bytes,
+                    false,
+                )
+                .ratio(
+                    "memo_rate",
+                    m.metrics.pool_union_memo_hits as f64 / (memo_total as f64).max(1.0),
+                ),
+        );
         realistic.push(vec![
             label.clone(),
             delta.to_string(),
@@ -92,6 +113,11 @@ fn sweep(
         let pset = pset_for(db, table, "a", frags);
         let ups = insert_stream(table, 1, delta, groups, table_rows * 16, 77 + pct as u64);
         let m = measure_inc_vs_full(db, &plan, &pset, &ups, OpConfig::default());
+        report.add(
+            Record::new(format!("{experiment}_breakeven"), format!("{label}/p{pct}"))
+                .metric("imp_ns", m.imp_ms * 1e6, Unit::Ns, false)
+                .metric("fm_ns", m.fm_ms * 1e6, Unit::Ns, false),
+        );
         breakeven.push(vec![
             label.clone(),
             format!("{pct}%"),
@@ -107,7 +133,7 @@ fn sweep(
     }
 }
 
-fn exp_having() {
+fn exp_having(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let mut db = db_with(rows, 5_000, "r500");
     let (mut real, mut brk) = (vec![], vec![]);
@@ -121,6 +147,8 @@ fn exp_having() {
             5_000,
             100,
             format!("{n_aggs} aggs"),
+            "having",
+            report,
             &mut real,
             &mut brk,
         );
@@ -137,7 +165,7 @@ fn exp_having() {
     );
 }
 
-fn exp_groups() {
+fn exp_groups(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let (mut real, mut brk) = (vec![], vec![]);
     for groups in [50i64, 1_000, 5_000, 50_000] {
@@ -153,6 +181,8 @@ fn exp_groups() {
             groups,
             100,
             format!("{groups} groups"),
+            "groups",
+            report,
             &mut real,
             &mut brk,
         );
@@ -169,7 +199,7 @@ fn exp_groups() {
     );
 }
 
-fn exp_join_1n() {
+fn exp_join_1n(report: &mut BenchReport) {
     // 1-n joins: n = rows/groups partners per key in the main table.
     let rows = scaled(20_000, 2_000);
     let (mut real, mut brk) = (vec![], vec![]);
@@ -190,6 +220,8 @@ fn exp_join_1n() {
             groups,
             100,
             label.to_string(),
+            "join1n",
+            report,
             &mut real,
             &mut brk,
         );
@@ -206,7 +238,7 @@ fn exp_join_1n() {
     );
 }
 
-fn exp_join_mn() {
+fn exp_join_mn(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let groups = (rows / 10) as i64;
     let (mut real, mut brk) = (vec![], vec![]);
@@ -224,6 +256,8 @@ fn exp_join_mn() {
             groups,
             100,
             format!("{m}-n"),
+            "joinmn",
+            report,
             &mut real,
             &mut brk,
         );
@@ -240,7 +274,7 @@ fn exp_join_mn() {
     );
 }
 
-fn exp_joinsel() {
+fn exp_joinsel(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let groups = 2_000i64;
     let (mut real, mut brk) = (vec![], vec![]);
@@ -258,6 +292,8 @@ fn exp_joinsel() {
             groups,
             100,
             format!("{sel}% sel"),
+            "joinsel",
+            report,
             &mut real,
             &mut brk,
         );
@@ -274,7 +310,7 @@ fn exp_joinsel() {
     );
 }
 
-fn exp_frags() {
+fn exp_frags(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let groups = 2_000i64;
     let (mut real, mut brk) = (vec![], vec![]);
@@ -292,6 +328,8 @@ fn exp_frags() {
             groups,
             frags,
             format!("{frags} frags"),
+            "frags",
+            report,
             &mut real,
             &mut brk,
         );
@@ -312,20 +350,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     println!("Fig. 11/12 — microbenchmarks ({which})");
+    let mut report = BenchReport::new("fig11_micro");
     match which {
-        "having" => exp_having(),
-        "groups" => exp_groups(),
-        "join1n" => exp_join_1n(),
-        "joinmn" => exp_join_mn(),
-        "joinsel" => exp_joinsel(),
-        "frags" => exp_frags(),
+        "having" => exp_having(&mut report),
+        "groups" => exp_groups(&mut report),
+        "join1n" => exp_join_1n(&mut report),
+        "joinmn" => exp_join_mn(&mut report),
+        "joinsel" => exp_joinsel(&mut report),
+        "frags" => exp_frags(&mut report),
         _ => {
-            exp_having();
-            exp_groups();
-            exp_join_1n();
-            exp_join_mn();
-            exp_joinsel();
-            exp_frags();
+            exp_having(&mut report);
+            exp_groups(&mut report);
+            exp_join_1n(&mut report);
+            exp_join_mn(&mut report);
+            exp_joinsel(&mut report);
+            exp_frags(&mut report);
         }
     }
+    report.finish();
 }

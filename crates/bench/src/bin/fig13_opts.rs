@@ -23,7 +23,7 @@ use imp_data::workload::{insert_stream, WorkloadOp};
 use imp_engine::Database;
 use std::sync::Arc;
 
-fn exp_selpd() {
+fn exp_selpd(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let groups = 1_000i64;
     let delta = (rows as f64 * 0.025) as usize; // 2.5% of the table
@@ -75,12 +75,20 @@ fn exp_selpd() {
                 values.join(", ")
             ))
             .unwrap();
-            let (t, report) = time_once(|| m.maintain(&db).unwrap());
+            let (t, rep) = time_once(|| m.maintain(&db).unwrap());
+            report.add(
+                Record::new(
+                    "selpd",
+                    format!("sel{pass_pct}/pd_{}", if pushdown { "on" } else { "off" }),
+                )
+                .time("maintain", t)
+                .count("rows_pruned", rep.metrics.delta_rows_pruned, false),
+            );
             out.push(vec![
                 format!("{pass_pct}%"),
                 if pushdown { "on" } else { "off" }.to_string(),
                 ms(t.as_secs_f64() * 1e3),
-                report.metrics.delta_rows_pruned.to_string(),
+                rep.metrics.delta_rows_pruned.to_string(),
             ]);
         }
     }
@@ -91,7 +99,7 @@ fn exp_selpd() {
     );
 }
 
-fn exp_bloom() {
+fn exp_bloom(report: &mut BenchReport) {
     let rows = scaled(20_000, 2_000);
     let groups = 2_000i64;
     let mut out = Vec::new();
@@ -129,10 +137,21 @@ fn exp_bloom() {
                         continue;
                     };
                     db.execute_sql(sql).unwrap();
-                    let (t, report) = time_once(|| m.maintain(&db).unwrap());
+                    let (t, rep) = time_once(|| m.maintain(&db).unwrap());
                     times.push(t);
-                    pruned += report.metrics.bloom_pruned;
+                    pruned += rep.metrics.bloom_pruned;
                 }
+                report.add(
+                    Record::new(
+                        "bloom",
+                        format!(
+                            "sel{sel}/d{delta}/bloom_{}",
+                            if bloom { "on" } else { "off" }
+                        ),
+                    )
+                    .time_stats("maintain", &criterion::sample_stats(&times))
+                    .count("bloom_pruned", pruned, false),
+                );
                 out.push(vec![
                     format!("{sel}%"),
                     delta.to_string(),
@@ -150,7 +169,7 @@ fn exp_bloom() {
     );
 }
 
-fn exp_index() {
+fn exp_index(report: &mut BenchReport) {
     // Q_joinsel at 100% join selectivity so every delta row has partners
     // and the `Q ⋈ Δ` terms run each batch. With the side index on, the
     // only round trips are the initial builds (during capture); steady
@@ -199,6 +218,17 @@ fn exp_index() {
                 last = report.metrics;
             }
             let (_, idx_bytes) = m.join_index_state();
+            report.add(
+                Record::new(
+                    "index",
+                    format!("d{delta}/idx_{}", if index { "on" } else { "off" }),
+                )
+                .time_stats("maintain", &criterion::sample_stats(&times))
+                .count("db_roundtrips", total.db_roundtrips, true)
+                .count("db_rows_scanned", total.db_rows_scanned, true)
+                .count("rt_saved", total.db_roundtrips_avoided, false)
+                .heap("index_bytes", idx_bytes as u64),
+            );
             out.push(vec![
                 delta.to_string(),
                 if index { "on" } else { "off" }.to_string(),
@@ -238,7 +268,7 @@ fn exp_index() {
     );
 }
 
-fn exp_space() {
+fn exp_space(report: &mut BenchReport) {
     let mut db = Database::new();
     imp_data::tpch::load(&mut db, 0.3 * scale(), 17).unwrap();
     // Q_space with a one-year window so the top-k input is large enough
@@ -257,6 +287,15 @@ fn exp_space() {
         };
         let (m, _) = SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
         let (entries, bytes) = m.topk_state().unwrap_or((0, 0));
+        report.add(
+            Record::new(
+                "space",
+                format!("l_{}", buffer.map_or("all".to_string(), |b| b.to_string())),
+            )
+            .count("topk_entries", entries as u64, true)
+            .heap("topk_state_bytes", bytes as u64)
+            .heap("total_state_bytes", m.state_heap_size() as u64),
+        );
         out.push(vec![
             buffer.map_or("all".to_string(), |b| b.to_string()),
             entries.to_string(),
@@ -275,16 +314,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     println!("Fig. 13 — optimizations ({which})");
+    let mut report = BenchReport::new("fig13_opts");
     match which {
-        "selpd" => exp_selpd(),
-        "bloom" => exp_bloom(),
-        "index" => exp_index(),
-        "space" => exp_space(),
+        "selpd" => exp_selpd(&mut report),
+        "bloom" => exp_bloom(&mut report),
+        "index" => exp_index(&mut report),
+        "space" => exp_space(&mut report),
         _ => {
-            exp_selpd();
-            exp_bloom();
-            exp_index();
-            exp_space();
+            exp_selpd(&mut report);
+            exp_bloom(&mut report);
+            exp_index(&mut report);
+            exp_space(&mut report);
         }
     }
+    report.finish();
 }

@@ -22,6 +22,7 @@ fn run_strategy(
     groups: i64,
     out14: &mut Vec<Vec<String>>,
     out15: &mut Vec<Vec<String>>,
+    report: &mut BenchReport,
 ) {
     let updates = scaled(150, 30);
     for l in [20usize, 50, 100] {
@@ -70,6 +71,13 @@ fn run_strategy(
         ]);
         // Memory trajectory: start / quartiles / end (Fig. 15 curves).
         let pick = |f: f64| mem_samples[((mem_samples.len() - 1) as f64 * f) as usize];
+        report.add(
+            Record::new("topk", format!("{label}/l{l}"))
+                .time_stats("maintain", &criterion::sample_stats(&times))
+                .count("recaptures", recaptures as u64, true)
+                .heap("state_bytes_start", pick(0.0) as u64)
+                .heap("state_bytes_end", pick(1.0) as u64),
+        );
         out15.push(vec![
             label.to_string(),
             l.to_string(),
@@ -88,6 +96,7 @@ fn main() {
     println!("Fig. 14/15 — top-k deletion strategies ({rows} rows, {groups} groups)");
     let mut out14 = Vec::new();
     let mut out15 = Vec::new();
+    let mut report = BenchReport::new("fig14_15_topk");
     run_strategy(
         TopKDeleteStrategy::MinGroups,
         "min-groups",
@@ -95,6 +104,7 @@ fn main() {
         groups,
         &mut out14,
         &mut out15,
+        &mut report,
     );
     run_strategy(
         TopKDeleteStrategy::Ratio {
@@ -106,6 +116,7 @@ fn main() {
         groups,
         &mut out14,
         &mut out15,
+        &mut report,
     );
     run_strategy(
         TopKDeleteStrategy::Ratio {
@@ -117,6 +128,7 @@ fn main() {
         groups,
         &mut out14,
         &mut out15,
+        &mut report,
     );
     run_strategy(
         TopKDeleteStrategy::Random,
@@ -125,6 +137,7 @@ fn main() {
         groups,
         &mut out14,
         &mut out15,
+        &mut report,
     );
     print_table(
         "Fig. 14: median maintenance time + full recaptures per run",
@@ -136,4 +149,5 @@ fn main() {
         &["strategy", "l", "0%", "25%", "50%", "75%", "100%"],
         &out15,
     );
+    report.finish();
 }

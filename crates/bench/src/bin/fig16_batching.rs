@@ -14,7 +14,13 @@ use imp_data::workload::{insert_stream, WorkloadOp};
 use imp_engine::Database;
 use std::sync::Arc;
 
-fn run_query(sql: &str, table: &str, helper: Option<(&str, u32)>, out: &mut Vec<Vec<String>>) {
+fn run_query(
+    sql: &str,
+    table: &str,
+    helper: Option<(&str, u32)>,
+    out: &mut Vec<Vec<String>>,
+    report: &mut BenchReport,
+) {
     let rows = scaled(20_000, 2_000);
     let groups = 1_000i64;
     let total_updates = scaled(1000, 100);
@@ -54,6 +60,11 @@ fn run_query(sql: &str, table: &str, helper: Option<(&str, u32)>, out: &mut Vec<
                 runs += 1;
             }
         }
+        report.add(
+            Record::new("batching", format!("{}/b{batch}", sql_label(sql)))
+                .time("maintain_total", total)
+                .count("maint_runs", runs as u64, false),
+        );
         out.push(vec![
             sql_label(sql),
             batch.to_string(),
@@ -74,13 +85,15 @@ fn sql_label(sql: &str) -> String {
 fn main() {
     println!("Fig. 16 — eager maintenance batching");
     let mut out = Vec::new();
+    let mut report = BenchReport::new("fig16_batching");
     let q1 = queries::q_endtoend(1_400, 1_700);
-    run_query(&q1.replace("edb1", "eb"), "eb", None, &mut out);
+    run_query(&q1.replace("edb1", "eb"), "eb", None, &mut out, &mut report);
     let q2 = queries::q_joinsel("ej", "hj");
-    run_query(&q2, "ej", Some(("hj", 5)), &mut out);
+    run_query(&q2, "ej", Some(("hj", 5)), &mut out, &mut report);
     print_table(
         "Fig. 16: total maintenance cost for the update stream",
         &["query", "batch", "maint runs", "total maint"],
         &out,
     );
+    report.finish();
 }

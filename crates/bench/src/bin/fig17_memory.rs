@@ -21,6 +21,7 @@ use std::sync::Arc;
 fn main() {
     println!("Fig. 17 — state memory of Q_groups / Q_joinsel");
     let rows = scaled(20_000, 2_000);
+    let mut report = BenchReport::new("fig17_memory");
     let mut out = Vec::new();
 
     // (a) Q_groups with varying group counts.
@@ -43,6 +44,10 @@ fn main() {
         let (mut m, _) =
             SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
                 .unwrap();
+        report.add(
+            Record::new("state_memory", format!("groups{groups}/capture"))
+                .heap("state_bytes", m.state_heap_size() as u64),
+        );
         out.push(vec![
             format!("Q_groups/{groups}g"),
             "capture".into(),
@@ -59,13 +64,24 @@ fn main() {
                 };
                 db.execute_sql(sql).unwrap();
             }
-            let report = m.maintain(&db).unwrap();
+            let rep = m.maintain(&db).unwrap();
+            report.add(
+                Record::new("state_memory", format!("groups{groups}/d{delta}"))
+                    .heap("state_bytes", m.state_heap_size() as u64)
+                    .heap("delta_bytes_pooled", rep.metrics.delta_bytes_pooled)
+                    .metric(
+                        "delta_bytes_flat",
+                        rep.metrics.delta_bytes_flat as f64,
+                        Unit::Bytes,
+                        false,
+                    ),
+            );
             out.push(vec![
                 format!("Q_groups/{groups}g"),
                 format!("+Δ{delta}"),
                 format!("{:.1}KB", m.state_heap_size() as f64 / 1e3),
-                bytes_h(report.metrics.delta_bytes_pooled),
-                bytes_h(report.metrics.delta_bytes_flat),
+                bytes_h(rep.metrics.delta_bytes_pooled),
+                bytes_h(rep.metrics.delta_bytes_flat),
                 "-".into(),
             ]);
         }
@@ -91,6 +107,11 @@ fn main() {
     let (mut m, _) =
         SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), OpConfig::default(), true)
             .unwrap();
+    report.add(
+        Record::new("state_memory", "joinsel5/capture".to_string())
+            .heap("state_bytes", m.state_heap_size() as u64)
+            .heap("join_index_bytes", m.join_index_state().1 as u64),
+    );
     out.push(vec![
         "Q_joinsel/5%".into(),
         "capture".into(),
@@ -107,13 +128,25 @@ fn main() {
             };
             db.execute_sql(sql).unwrap();
         }
-        let report = m.maintain(&db).unwrap();
+        let rep = m.maintain(&db).unwrap();
+        report.add(
+            Record::new("state_memory", format!("joinsel5/d{delta}"))
+                .heap("state_bytes", m.state_heap_size() as u64)
+                .heap("delta_bytes_pooled", rep.metrics.delta_bytes_pooled)
+                .metric(
+                    "delta_bytes_flat",
+                    rep.metrics.delta_bytes_flat as f64,
+                    Unit::Bytes,
+                    false,
+                )
+                .heap("join_index_bytes", m.join_index_state().1 as u64),
+        );
         out.push(vec![
             "Q_joinsel/5%".into(),
             format!("+Δ{delta}"),
             format!("{:.1}KB", m.state_heap_size() as f64 / 1e3),
-            bytes_h(report.metrics.delta_bytes_pooled),
-            bytes_h(report.metrics.delta_bytes_flat),
+            bytes_h(rep.metrics.delta_bytes_pooled),
+            bytes_h(rep.metrics.delta_bytes_flat),
             format!("{:.1}KB", m.join_index_state().1 as f64 / 1e3),
         ]);
     }
@@ -130,4 +163,5 @@ fn main() {
         ],
         &out,
     );
+    report.finish();
 }

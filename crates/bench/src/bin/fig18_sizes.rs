@@ -4,13 +4,14 @@
 //! values in the list" (§8.6.2). This harness prints the same two rows as
 //! the paper's table for n ∈ {100 … 100000}.
 
-use imp_bench::print_table;
+use imp_bench::{print_table, BenchReport, Record};
 use imp_sketch::RangePartition;
 use imp_storage::{BitVec, Value};
 
 fn main() {
     println!("Fig. 18 — memory of sketches and ranges");
     let ns = [100usize, 200, 500, 1000, 2000, 5000, 10000, 20000, 100000];
+    let mut report = BenchReport::new("fig18_sizes");
     let mut sketch_row = vec!["sketch (MB)".to_string()];
     let mut range_row = vec!["ranges (MB)".to_string()];
     for &n in &ns {
@@ -19,6 +20,11 @@ fn main() {
         let cuts: Vec<Value> = (1..n as i64).map(Value::Int).collect();
         let part = RangePartition::new("t", "a", 0, cuts).unwrap();
         range_row.push(format!("{:.6}", part.heap_size() as f64 / 1e6));
+        report.add(
+            Record::new("sizes", format!("n{n}"))
+                .heap("sketch_bytes", bits.heap_size() as u64)
+                .heap("range_bytes", part.heap_size() as u64),
+        );
     }
     let mut header = vec!["n"];
     let labels: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
@@ -28,4 +34,5 @@ fn main() {
         &header,
         &[sketch_row, range_row],
     );
+    report.finish();
 }

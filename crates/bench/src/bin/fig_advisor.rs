@@ -156,6 +156,7 @@ fn main() {
         })
         .collect();
 
+    let mut report = BenchReport::new("fig_advisor");
     let mut table_rows = Vec::new();
     let mut demotions = 0usize;
     let mut promotions = 0usize;
@@ -211,6 +212,16 @@ fn main() {
             "sharded advised heap {heap_advp} > budget {budget} after round {round} ({rp:?})"
         );
         let (m, l, e) = lifecycle_counts(&adv);
+        report.add(
+            Record::new("advisor", format!("round{round}"))
+                .heap("heap_all", heap_all as u64)
+                .heap("heap_adv", heap_adv as u64)
+                .heap("heap_advp", heap_advp as u64)
+                .count("kept", ra.kept as u64, false)
+                .count("maintained", m as u64, false)
+                .count("lazy", l as u64, false)
+                .count("evicted", e as u64, false),
+        );
         table_rows.push(vec![
             round.to_string(),
             bytes_h(heap_all as u64),
@@ -279,4 +290,11 @@ fn main() {
         "\n{demotions} demotions, {promotions} promotions; all advised answers identical to the \
          keep-everything store ✓"
     );
+    report.add(
+        Record::new("advisor", "totals".to_string())
+            .count("demotions", demotions as u64, false)
+            .count("promotions", promotions as u64, false)
+            .ratio("mean_selectivity", mean_sel),
+    );
+    report.finish();
 }

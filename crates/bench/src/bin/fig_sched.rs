@@ -97,6 +97,8 @@ fn main() {
     let (seq_time, _) = time_once(|| seq.maintain_all_stale().unwrap());
     let truth = seq.sketch_states();
 
+    let mut report = BenchReport::new("fig_sched");
+    report.add(Record::new("sched", "seq".to_string()).time("drain", seq_time));
     let mut rows_out = Vec::new();
     let mut drain_ms = Vec::new();
     for workers in [1usize, 2, 4] {
@@ -130,6 +132,16 @@ fn main() {
             "{workers}-worker pool diverged from the sequential store"
         );
 
+        report.add(
+            Record::new("sched", format!("w{workers}"))
+                .time("drain", drained)
+                .count("maintain_runs", stats.maintain_runs, true)
+                .count("routed_batches", stats.routed_batches, true)
+                .count("fanout_messages", stats.fanout_messages, true)
+                .count("coalesced_batches", stats.coalesced_batches, false)
+                .count("backpressure_stalls", stats.backpressure_stalls, false)
+                .count("max_queue_depth", max_depth, false),
+        );
         drain_ms.push(drained.as_secs_f64() * 1e3);
         rows_out.push(vec![
             workers.to_string(),
@@ -165,6 +177,11 @@ fn main() {
     let speedup2 = drain_ms[0] / drain_ms[1].max(1e-9);
     let speedup4 = drain_ms[0] / drain_ms[2].max(1e-9);
     assert!(speedup2.is_finite() && speedup4.is_finite());
+    report.add(
+        Record::new("sched", "speedup".to_string())
+            .ratio("w2_over_w1", speedup2)
+            .ratio("w4_over_w1", speedup4),
+    );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "\nparallel speedup over 1 worker: x{speedup2:.2} (2 workers), x{speedup4:.2} (4 workers) \
@@ -176,4 +193,5 @@ fn main() {
         }
     );
     println!("all pools byte-identical to the sequential store ✓");
+    report.finish();
 }

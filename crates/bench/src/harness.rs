@@ -10,12 +10,32 @@ use imp_sql::LogicalPlan;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Global size multiplier from `IMP_BENCH_SCALE` (default 1.0).
+/// Parse one benchmark env value, panicking with a clear message on
+/// malformed input. A typo'd `IMP_BENCH_SCALE` in CI must fail the job
+/// loudly, not silently fall back to a full-scale (or smoke-scale) run.
+pub fn parse_env<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+    raw.trim().parse().unwrap_or_else(|_| {
+        panic!(
+            "{name} must parse as {}, got {raw:?} — unset it for the default",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Global size multiplier from `IMP_BENCH_SCALE` (default 1.0). Panics on
+/// unparseable or non-positive values.
 pub fn scale() -> f64 {
-    std::env::var("IMP_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    match std::env::var("IMP_BENCH_SCALE") {
+        Ok(s) => {
+            let v: f64 = parse_env("IMP_BENCH_SCALE", &s);
+            assert!(
+                v.is_finite() && v > 0.0,
+                "IMP_BENCH_SCALE must be a positive finite number, got {s:?}"
+            );
+            v
+        }
+        Err(_) => 1.0,
+    }
 }
 
 /// `n` scaled by [`scale`], at least `min`.
@@ -24,12 +44,17 @@ pub fn scaled(n: usize, min: usize) -> usize {
 }
 
 /// Repetitions for timed measurements (`IMP_BENCH_REPS`, default 3;
-/// the paper uses ≥10 — raise for tighter medians).
+/// the paper uses ≥10 — raise for tighter medians). Panics on
+/// unparseable or zero values.
 pub fn reps() -> usize {
-    std::env::var("IMP_BENCH_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
+    match std::env::var("IMP_BENCH_REPS") {
+        Ok(s) => {
+            let v: usize = parse_env("IMP_BENCH_REPS", &s);
+            assert!(v >= 1, "IMP_BENCH_REPS must be at least 1, got {s:?}");
+            v
+        }
+        Err(_) => 3,
+    }
 }
 
 /// Median of a set of durations, in milliseconds.
@@ -143,6 +168,11 @@ pub struct IncVsFull {
     /// Accumulated maintenance metrics across all batches (delta heap
     /// accounting, pool union/intern counters, …).
     pub metrics: MaintMetrics,
+    /// Full per-batch statistics of the incremental runs (criterion-shim
+    /// mean/median/stddev/min/max) for the `BENCH_*.json` trajectory.
+    pub imp_stats: criterion::SampleStats,
+    /// Full statistics of the full-maintenance (capture) runs.
+    pub fm_stats: criterion::SampleStats,
 }
 
 /// Run the IMP-vs-FM measurement for a prepared database and plan.
@@ -177,10 +207,12 @@ pub fn measure_inc_vs_full(
         fm_times.push(t);
     }
     IncVsFull {
-        imp_ms: median_ms(imp_times),
-        fm_ms: median_ms(fm_times),
+        imp_ms: median_ms(imp_times.clone()),
+        fm_ms: median_ms(fm_times.clone()),
         recaptures,
         metrics,
+        imp_stats: criterion::sample_stats(&imp_times),
+        fm_stats: criterion::sample_stats(&fm_times),
     }
 }
 
@@ -217,14 +249,33 @@ pub fn run_imp(imp: &mut imp_core::Imp, ops: &[WorkloadOp]) -> Duration {
     t.elapsed()
 }
 
+/// Outcome of one [`run_fm`] stream: wall-clock plus the execution
+/// counters the regression tests compare against the NS path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmRun {
+    /// Total wall-clock time for the stream.
+    pub total: Duration,
+    /// SELECTs actually answered (must equal the stream's query count —
+    /// the FM baseline serves every query, it just pays capture for it).
+    pub queries_executed: usize,
+    /// First-occurrence sketch captures.
+    pub captures: usize,
+    /// Stale re-captures (the "full maintenance" the baseline is named
+    /// for).
+    pub recaptures: usize,
+}
+
 /// The FM baseline of §8.1: sketches are used for queries but *fully*
 /// re-captured whenever stale.
-pub fn run_fm(db: &mut Database, ops: &[WorkloadOp], pset_table: (&str, &str, usize)) -> Duration {
+pub fn run_fm(db: &mut Database, ops: &[WorkloadOp], pset_table: (&str, &str, usize)) -> FmRun {
     use imp_sql::{QueryTemplate, Statement};
     let mut store: std::collections::HashMap<
         QueryTemplate,
         (LogicalPlan, Arc<PartitionSet>, imp_sketch::SketchSet, u64),
     > = Default::default();
+    let mut queries_executed = 0usize;
+    let mut captures = 0usize;
+    let mut recaptures = 0usize;
     let t = Instant::now();
     for op in ops {
         match op {
@@ -244,19 +295,36 @@ pub fn run_fm(db: &mut Database, ops: &[WorkloadOp], pset_table: (&str, &str, us
                             let cap = capture(splan, db, pset).unwrap();
                             *sketch = cap.sketch;
                             *version = db.version();
+                            recaptures += 1;
                         }
                         let rewritten = imp_sketch::apply_sketch_filter(&plan, sketch).unwrap();
                         db.execute_plan(&rewritten).unwrap();
+                        queries_executed += 1;
                     }
                     _ => {
                         let (table, attr, frags) = pset_table;
                         let pset = pset_for(db, table, attr, frags);
                         let cap = capture(&plan, db, &pset).unwrap();
+                        // The first occurrence must still *answer* the
+                        // query — capture only builds the sketch. Skipping
+                        // this execution undercounted FM by one query per
+                        // template (and let FM "win" unfairly vs NS/IMP,
+                        // which both answer every query).
+                        let rewritten =
+                            imp_sketch::apply_sketch_filter(&plan, &cap.sketch).unwrap();
+                        db.execute_plan(&rewritten).unwrap();
+                        queries_executed += 1;
+                        captures += 1;
                         store.insert(template, (plan, pset, cap.sketch, db.version()));
                     }
                 }
             }
         }
     }
-    t.elapsed()
+    FmRun {
+        total: t.elapsed(),
+        queries_executed,
+        captures,
+        recaptures,
+    }
 }

@@ -1,0 +1,182 @@
+//! Integration tests for `imp_bench::report`: schema round-trip, the
+//! regression gate's threshold behavior, and output determinism.
+//!
+//! Reports are built as struct literals (not [`BenchReport::new`]) so the
+//! tests never read or mutate the process environment.
+
+use imp_bench::report::{compare, BenchReport, DEFAULT_GATE_FACTOR};
+use imp_bench::{Record, Unit};
+
+fn report_with(records: Vec<Record>) -> BenchReport {
+    BenchReport {
+        harness: "test".into(),
+        scale: 0.5,
+        reps: 3,
+        git_sha: "deadbeef".into(),
+        records,
+    }
+}
+
+fn sample_records() -> Vec<Record> {
+    vec![
+        Record::new("inc_vs_full", "Q1/d10")
+            .time_ms("imp", 1.25)
+            .time_ms("fm", 40.0)
+            .count("recaptures", 2, true)
+            .count("rt_saved", 17, false)
+            .ratio("fm_over_imp", 32.0),
+        Record::new("inc_vs_full", "Q1/d1000")
+            .time_ms("imp", 9.5)
+            .time_ms("fm", 41.0)
+            .heap("delta_bytes_pooled", 123_456),
+        Record::new("mixed", "1U5Q/d20")
+            .time("imp_total", std::time::Duration::from_millis(77))
+            .metric("imp_per_op", 3.5e5, Unit::Ns, false),
+    ]
+}
+
+#[test]
+fn schema_round_trips() {
+    let report = report_with(sample_records());
+    let json = report.to_json();
+    let parsed = BenchReport::from_json(&json).unwrap();
+    assert_eq!(parsed.harness, "test");
+    assert_eq!(parsed.scale, 0.5);
+    assert_eq!(parsed.reps, 3);
+    assert_eq!(parsed.git_sha, "deadbeef");
+    assert_eq!(parsed.records.len(), 3);
+    // Parsed records are to_json's sorted order; compare as sets of
+    // (experiment, config) keys plus full metric payloads.
+    for rec in &report.records {
+        let found = parsed
+            .records
+            .iter()
+            .find(|r| r.experiment == rec.experiment && r.config == rec.config)
+            .unwrap_or_else(|| {
+                panic!(
+                    "record {}/{} lost in round-trip",
+                    rec.experiment, rec.config
+                )
+            });
+        let mut want = rec.metrics.clone();
+        want.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(found.metrics, want);
+    }
+    // A second round-trip is byte-stable.
+    assert_eq!(parsed.to_json(), json);
+}
+
+#[test]
+fn output_is_stable_under_shuffled_insertion() {
+    let forward = report_with(sample_records());
+    let mut shuffled_records = sample_records();
+    shuffled_records.reverse();
+    shuffled_records.swap(0, 1);
+    let shuffled = report_with(shuffled_records);
+    assert_eq!(forward.to_json(), shuffled.to_json());
+}
+
+#[test]
+fn gate_passes_without_regression() {
+    let baseline = report_with(sample_records());
+    // Mild noise well inside factor 2 + floors.
+    let current = report_with(vec![
+        Record::new("inc_vs_full", "Q1/d10")
+            .time_ms("imp", 1.4)
+            .time_ms("fm", 43.0)
+            .count("recaptures", 3, true)
+            .count("rt_saved", 16, false)
+            .ratio("fm_over_imp", 30.0),
+        Record::new("inc_vs_full", "Q1/d1000")
+            .time_ms("imp", 10.0)
+            .time_ms("fm", 39.0)
+            .heap("delta_bytes_pooled", 125_000),
+        Record::new("mixed", "1U5Q/d20")
+            .time("imp_total", std::time::Duration::from_millis(80))
+            .metric("imp_per_op", 3.6e5, Unit::Ns, false),
+    ]);
+    let outcome = compare(&baseline, &current, DEFAULT_GATE_FACTOR);
+    assert!(
+        outcome.regressions.is_empty(),
+        "clean run flagged: {outcome:?}"
+    );
+    // All gated metrics were seen: imp/fm/recaptures, imp/fm/heap, imp_total.
+    assert_eq!(outcome.compared, 7);
+    assert_eq!(outcome.missing_records, 0);
+}
+
+#[test]
+fn gate_fails_on_synthetic_2x_regression() {
+    let baseline = report_with(sample_records());
+    let mut records = sample_records();
+    // fm 40 ms → 90 ms: past 2 × 40 + 5 ms floor.
+    records[0] = Record::new("inc_vs_full", "Q1/d10")
+        .time_ms("imp", 1.25)
+        .time_ms("fm", 90.0)
+        .count("recaptures", 2, true)
+        .count("rt_saved", 17, false)
+        .ratio("fm_over_imp", 32.0);
+    let outcome = compare(&baseline, &report_with(records), DEFAULT_GATE_FACTOR);
+    assert_eq!(outcome.regressions.len(), 1, "{outcome:?}");
+    let r = &outcome.regressions[0];
+    assert_eq!(
+        (r.experiment.as_str(), r.config.as_str(), r.metric.as_str()),
+        ("inc_vs_full", "Q1/d10", "fm")
+    );
+    assert!((r.factor - 2.25).abs() < 1e-9);
+}
+
+#[test]
+fn gate_floor_absorbs_smoke_scale_noise() {
+    // 0.1 ms → 0.4 ms is 4× but far under the 5 ms Ns floor: not a
+    // regression. The same 4× at 40 ms is.
+    let baseline = report_with(vec![
+        Record::new("e", "small").time_ms("t", 0.1),
+        Record::new("e", "large").time_ms("t", 40.0),
+    ]);
+    let current = report_with(vec![
+        Record::new("e", "small").time_ms("t", 0.4),
+        Record::new("e", "large").time_ms("t", 160.0),
+    ]);
+    let outcome = compare(&baseline, &current, DEFAULT_GATE_FACTOR);
+    assert_eq!(outcome.regressions.len(), 1, "{outcome:?}");
+    assert_eq!(outcome.regressions[0].config, "large");
+}
+
+#[test]
+fn missing_records_and_metrics_are_reported_not_ignored() {
+    let baseline = report_with(sample_records());
+    let current = report_with(vec![
+        Record::new("inc_vs_full", "Q1/d10").time_ms("imp", 1.3)
+    ]);
+    let outcome = compare(&baseline, &current, DEFAULT_GATE_FACTOR);
+    assert_eq!(outcome.missing_records, 2);
+    // fm + recaptures of the surviving record are gone too.
+    assert!(outcome.notes.iter().any(|n| n.contains("metric")));
+    assert_eq!(outcome.compared, 1);
+}
+
+#[test]
+fn cross_scale_reports_are_skipped() {
+    let baseline = report_with(sample_records());
+    let mut current = report_with(vec![Record::new("e", "c").time_ms("t", 1e9)]);
+    current.scale = 1.0;
+    let outcome = compare(&baseline, &current, DEFAULT_GATE_FACTOR);
+    assert_eq!(outcome.compared, 0);
+    assert!(outcome.regressions.is_empty());
+    assert!(outcome.notes.iter().any(|n| n.contains("scale mismatch")));
+}
+
+#[test]
+fn from_json_rejects_other_schema_versions() {
+    let json = report_with(vec![])
+        .to_json()
+        .replace("\"schema_version\": 1", "\"schema_version\": 999");
+    let err = BenchReport::from_json(&json).unwrap_err();
+    assert!(err.contains("schema_version 999"), "{err}");
+}
+
+#[test]
+fn file_name_is_keyed_by_harness() {
+    assert_eq!(report_with(vec![]).file_name(), "BENCH_test.json");
+}

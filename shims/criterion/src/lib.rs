@@ -110,32 +110,66 @@ impl Bencher {
             println!("{id:<40} (no samples: routine never ran)");
             return;
         }
-        let total: Duration = self.samples.iter().sum();
-        let mean = total / self.samples.len() as u32;
-        let median = median(&self.samples);
-        let stddev = stddev(&self.samples, mean);
-        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let s = sample_stats(&self.samples);
         println!(
             "{id:<40} mean {:>12?}  median {:>12?}  stddev {:>12?}  min {:>12?}  ({} samples)",
-            mean,
-            median,
-            stddev,
-            min,
-            self.samples.len()
+            s.mean, s.median, s.stddev, s.min, s.count
         );
+    }
+}
+
+/// The raw statistics of one measured sample set, exposed so downstream
+/// harnesses (the `BENCH_*.json` trajectory writer) can record the same
+/// numbers the console report prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleStats {
+    /// Arithmetic mean per iteration.
+    pub mean: Duration,
+    /// Median sample (upper median for even counts).
+    pub median: Duration,
+    /// Population standard deviation around the mean.
+    pub stddev: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples.
+    pub count: usize,
+}
+
+/// Compute [`SampleStats`] over a sample set. All fields are zero for an
+/// empty set.
+pub fn sample_stats(samples: &[Duration]) -> SampleStats {
+    if samples.is_empty() {
+        return SampleStats::default();
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    SampleStats {
+        mean,
+        median: median(samples),
+        stddev: stddev(samples, mean),
+        min: samples.iter().min().copied().unwrap_or_default(),
+        max: samples.iter().max().copied().unwrap_or_default(),
+        count: samples.len(),
     }
 }
 
 /// Median sample (upper median for even counts — bias is irrelevant at
 /// these sample sizes and keeps the computation allocation-light).
-fn median(samples: &[Duration]) -> Duration {
+/// [`Duration::ZERO`] for an empty set: a zero-sample run (a routine that
+/// never completed within the budget) must not panic the harness.
+pub fn median(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     sorted[sorted.len() / 2]
 }
 
 /// Population standard deviation around `mean` (zero for one sample).
-fn stddev(samples: &[Duration], mean: Duration) -> Duration {
+pub fn stddev(samples: &[Duration], mean: Duration) -> Duration {
     if samples.len() < 2 {
         return Duration::ZERO;
     }
@@ -226,5 +260,26 @@ mod tests {
         // Known case: {4, 8} around mean 6 → population stddev 2.
         let s = stddev(&[ms(4), ms(8)], ms(6));
         assert!((s.as_secs_f64() - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_of_zero_samples_is_zero_not_a_panic() {
+        // A zero-sample run (routine never completed within the budget)
+        // must degrade to zeros, not index out of bounds.
+        assert_eq!(median(&[]), Duration::ZERO);
+        assert_eq!(sample_stats(&[]), SampleStats::default());
+    }
+
+    #[test]
+    fn sample_stats_match_component_statistics() {
+        let ms = Duration::from_millis;
+        let samples = [ms(10), ms(30), ms(20)];
+        let s = sample_stats(&samples);
+        assert_eq!(s.mean, ms(20));
+        assert_eq!(s.median, median(&samples));
+        assert_eq!(s.stddev, stddev(&samples, ms(20)));
+        assert_eq!(s.min, ms(10));
+        assert_eq!(s.max, ms(30));
+        assert_eq!(s.count, 3);
     }
 }
