@@ -7,12 +7,17 @@
 //! `imp_bench::report` for the gating rules and floors).
 //!
 //! ```text
-//! bench_check [--baseline DIR] [--current DIR] [--factor F] [--self-test]
+//! bench_check [--baseline DIR] [--current DIR] [--factor F]
+//!             [--history FILE] [--self-test]
 //! ```
 //!
 //! * `--baseline` — committed snapshot directory (default `bench/baseline`).
 //! * `--current`  — directory holding this run's `BENCH_*.json` (default `.`).
 //! * `--factor`   — regression factor override.
+//! * `--history`  — append one JSONL line per current harness (git SHA +
+//!   every gated metric, see `imp_bench::report::history_line`) to FILE
+//!   before gating, so CI accumulates the gated trajectory across
+//!   commits even on runs the gate fails.
 //! * `--self-test` — no files: build an in-memory baseline, inject a
 //!   synthetic 2× regression, and verify the gate catches it (and that a
 //!   clean run passes). Run in CI before the real gate so a silently
@@ -23,7 +28,7 @@
 //! a local full-scale run next to the scale-0.01 baseline is a no-op
 //! rather than a wall of false regressions.
 
-use imp_bench::report::{compare, gate_factor, BenchReport, Regression};
+use imp_bench::report::{compare, gate_factor, history_line, BenchReport, Regression};
 use imp_bench::{print_table, Record, Unit};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
     let mut baseline_dir = PathBuf::from("bench/baseline");
     let mut current_dir = PathBuf::from(".");
     let mut factor = gate_factor();
+    let mut history: Option<PathBuf> = None;
     let mut self_test = false;
 
     let mut args = std::env::args().skip(1);
@@ -42,9 +48,13 @@ fn main() -> ExitCode {
             "--factor" => {
                 factor = imp_bench::parse_env("--factor", &required(&mut args, "--factor"))
             }
+            "--history" => history = Some(required(&mut args, "--history").into()),
             "--self-test" => self_test = true,
             "--help" | "-h" => {
-                println!("bench_check [--baseline DIR] [--current DIR] [--factor F] [--self-test]");
+                println!(
+                    "bench_check [--baseline DIR] [--current DIR] [--factor F] \
+                     [--history FILE] [--self-test]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -57,7 +67,33 @@ fn main() -> ExitCode {
     if self_test {
         return run_self_test(factor);
     }
-    run_gate(&baseline_dir, &current_dir, factor)
+    run_gate(&baseline_dir, &current_dir, factor, history.as_deref())
+}
+
+/// Append one JSONL line per current report to `path` (created if
+/// absent). Runs before the gate verdict so failing runs still land on
+/// the trajectory. IO failure fails the job — a silently lost trajectory
+/// point defeats the purpose.
+fn append_history(path: &Path, currents: &[(String, BenchReport)]) {
+    use std::io::Write as _;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("bench_check: cannot create {}: {e}", dir.display()));
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("bench_check: cannot open {}: {e}", path.display()));
+    for (_, report) in currents {
+        writeln!(file, "{}", history_line(report))
+            .unwrap_or_else(|e| panic!("bench_check: cannot append to {}: {e}", path.display()));
+    }
+    println!(
+        "appended {} history line(s) to {}",
+        currents.len(),
+        path.display()
+    );
 }
 
 fn required(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -96,7 +132,12 @@ fn load_reports(dir: &Path) -> Vec<(String, BenchReport)> {
     out
 }
 
-fn run_gate(baseline_dir: &Path, current_dir: &Path, factor: f64) -> ExitCode {
+fn run_gate(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    factor: f64,
+    history: Option<&Path>,
+) -> ExitCode {
     let baselines = load_reports(baseline_dir);
     if baselines.is_empty() {
         eprintln!(
@@ -106,6 +147,9 @@ fn run_gate(baseline_dir: &Path, current_dir: &Path, factor: f64) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let currents = load_reports(current_dir);
+    if let Some(path) = history {
+        append_history(path, &currents);
+    }
 
     let mut compared = 0usize;
     let mut missing_files = 0usize;

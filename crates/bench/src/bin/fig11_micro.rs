@@ -20,6 +20,7 @@
 //! and `memo` is the share of annotation unions answered by the pool's
 //! memo table instead of being computed (and allocated) again.
 
+use criterion::Throughput;
 use imp_bench::*;
 use imp_core::ops::OpConfig;
 use imp_data::queries;
@@ -43,10 +44,11 @@ fn db_with(rows: usize, groups: i64, name: &str) -> Database {
 }
 
 /// Shared header of every Fig. 11 realistic-delta table.
-const REALISTIC_HEADERS: [&str; 10] = [
+const REALISTIC_HEADERS: [&str; 11] = [
     "config",
     "delta",
     "IMP",
+    "rows/s",
     "FM",
     "FM/IMP",
     "db rt",
@@ -55,6 +57,17 @@ const REALISTIC_HEADERS: [&str; 10] = [
     "\u{394}heap flat",
     "memo",
 ];
+
+/// Compact rows-per-second for the console tables.
+fn rate_h(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.1}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}K", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
 
 /// Measure one (query, table) config across realistic + break-even deltas.
 #[allow(clippy::too_many_arguments)]
@@ -77,10 +90,19 @@ fn sweep(
         let ups = insert_stream(table, reps(), delta, groups, table_rows * 8, delta as u64);
         let m = measure_inc_vs_full(db, &plan, &pset, &ups, OpConfig::default());
         let memo_total = m.metrics.pool_unions_computed + m.metrics.pool_union_memo_hits;
+        // Each measured iteration maintains one delta batch of `delta`
+        // rows; the criterion-shim throughput over the median sample
+        // gives a scale-comparable rows/sec trajectory (never gated —
+        // higher is better).
+        let rows_per_sec = m
+            .imp_stats
+            .throughput_per_sec(Throughput::Elements(delta as u64))
+            .unwrap_or(0.0);
         report.add(
             Record::new(experiment, format!("{label}/d{delta}"))
                 .time_stats("imp", &m.imp_stats)
                 .time_stats("fm", &m.fm_stats)
+                .ratio("imp_rows_per_sec", rows_per_sec)
                 .count("db_roundtrips", m.metrics.db_roundtrips, true)
                 .count("rt_saved", m.metrics.db_roundtrips_avoided, false)
                 .heap("delta_bytes_pooled", m.metrics.delta_bytes_pooled)
@@ -99,6 +121,7 @@ fn sweep(
             label.clone(),
             delta.to_string(),
             ms(m.imp_ms),
+            rate_h(rows_per_sec),
             ms(m.fm_ms),
             format!("{:.1}x", m.fm_ms / m.imp_ms.max(1e-6)),
             m.metrics.db_roundtrips.to_string(),

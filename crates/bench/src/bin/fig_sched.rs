@@ -14,6 +14,7 @@
 //! pool's final sketch states differ from the sequential store's
 //! (byte-identical results are the scheduler's contract).
 
+use criterion::Throughput;
 use imp_bench::*;
 use imp_core::middleware::{Imp, ImpConfig};
 use imp_data::queries;
@@ -48,6 +49,12 @@ fn build_imp(workers: usize, rows: usize, groups: i64) -> Imp {
         ImpConfig {
             fragments: 50,
             sched_workers: workers,
+            // A tiny staging queue: paused-phase routing overflows onto
+            // the inline-ingest fallback every few updates, so inboxes
+            // fill (and coalesce) deterministically while the workers
+            // are parked — the queue-depth and coalescing observations
+            // below need batches in inboxes, not names in staging.
+            ingest_queue_cap: 4,
             ..Default::default()
         },
     );
@@ -132,14 +139,25 @@ fn main() {
             "{workers}-worker pool diverged from the sequential store"
         );
 
+        // Ingested rows per wall-clock second of drain, through the
+        // criterion-shim throughput helper (never gated — higher is
+        // better; the gated `drain` time catches regressions).
+        let total_rows = (ROUNDS * TABLES * delta) as u64;
+        let rows_per_sec = criterion::sample_stats(&[drained])
+            .throughput_per_sec(Throughput::Elements(total_rows))
+            .unwrap_or(0.0);
+
         report.add(
             Record::new("sched", format!("w{workers}"))
                 .time("drain", drained)
+                .ratio("rows_per_sec", rows_per_sec)
                 .count("maintain_runs", stats.maintain_runs, true)
                 .count("routed_batches", stats.routed_batches, true)
                 .count("fanout_messages", stats.fanout_messages, true)
                 .count("coalesced_batches", stats.coalesced_batches, false)
                 .count("backpressure_stalls", stats.backpressure_stalls, false)
+                .count("staged_updates", stats.staged_updates, false)
+                .count("steals", stats.steals, false)
                 .count("max_queue_depth", max_depth, false),
         );
         drain_ms.push(drained.as_secs_f64() * 1e3);
@@ -151,6 +169,7 @@ fn main() {
             stats.fanout_messages.to_string(),
             stats.coalesced_batches.to_string(),
             stats.backpressure_stalls.to_string(),
+            stats.steals.to_string(),
             max_depth.to_string(),
         ]);
     }
@@ -169,6 +188,7 @@ fn main() {
             "fanout",
             "coalesced",
             "stalls",
+            "steals",
             "max q",
         ],
         &rows_out,

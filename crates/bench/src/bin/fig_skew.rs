@@ -7,11 +7,18 @@
 //! target table of every update batch, so one template-hash shard's
 //! queue grows far deeper than the rest.
 //!
-//! The contract under test: the shard pool keeps draining under skew.
-//! The harness **panics** when any shard queue is non-empty after
-//! `drain()`, when the skewed pools' final sketch states differ from the
-//! sequential in-line store, or when the stream was not actually skewed
-//! (hot table short of a majority of the batches).
+//! The contract under test: the shard pool keeps draining under skew,
+//! and with work stealing enabled the idle workers help drain the hot
+//! shard instead of watching it. The harness **panics** when any shard
+//! queue is non-empty after `drain()`, when the skewed pools' final
+//! sketch states differ from the sequential in-line store, when the
+//! stream was not actually skewed (hot table short of a majority of the
+//! batches), or when a multi-worker pool records **zero steals** — under
+//! this skew the tail workers must claim batches from the hot shard's
+//! inbox. The config forces per-batch claims (coalesce budget = batch
+//! size) and a tiny staging queue (inline drains push the backlog into
+//! inboxes while paused), so the hot shard holds many small claims for
+//! thieves to take.
 
 use imp_bench::*;
 use imp_core::middleware::{Imp, ImpConfig};
@@ -30,7 +37,7 @@ fn table_names() -> Vec<String> {
     (0..TABLES).map(|i| format!("z{i}")).collect()
 }
 
-fn build_imp(workers: usize, rows: usize, groups: i64) -> Imp {
+fn build_imp(workers: usize, rows: usize, groups: i64, delta: usize) -> Imp {
     let mut db = Database::new();
     for name in table_names() {
         load(
@@ -49,6 +56,16 @@ fn build_imp(workers: usize, rows: usize, groups: i64) -> Imp {
         ImpConfig {
             fragments: 50,
             sched_workers: workers,
+            // Budget = one update batch: every claim takes a single
+            // batch, so the hot backlog drains across many claims and
+            // idle workers find work to steal.
+            coalesce_budget: delta,
+            // Near-zero staging: paused-phase routing overflows inline
+            // every third update, pushing (mostly hot) batches into the
+            // inboxes one by one instead of letting collection merge the
+            // whole backlog into one batch per table.
+            ingest_queue_cap: 2,
+            work_stealing: true,
             ..Default::default()
         },
     );
@@ -95,7 +112,7 @@ fn main() {
     );
 
     // Sequential ground truth.
-    let mut seq = build_imp(0, rows, groups);
+    let mut seq = build_imp(0, rows, groups, delta);
     for sql in &updates {
         seq.execute(sql).unwrap();
     }
@@ -106,7 +123,7 @@ fn main() {
     report.add(Record::new("skew", "stream".to_string()).ratio("hot_share", hot_share));
     let mut out = Vec::new();
     for workers in [1usize, 2, 4] {
-        let mut imp = build_imp(workers, rows, groups);
+        let mut imp = build_imp(workers, rows, groups, delta);
 
         // Phase 1 — paused routing: queues fill deterministically, the hot
         // shard's high-water mark shows the skew landing on one queue.
@@ -139,6 +156,12 @@ fn main() {
             truth,
             "{workers}-worker pool diverged from the sequential store under skew"
         );
+        assert!(
+            workers < 2 || stats.steals >= 1,
+            "no steals with {workers} workers under a {:.0}% hot-table stream — \
+             idle workers must drain the hot shard: {stats:?}",
+            hot_share * 100.0
+        );
 
         report.add(
             Record::new("skew", format!("w{workers}"))
@@ -147,6 +170,9 @@ fn main() {
                 .count("maintain_runs", stats.maintain_runs, false)
                 .count("coalesced_batches", stats.coalesced_batches, false)
                 .count("backpressure_stalls", stats.backpressure_stalls, false)
+                .count("staged_updates", stats.staged_updates, false)
+                .count("steals", stats.steals, false)
+                .count("stolen_batches", stats.stolen_batches, false)
                 .count("max_queue_depth", max_depth, false),
         );
         out.push(vec![
@@ -156,6 +182,8 @@ fn main() {
             stats.routed_batches.to_string(),
             stats.coalesced_batches.to_string(),
             stats.backpressure_stalls.to_string(),
+            stats.steals.to_string(),
+            stats.stolen_batches.to_string(),
             max_depth.to_string(),
         ]);
     }
@@ -169,10 +197,15 @@ fn main() {
             "routed",
             "coalesced",
             "stalls",
+            "steals",
+            "stolen",
             "max q",
         ],
         &out,
     );
-    println!("\nall pools drained and byte-identical to the sequential store under skew ✓");
+    println!(
+        "\nall pools drained and byte-identical to the sequential store under skew ✓ \
+         (hot shard drained with help from thieves)"
+    );
     report.finish();
 }

@@ -432,6 +432,45 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, factor: f64) -> Co
     out
 }
 
+/// One compact JSONL trajectory line for `report`: the run key (git SHA,
+/// harness, scale, reps) plus every **gated** metric flattened to
+/// `"experiment/config/name": value`. Appended to `bench/history.jsonl`
+/// by `bench_check --history`, one line per harness per run, so the
+/// gated trajectory accumulates across commits in a grep- and
+/// jq-friendly shape without re-parsing full `BENCH_*.json` files.
+pub fn history_line(report: &BenchReport) -> String {
+    let mut entries: Vec<(String, f64)> = report
+        .records
+        .iter()
+        .flat_map(|rec| {
+            rec.metrics.iter().filter(|m| m.gated).map(|m| {
+                (
+                    format!("{}/{}/{}", rec.experiment, rec.config, m.name),
+                    m.value,
+                )
+            })
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"sha\": {}, \"harness\": {}, \"scale\": {}, \"reps\": {}, \"gated\": {{",
+        json_str(&report.git_sha),
+        json_str(&report.harness),
+        json_num(report.scale),
+        report.reps
+    );
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(key), json_num(*value));
+    }
+    out.push_str("}}");
+    out
+}
+
 /// The gate factor: `IMP_BENCH_GATE_FACTOR` (default 2.0). Panics on an
 /// unparseable value, same contract as [`crate::scale`].
 pub fn gate_factor() -> f64 {
@@ -760,6 +799,26 @@ mod tests {
             assert!(u.gate_floor() > 0.0);
             assert_eq!(Unit::parse(u.as_str()), Some(u));
         }
+    }
+
+    #[test]
+    fn history_line_is_one_json_object_of_gated_metrics() {
+        let r = BenchReport {
+            harness: "fig_x".into(),
+            scale: 0.01,
+            reps: 1,
+            git_sha: "abc123".into(),
+            records: vec![Record::new("exp", "cfg")
+                .metric("slow_ns", 5e6, Unit::Ns, true)
+                .ratio("rate", 0.5)],
+        };
+        let line = history_line(&r);
+        assert!(!line.contains('\n'), "must be a single JSONL line");
+        // The line is well-formed JSON and holds only the gated metric.
+        json::parse(&line).expect("history line must parse as JSON");
+        assert!(line.contains("\"sha\": \"abc123\""));
+        assert!(line.contains("\"exp/cfg/slow_ns\": 5000000"));
+        assert!(!line.contains("rate"), "ungated metrics excluded");
     }
 
     #[test]

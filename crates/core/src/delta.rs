@@ -37,14 +37,33 @@
 //! even though pool ids are reassigned on re-interning.
 
 pub use imp_storage::{AnnotId, AnnotPool, DeltaBatch, DeltaEntry};
-use imp_storage::{BitVec, FxHashMap, FxHashSet, Row};
+use imp_storage::{BitVec, DeltaColumns, FxHashMap, FxHashSet, Row};
+
+/// Batches at or above this size normalize through the columnar
+/// sort-then-run-length kernel ([`DeltaColumns::merged`]); smaller ones
+/// keep the row-at-a-time hash fold, whose setup cost is lower.
+pub const NORMALIZE_COLUMNAR_MIN: usize = 32;
 
 /// Fold entries with identical `(row, annotation-id)` into one, dropping
 /// zero-multiplicity results. Keeps batches compact between operators.
 ///
 /// Annotation ids are canonical within a pool, so the fold key never
-/// touches bitvector contents.
+/// touches bitvector contents. Large batches take the columnar
+/// sort-then-run-length kernel; both paths produce the identical batch
+/// (merged, zero-filtered, sorted by `(row, annotation)`).
 pub fn normalize_delta(delta: DeltaBatch) -> DeltaBatch {
+    if delta.len() <= 1 {
+        return delta;
+    }
+    if delta.len() >= NORMALIZE_COLUMNAR_MIN {
+        return DeltaColumns::from_owned(delta).merged();
+    }
+    normalize_delta_rowwise(delta)
+}
+
+/// The row-at-a-time normalize fallback (also the property-test oracle
+/// for the columnar kernel).
+pub fn normalize_delta_rowwise(delta: DeltaBatch) -> DeltaBatch {
     if delta.len() <= 1 {
         return delta;
     }

@@ -15,9 +15,9 @@ use crate::ops::{IncNode, MaintCtx, MergeOp, OpConfig};
 use crate::opt::pushdown::pushable_predicates;
 use crate::Result;
 use imp_engine::{Bag, Database};
-use imp_sketch::{annotate_delta, annotation_id_for_row, PartitionSet, SketchDelta, SketchSet};
+use imp_sketch::{annotate_delta, annotation_ids_for_rows, PartitionSet, SketchDelta, SketchSet};
 use imp_sql::{Expr, LogicalPlan};
-use imp_storage::{AnnotPool, FxHashMap, PoolStats, RowInterner};
+use imp_storage::{AnnotPool, DeltaColumns, FxHashMap, PoolStats, Row, RowInterner};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -269,22 +269,29 @@ impl SketchMaintainer {
         let mut deltas: FxHashMap<String, DeltaBatch> = FxHashMap::default();
         let mut max_seen = 0u64;
         for table in &self.tables {
-            let mut annotated = DeltaBatch::new();
+            // Columnar gather: version-filter the routed batches into
+            // contiguous row/multiplicity arrays, then annotate (chunked
+            // fragment extraction) and intern in whole-column passes.
+            let mut rows_col: Vec<Row> = Vec::new();
+            let mut mults: Vec<i64> = Vec::new();
             for batch in routed.get(table).map(Vec::as_slice).unwrap_or_default() {
                 for entry in batch
                     .entries
                     .iter()
                     .filter(|e| e.version > self.last_version)
                 {
-                    metrics.delta_rows_fetched += 1;
-                    annotated.push(DeltaEntry {
-                        annot: annotation_id_for_row(&mut self.pool, &self.pset, table, &entry.row),
-                        row: self.rows.intern(entry.row.clone()),
-                        mult: entry.mult,
-                    });
+                    rows_col.push(entry.row.clone());
+                    mults.push(entry.mult);
                 }
                 max_seen = max_seen.max(batch.to_version);
             }
+            metrics.delta_rows_fetched += rows_col.len() as u64;
+            let annots = annotation_ids_for_rows(&mut self.pool, &self.pset, table, &rows_col);
+            let mut cols = DeltaColumns::with_capacity(rows_col.len());
+            for (row, (annot, mult)) in rows_col.into_iter().zip(annots.into_iter().zip(mults)) {
+                cols.push(self.rows.intern(row), annot, mult);
+            }
+            let annotated = cols.into_batch();
             let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
             let normalized = crate::delta::normalize_delta(filtered);
             deltas.insert(table.clone(), normalized);

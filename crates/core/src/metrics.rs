@@ -102,14 +102,21 @@ pub struct SchedMetrics {
     /// Pending same-table batches folded into an earlier batch by a
     /// shard's coalescing pass.
     pub coalesced_batches: AtomicU64,
-    /// Router sends that found a shard queue full and had to block
-    /// (backpressure onto the update path).
+    /// Updates that found the ingest staging queue full (or async ingest
+    /// disabled) and fell back to inline ingestion on the writer's
+    /// thread (backpressure onto the update path).
     pub backpressure_stalls: AtomicU64,
+    /// Updates staged for asynchronous ingestion (the writer returned
+    /// without collecting or fanning out).
+    pub staged_updates: AtomicU64,
+    /// Claims an idle worker took from another shard's inbox.
+    pub steals: AtomicU64,
+    /// Routed batches processed inside stolen claims.
+    pub stolen_batches: AtomicU64,
     /// Maintenance runs executed by shard workers (routed + on-demand).
     pub maintain_runs: AtomicU64,
-    /// Per-shard current queue depth (gauge). Counts messages committed
-    /// to or blocked entering the queue, so under backpressure it can
-    /// briefly read one above the queue capacity per blocked sender.
+    /// Per-shard current inbox depth (gauge): routed batches queued and
+    /// not yet claimed.
     queue_depth: Vec<AtomicU64>,
     /// Per-shard high-water queue depth.
     max_queue_depth: Vec<AtomicU64>,
@@ -124,6 +131,9 @@ impl SchedMetrics {
             fanout_messages: AtomicU64::new(0),
             coalesced_batches: AtomicU64::new(0),
             backpressure_stalls: AtomicU64::new(0),
+            staged_updates: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stolen_batches: AtomicU64::new(0),
             maintain_runs: AtomicU64::new(0),
             queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             max_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
@@ -149,6 +159,9 @@ impl SchedMetrics {
             fanout_messages: self.fanout_messages.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            staged_updates: self.staged_updates.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
             maintain_runs: self.maintain_runs.load(Ordering::Relaxed),
             per_shard: self
                 .queue_depth
@@ -176,6 +189,12 @@ pub struct SchedStats {
     pub coalesced_batches: u64,
     /// See [`SchedMetrics::backpressure_stalls`].
     pub backpressure_stalls: u64,
+    /// See [`SchedMetrics::staged_updates`].
+    pub staged_updates: u64,
+    /// See [`SchedMetrics::steals`].
+    pub steals: u64,
+    /// See [`SchedMetrics::stolen_batches`].
+    pub stolen_batches: u64,
     /// See [`SchedMetrics::maintain_runs`].
     pub maintain_runs: u64,
     /// Per-shard queue gauges.

@@ -83,6 +83,20 @@ pub struct ImpConfig {
     /// Scheduler coalescing bound: pending routed delta rows *per table*
     /// a shard folds into a single maintenance run before flushing.
     pub coalesce_budget: usize,
+    /// Work stealing between shard workers (`true` by default): an idle
+    /// worker claims whole coalesced batches from a loaded shard's inbox,
+    /// serialized by the victim's state lock so sketch bits stay
+    /// byte-identical to the owner draining alone (the
+    /// `steal_differential` suite proves it). Set `false` to pin every
+    /// shard's maintenance to its own worker thread.
+    pub work_stealing: bool,
+    /// Capacity of the async-ingest staging queue: committed updates
+    /// stage their table name here and return immediately, leaving log
+    /// collection and fan-out to the shard workers. `0` disables async
+    /// ingest (updates collect and fan out inline, as in the in-line
+    /// store); a full queue also falls back inline, counted in
+    /// [`crate::metrics::SchedStats::backpressure_stalls`].
+    pub ingest_queue_cap: usize,
     /// Heap-byte budget for the sketch store, enforced by the
     /// [`crate::advisor`] autopilot: every [`Imp::tick_maintenance`] (and
     /// explicit [`Imp::advise`]) runs a selection pass that keeps the
@@ -97,6 +111,9 @@ pub struct ImpConfig {
 
 /// Default [`ImpConfig::coalesce_budget`].
 pub const DEFAULT_COALESCE_BUDGET: usize = 4096;
+
+/// Default [`ImpConfig::ingest_queue_cap`].
+pub const DEFAULT_INGEST_QUEUE_CAP: usize = 256;
 
 impl Default for ImpConfig {
     fn default() -> Self {
@@ -113,6 +130,8 @@ impl Default for ImpConfig {
             retain_sketch_versions: true,
             sched_workers: 0,
             coalesce_budget: DEFAULT_COALESCE_BUDGET,
+            work_stealing: true,
+            ingest_queue_cap: DEFAULT_INGEST_QUEUE_CAP,
             sketch_memory_budget: None,
             advisor: AdvisorParams::default(),
         }

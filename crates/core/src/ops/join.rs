@@ -58,8 +58,24 @@ use crate::opt::{BloomFilter, JoinSideIndex};
 use crate::Result;
 use imp_sketch::capture::eval_annot;
 use imp_sql::LogicalPlan;
-use imp_storage::{FxHashMap, Value};
+use imp_storage::{FxHashMap, Value, COLUMNAR_CHUNK};
 use std::sync::Arc;
+
+/// One side's extracted join-key column: `col[i]` is the key of delta row
+/// `i`, `None` for NULL keys (which never join).
+type KeyColumn = Vec<Option<Vec<Value>>>;
+
+/// Columnar key extraction: project a whole delta's join keys into one
+/// contiguous key column, walked in [`COLUMNAR_CHUNK`]-row windows. Every
+/// consumer of the batch (bloom maintenance, pruning, the three join
+/// terms) reads this column instead of re-projecting rows.
+fn extract_keys(delta: &DeltaBatch, keys: &[usize]) -> KeyColumn {
+    let mut out = Vec::with_capacity(delta.len());
+    for chunk in delta.entries().chunks(COLUMNAR_CHUNK) {
+        out.extend(chunk.iter().map(|d| key_of(&d.row, keys)));
+    }
+    out
+}
 
 /// Lifecycle of one side's materialised index.
 #[derive(Debug, Default)]
@@ -183,6 +199,12 @@ impl JoinOp {
             ctx,
         )?;
 
+        // Columnar key extraction — each delta's join keys are projected
+        // once into a contiguous key column shared by bloom maintenance,
+        // pruning, and all three terms below.
+        let dl_keys = extract_keys(&dl, &self.left_keys);
+        let dr_keys = extract_keys(&dr, &self.right_keys);
+
         // Keep the bloom filters in sync *before* filtering: new keys from
         // this batch's deltas must be visible (no false negatives). Each
         // side's filter is built lazily, only once the *other* side has a
@@ -215,24 +237,22 @@ impl JoinOp {
             // Term 3 can cancel (a bloom is insert-only either way — a
             // stale positive only costs a wasted probe).
             if let Some(b) = self.right_bloom.as_mut() {
-                for d in &dr {
-                    if let Some(k) = key_of(&d.row, &self.right_keys) {
-                        b.insert(&k);
-                    }
+                for k in dr_keys.iter().flatten() {
+                    b.insert(k);
                 }
             }
             if let Some(b) = self.left_bloom.as_mut() {
-                for d in &dl {
-                    if let Some(k) = key_of(&d.row, &self.left_keys) {
-                        b.insert(&k);
-                    }
+                for k in dl_keys.iter().flatten() {
+                    b.insert(k);
                 }
             }
         }
 
-        // Bloom-prune the deltas (only correct for equi-joins).
-        let dl_f = bloom_filter_delta(&dl, &self.right_bloom, use_bloom, &self.left_keys, ctx);
-        let dr_f = bloom_filter_delta(&dr, &self.left_bloom, use_bloom, &self.right_keys, ctx);
+        // Bloom-prune the deltas (only correct for equi-joins). The key
+        // column is filtered in lockstep so the terms keep index-aligned
+        // keys without re-extraction.
+        let (dl_f, dl_fk) = bloom_filter_delta(&dl, dl_keys, &self.right_bloom, use_bloom, ctx);
+        let (dr_f, dr_fk) = bloom_filter_delta(&dr, dr_keys, &self.left_bloom, use_bloom, ctx);
 
         // Term 1: ΔQ₁ ⋈ Q₂ᴺᴱᵂ — answered by the right index, or
         // outsourced to the backend when none is live.
@@ -242,7 +262,7 @@ impl JoinOp {
                 if !right_evaluated {
                     ctx.metrics.db_roundtrips_avoided += 1;
                 }
-                probe_index(&dl_f, &self.left_keys, idx, false, &mut out, ctx);
+                probe_index(&dl_f, &dl_fk, idx, false, &mut out, ctx);
             } else {
                 let side = match right_side.take() {
                     Some(s) => s,
@@ -252,7 +272,7 @@ impl JoinOp {
                     }
                 };
                 let table = build_hash(&side, &self.right_keys);
-                probe_hash(&dl_f, &self.left_keys, &table, false, &mut out, ctx);
+                probe_hash(&dl_f, &dl_fk, &table, false, &mut out, ctx);
             }
         }
 
@@ -263,7 +283,7 @@ impl JoinOp {
                 if !left_evaluated {
                     ctx.metrics.db_roundtrips_avoided += 1;
                 }
-                probe_index(&dr_f, &self.right_keys, idx, true, &mut out, ctx);
+                probe_index(&dr_f, &dr_fk, idx, true, &mut out, ctx);
             } else {
                 let side = match left_side.take() {
                     Some(s) => s,
@@ -273,24 +293,27 @@ impl JoinOp {
                     }
                 };
                 let table = build_hash(&side, &self.left_keys);
-                probe_hash(&dr_f, &self.right_keys, &table, true, &mut out, ctx);
+                probe_hash(&dr_f, &dr_fk, &table, true, &mut out, ctx);
             }
         }
 
-        // Term 3: − ΔQ₁ ⋈ ΔQ₂ (fully in memory).
+        // Term 3: − ΔQ₁ ⋈ ΔQ₂ (fully in memory). The build side hashes
+        // *references into* the right key column and stores row indexes —
+        // no key is cloned or re-projected on either side.
         if !dl_f.is_empty() && !dr_f.is_empty() {
-            let mut dr_hash: FxHashMap<Vec<Value>, Vec<&DeltaEntry>> = FxHashMap::default();
-            for d in &dr_f {
-                if let Some(k) = key_of(&d.row, &self.right_keys) {
-                    dr_hash.entry(k).or_default().push(d);
+            let mut dr_hash: FxHashMap<&Vec<Value>, Vec<u32>> = FxHashMap::default();
+            for (i, k) in dr_fk.iter().enumerate() {
+                if let Some(k) = k {
+                    dr_hash.entry(k).or_default().push(i as u32);
                 }
             }
-            for d in &dl_f {
-                let Some(k) = key_of(&d.row, &self.left_keys) else {
+            for (d, k) in dl_f.iter().zip(&dl_fk) {
+                let Some(k) = k else {
                     continue;
                 };
-                if let Some(matches) = dr_hash.get(&k) {
-                    for r in matches {
+                if let Some(matches) = dr_hash.get(k) {
+                    for &i in matches {
+                        let r = &dr_f[i as usize];
                         out.push(DeltaEntry {
                             row: d.row.concat(&r.row),
                             annot: ctx.pool.union(d.annot, r.annot),
@@ -481,29 +504,30 @@ fn build_bloom(
 }
 
 /// Keep only delta rows whose key might have a partner on the other side.
+/// The pre-extracted key column is filtered in lockstep with the batch so
+/// surviving entries keep their index-aligned keys.
 fn bloom_filter_delta(
     delta: &DeltaBatch,
+    keys_col: KeyColumn,
     other_bloom: &Option<BloomFilter>,
     use_bloom: bool,
-    keys: &[usize],
     ctx: &mut MaintCtx<'_>,
-) -> DeltaBatch {
+) -> (DeltaBatch, KeyColumn) {
     match (other_bloom, use_bloom) {
         (Some(b), true) => {
             let before = delta.len();
-            let kept: DeltaBatch = delta
-                .iter()
-                .filter(|d| {
-                    key_of(&d.row, keys)
-                        .map(|k| b.may_contain(&k))
-                        .unwrap_or(false)
-                })
-                .cloned()
-                .collect();
+            let mut kept = DeltaBatch::new();
+            let mut kept_keys = KeyColumn::new();
+            for (d, k) in delta.iter().zip(keys_col) {
+                if k.as_ref().is_some_and(|k| b.may_contain(k)) {
+                    kept.push(d.clone());
+                    kept_keys.push(k);
+                }
+            }
             ctx.metrics.bloom_pruned += (before - kept.len()) as u64;
-            kept
+            (kept, kept_keys)
         }
-        _ => delta.clone(),
+        _ => (delta.clone(), keys_col),
     }
 }
 
@@ -512,7 +536,7 @@ fn bloom_filter_delta(
 /// the indexed (left) side first.
 fn probe_index(
     delta: &DeltaBatch,
-    delta_keys: &[usize],
+    keys_col: &KeyColumn,
     index: &JoinSideIndex,
     side_on_left: bool,
     out: &mut DeltaBatch,
@@ -522,12 +546,12 @@ fn probe_index(
     // (delta row × match): the handles are shared `Arc`s, so pointer
     // identity stands in for the content hash after the first sighting.
     let mut interned: FxHashMap<usize, imp_storage::AnnotId> = FxHashMap::default();
-    for d in delta {
+    for (d, k) in delta.iter().zip(keys_col) {
         ctx.metrics.rows_processed += 1;
-        let Some(k) = key_of(&d.row, delta_keys) else {
+        let Some(k) = k else {
             continue;
         };
-        let Some(matches) = index.get(&k) else {
+        let Some(matches) = index.get(k) else {
             continue;
         };
         for e in matches {
@@ -559,18 +583,18 @@ fn probe_index(
 /// contract.
 fn probe_hash(
     delta: &DeltaBatch,
-    delta_keys: &[usize],
+    keys_col: &KeyColumn,
     table: &FxHashMap<Vec<Value>, Vec<&DeltaEntry>>,
     side_on_left: bool,
     out: &mut DeltaBatch,
     ctx: &mut MaintCtx<'_>,
 ) {
-    for d in delta {
+    for (d, k) in delta.iter().zip(keys_col) {
         ctx.metrics.rows_processed += 1;
-        let Some(k) = key_of(&d.row, delta_keys) else {
+        let Some(k) = k else {
             continue;
         };
-        let Some(matches) = table.get(&k) else {
+        let Some(matches) = table.get(k) else {
             continue;
         };
         for e in matches {

@@ -4,30 +4,39 @@
 //! update stream. The in-line store serializes that work on whichever
 //! thread triggers it; this module scales it out while preserving the
 //! in-line semantics bit-for-bit (the differential property the
-//! `sched_differential` suite proves).
+//! `sched_differential` and `steal_differential` suites prove).
 //!
-//! ## Flow: router → shards → snapshots
+//! ## Flow: staging → router → shared inboxes → workers → snapshots
 //!
 //! ```text
-//!   update ──▶ DeltaRouter ── Arc<TableDelta> ──▶ shard 0 ─┐
-//!                 │   (ingest once per table,   ▶ shard 1 ─┤ ShardPool
-//!                 │    fan out to interested    ▶ shard N ─┘   │
-//!                 │    shards only)                            │ publish
-//!                 ▼                                            ▼
-//!   query ◀── Imp::execute ◀──── read ────── SnapshotBoard (versioned)
+//!   update ──▶ staging queue ─(worker drains)─▶ DeltaRouter
+//!                │ (bounded; full ⇒ inline)        │ one collect per
+//!                ▼                                 ▼ table, fan out
+//!   query ◀── Imp::execute       ┌─────────┬─────────┬─────────┐
+//!              ▲                 │ inbox 0 │ inbox 1 │ inbox N │
+//!              │ read            └────┬────┴────┬────┴────┬────┘
+//!       SnapshotBoard ◀─ publish ─ worker 0  worker 1  worker N
+//!            (versioned)              └──── work stealing ───┘
 //! ```
 //!
+//! * **Async ingest** — [`Scheduler::route`] *stages* the updated table
+//!   name on a bounded queue and returns: the writer no longer pays for
+//!   log collection or fan-out. Workers drain the staging queue; a full
+//!   queue falls back to inline ingestion on the writer's thread
+//!   (backpressure, counted in
+//!   [`crate::metrics::SchedStats::backpressure_stalls`]).
 //! * **[`router::DeltaRouter`]** ingests each table's delta-log suffix
 //!   once, as a shared [`router::TableDelta`] (`Arc` rows via the row
-//!   interner), and sends it only to the shards whose sketches reference
-//!   the table. Per-record versions make redelivery/overlap harmless
-//!   (receivers skip already-consumed versions).
-//! * **[`pool::ShardPool`]** runs N workers; each owns a disjoint shard
-//!   of the sketch store, partitioned by query-template hash. A worker
-//!   drains its queue in gathered batches with per-table **coalescing**
-//!   (pending batches for one table merge into a single maintenance run,
-//!   bounded by [`crate::middleware::ImpConfig::coalesce_budget`]) and
-//!   bounded queues give **backpressure** to the update path.
+//!   interner), pushed only into the inboxes of shards whose sketches
+//!   reference the table. Per-record versions make redelivery/overlap
+//!   harmless (receivers skip already-consumed versions).
+//! * **`steal::SchedShared`** holds the per-shard inboxes and stores.
+//!   Each worker drains its own inbox in claimed batches with per-table
+//!   **coalescing** (pending batches for one table merge into a single
+//!   maintenance run, bounded by
+//!   [`crate::middleware::ImpConfig::coalesce_budget`]); an idle worker
+//!   **steals** whole claims from loaded shards (serialized by the
+//!   victim's state lock, so the result stays byte-identical).
 //! * **[`snapshot::SnapshotBoard`]** publishes each shard's sketches as
 //!   immutable, epoch-stamped snapshots after every state change, so the
 //!   USE/rewrite path reads fresh sketches without ever blocking (or
@@ -36,14 +45,15 @@
 //!
 //! Maintenance arithmetic is split-invariant (see
 //! [`crate::maintain::SketchMaintainer::maintain_from`]): however the
-//! update stream is chopped into routed batches and coalesced groups,
-//! sketch bits and maintained versions equal the sequential in-line
-//! outcome.
+//! update stream is chopped into routed batches, coalesced groups, and
+//! stolen claims, sketch bits and maintained versions equal the
+//! sequential in-line outcome.
 
 pub mod pool;
 pub mod router;
 pub mod shard;
 pub mod snapshot;
+pub(crate) mod steal;
 
 pub use pool::{PausedShards, ShardPool, SHARD_QUEUE_CAP};
 pub use router::{DeltaRouter, RoutedEntry, TableDelta};
@@ -55,17 +65,18 @@ use crate::maintain::MaintReport;
 use crate::metrics::{SchedMetrics, SchedStats};
 use crate::middleware::{plan_subsumes, ImpConfig, StoredSketch};
 use crate::sched::shard::ShardMsg;
+use crate::sched::steal::SchedShared;
 use crossbeam::channel::bounded;
 use imp_engine::Database;
 use imp_sql::{LogicalPlan, QueryTemplate};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// The scheduler facade: router + shard pool + snapshot board.
+/// The scheduler facade: staging + router + shard pool + snapshot board.
 pub struct Scheduler {
     pool: ShardPool,
-    router: Mutex<DeltaRouter>,
+    shared: Arc<SchedShared>,
     board: Arc<SnapshotBoard>,
     metrics: Arc<SchedMetrics>,
     db: Arc<RwLock<Database>>,
@@ -81,10 +92,15 @@ impl Scheduler {
         let workers = config.sched_workers.max(1);
         let board = Arc::new(SnapshotBoard::new(workers));
         let metrics = Arc::new(SchedMetrics::new(workers));
-        let pool = ShardPool::spawn(workers, &db, config, &board, &metrics, &tracker);
+        let shared = Arc::new(SchedShared::new(
+            workers,
+            config.ingest_queue_cap,
+            Arc::clone(&metrics),
+        ));
+        let pool = ShardPool::spawn(workers, &db, config, &board, &metrics, &tracker, &shared);
         Scheduler {
             pool,
-            router: Mutex::new(DeltaRouter::new()),
+            shared,
             board,
             metrics,
             db,
@@ -122,29 +138,24 @@ impl Scheduler {
             .sum()
     }
 
-    /// Ingest `table`'s unrouted delta once and fan it out to interested
-    /// shards (called after every committed update).
+    /// Note that `table` committed an update. Normally this just stages
+    /// the table name for asynchronous ingestion (a worker collects the
+    /// delta-log suffix and fans it out); when the staging queue is full
+    /// — or async ingest is disabled via
+    /// [`ImpConfig::ingest_queue_cap`]` = 0` — the delta is ingested
+    /// inline on this thread (backpressure, counted as a stall), which
+    /// keeps ingestion live even while every worker is paused.
     pub fn route(&self, table: &str) {
-        let collected = {
-            let mut router = self.router.lock();
-            let db = self.db.read();
-            router.collect(&db, table)
-        };
-        let Some((delta, shards)) = collected else {
-            return;
-        };
-        self.metrics
-            .routed_batches
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.metrics.routed_rows.fetch_add(
-            delta.entries.len() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
-        for shard in shards {
-            self.metrics
-                .fanout_messages
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.pool.send(shard, ShardMsg::Delta(Arc::clone(&delta)));
+        if self.shared.stage(table) {
+            self.shared.wake_any();
+        } else {
+            if self.shared.async_enabled() {
+                // A full staging queue (not a disabled one) is pressure.
+                self.metrics
+                    .backpressure_stalls
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            self.shared.ingest(&self.db, Some(table));
         }
     }
 
@@ -154,9 +165,8 @@ impl Scheduler {
     pub(crate) fn add_sketch(&self, template: QueryTemplate, sketch: StoredSketch) {
         let shard = self.shard_of(&template);
         {
-            let mut router = self.router.lock();
             let db = self.db.read();
-            router.register(&db, sketch.maintainer.tables(), shard);
+            self.shared.register(&db, sketch.maintainer.tables(), shard);
         }
         let (tx, rx) = bounded(1);
         self.pool.send(
@@ -186,10 +196,10 @@ impl Scheduler {
     }
 
     /// Ask the owning shard to bring the subsuming candidate fully
-    /// current (synchronous; queued routed deltas are processed first).
-    /// `Ok(None)` when no stored candidate subsumes the plan anymore; a
-    /// worker-side maintenance failure propagates like the in-line
-    /// backend's would.
+    /// current (synchronous; staged and queued routed deltas are
+    /// processed first). `Ok(None)` when no stored candidate subsumes the
+    /// plan anymore; a worker-side maintenance failure propagates like
+    /// the in-line backend's would.
     pub(crate) fn maintain_sketch(
         &self,
         template: &QueryTemplate,
@@ -253,13 +263,16 @@ impl Scheduler {
         }
     }
 
-    /// Barrier: returns once every message sent before this call has been
-    /// fully processed on every shard.
+    /// Barrier: returns once every update routed (or staged) before this
+    /// call has been fully processed on every shard. Each worker drains
+    /// the staging queue and flushes its own inbox before replying; a
+    /// claim stolen mid-flight is finished before the thief releases the
+    /// victim's state lock, which every subsequent store access takes.
     pub fn drain(&self) {
         let _: Vec<()> = self.broadcast(|tx| ShardMsg::Drain { reply: tx });
     }
 
-    /// Park every worker after it finishes its current gather (queues
+    /// Park every worker after it finishes its current claim (inboxes
     /// keep accepting routed batches — the deterministic way to observe
     /// coalescing and queue depth). Resume by dropping the guard.
     pub fn pause(&self) -> PausedShards {

@@ -1,20 +1,26 @@
-//! Worker-pool lifecycle: spawn, message plumbing, pause/resume, join.
+//! Worker-pool lifecycle: spawn, control plumbing, pause/resume, join.
+//!
+//! Routed deltas no longer travel through these channels — they live in
+//! the shared per-shard inboxes (`crate::sched::steal`). The channels
+//! carry only control messages and edge-triggered wake nudges, so they
+//! never need to block the update path: `SHARD_QUEUE_CAP` merely bounds
+//! how many controls can be queued ahead of a worker.
 
 use crate::advisor::WorkloadTracker;
 use crate::metrics::SchedMetrics;
 use crate::middleware::ImpConfig;
 use crate::sched::shard::{ShardMsg, ShardWorker};
 use crate::sched::snapshot::SnapshotBoard;
+use crate::sched::steal::SchedShared;
 use crossbeam::channel::{bounded, Sender};
 use imp_engine::Database;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Capacity of each shard's message queue. A full queue blocks the
-/// router's send — backpressure onto the update path (counted in
-/// [`SchedMetrics::backpressure_stalls`]).
+/// Capacity of each shard's control queue. Controls are rare and always
+/// answered; wake nudges are dropped (not blocked) when the queue is
+/// full, so a full queue never stalls ingestion.
 pub const SHARD_QUEUE_CAP: usize = 256;
 
 struct ShardHandle {
@@ -22,10 +28,10 @@ struct ShardHandle {
     handle: Option<JoinHandle<()>>,
 }
 
-/// `N` worker threads, each owning a disjoint shard of the sketch store.
+/// `N` worker threads, each serving one shard of the sketch store (and,
+/// with work stealing on, helping with any other shard's backlog).
 pub struct ShardPool {
     shards: Vec<ShardHandle>,
-    metrics: Arc<SchedMetrics>,
     /// Resume senders of outstanding pauses, so dropping the pool while a
     /// [`PausedShards`] guard is still alive unparks the workers instead
     /// of deadlocking the join (sends to already-resumed workers are
@@ -34,7 +40,7 @@ pub struct ShardPool {
 }
 
 impl ShardPool {
-    /// Spawn `workers` shard threads sharing `db`.
+    /// Spawn `workers` shard threads sharing `db` and `shared`.
     pub(crate) fn spawn(
         workers: usize,
         db: &Arc<RwLock<Database>>,
@@ -42,10 +48,13 @@ impl ShardPool {
         board: &Arc<SnapshotBoard>,
         metrics: &Arc<SchedMetrics>,
         tracker: &Arc<WorkloadTracker>,
+        shared: &Arc<SchedShared>,
     ) -> ShardPool {
+        let mut txs = Vec::with_capacity(workers);
         let shards = (0..workers)
             .map(|id| {
                 let (tx, rx) = bounded::<ShardMsg>(SHARD_QUEUE_CAP);
+                txs.push(tx.clone());
                 let worker = ShardWorker::new(
                     id,
                     Arc::clone(db),
@@ -53,6 +62,7 @@ impl ShardPool {
                     config.clone(),
                     Arc::clone(board),
                     Arc::clone(metrics),
+                    Arc::clone(shared),
                     Arc::clone(tracker),
                 );
                 let handle = std::thread::Builder::new()
@@ -65,9 +75,9 @@ impl ShardPool {
                 }
             })
             .collect();
+        shared.set_wakers(txs);
         ShardPool {
             shards,
-            metrics: Arc::clone(metrics),
             paused: Mutex::new(Vec::new()),
         }
     }
@@ -82,25 +92,10 @@ impl ShardPool {
         self.shards.is_empty()
     }
 
-    /// Send to one shard, blocking when its queue is full (backpressure;
-    /// the stall is counted). The depth gauge is bumped *before* the
-    /// send, so it counts queued plus in-flight blocked messages — it
-    /// must not be incremented after, or the worker could dequeue first
-    /// and underflow the gauge.
+    /// Send a control to one shard (blocking; control queues only ever
+    /// fill with controls, each of which the worker answers promptly).
     pub(crate) fn send(&self, shard: usize, msg: ShardMsg) {
-        self.metrics.enqueued(shard);
-        match self.shards[shard].tx.try_send(msg) {
-            Ok(()) => {}
-            Err(crossbeam::channel::TrySendError::Full(msg)) => {
-                self.metrics
-                    .backpressure_stalls
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = self.shards[shard].tx.send(msg);
-            }
-            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                self.metrics.dequeued(shard); // worker gone (shutdown race)
-            }
-        }
+        let _ = self.shards[shard].tx.send(msg);
     }
 
     /// Park every worker (acked), returning the resume handles.
@@ -147,8 +142,9 @@ impl Drop for ShardPool {
 }
 
 /// Guard returned by [`crate::sched::Scheduler::pause`]: every shard
-/// worker is parked (their queues keep filling — the deterministic way to
-/// observe coalescing). Dropping the guard resumes them.
+/// worker is parked (their inboxes keep filling — the deterministic way
+/// to observe coalescing and queue depth). Dropping the guard resumes
+/// them.
 pub struct PausedShards {
     resumes: Vec<Sender<()>>,
 }

@@ -1,13 +1,28 @@
-//! Shard workers: each owns a disjoint slice of the sketch store.
+//! Shard workers: each serves one shard's control channel and claims
+//! maintenance work from the shared inboxes.
 //!
-//! A worker drains its queue in gathered batches: the first message is
-//! taken blocking, then everything already queued is taken non-blocking
-//! until a control message or the coalescing budget ends the gather.
-//! Routed [`TableDelta`]s gathered for the same table **coalesce** into
-//! one pending group, so one maintenance run absorbs them in a single
-//! pass per sketch (the paper's batched-eager maintenance, applied per
-//! shard). Control messages act as barriers: pending deltas are flushed
-//! first, then the control request runs against the settled store.
+//! A worker's loop alternates between three duties:
+//!
+//! 1. **Controls** — messages on its own channel (add/maintain/inspect/
+//!    pause/…). Every control is a barrier: the worker first drains the
+//!    async-ingest staging queue and flushes its own inbox, then runs the
+//!    control against the settled store.
+//! 2. **Own work** — claim a coalesced whole-batch prefix of its own
+//!    inbox (see `crate::sched::steal`) and run one maintenance pass
+//!    over it. Routed batches gathered for the same table **coalesce**
+//!    into one run per sketch (the paper's batched-eager maintenance,
+//!    applied per shard), bounded by
+//!    [`crate::middleware::ImpConfig::coalesce_budget`].
+//! 3. **Stealing** — when its own inbox is empty and
+//!    [`crate::middleware::ImpConfig::work_stealing`] is on, claim from
+//!    another shard's inbox. The victim's state lock serializes the
+//!    claim against its owner, so stolen batches are processed with the
+//!    victim's own sketch state, in the victim's inbox order —
+//!    byte-identical to the owner doing the work itself.
+//!
+//! When nothing is queued anywhere the worker blocks on its channel with
+//! a short timeout (`IDLE_WAIT`) — wake nudges make routed work prompt,
+//! the timeout is only the safety net for lost nudges.
 //!
 //! Workers never take the middleware lock — they share the database via
 //! `Arc<RwLock<Database>>` read guards and publish results as immutable
@@ -22,16 +37,20 @@ use crate::middleware::{
     restore_if_evicted, retain_version, stored_heap_size, summarize, ImpConfig, PublishedMeta,
     SketchStateView, SketchSummary, StoredSketch, MAX_SKETCHES_PER_TEMPLATE,
 };
-use crate::sched::router::TableDelta;
 use crate::sched::snapshot::{PublishedSketch, SnapshotBoard};
+use crate::sched::steal::{SchedShared, ShardState};
 use crate::Result;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use imp_engine::Database;
 use imp_sketch::SketchSet;
 use imp_sql::{LogicalPlan, QueryTemplate};
 use imp_storage::FxHashMap;
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Idle block on the control channel: the safety net behind wake nudges.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
 
 /// Reply to an on-demand maintenance request: the report plus the fresh
 /// sketch (cloned bits — the worker keeps the live one).
@@ -65,10 +84,12 @@ pub struct ShardReport {
     pub last_error: Option<String>,
 }
 
-/// Messages a shard worker understands.
+/// Messages a shard worker understands. Routed deltas do **not** travel
+/// here — they go through the shared inboxes (`crate::sched::steal`);
+/// the channel carries controls and edge-triggered wake nudges only.
 pub(crate) enum ShardMsg {
-    /// A routed table delta (coalescable).
-    Delta(Arc<TableDelta>),
+    /// Nudge: queued work may exist (staged ingest or a routed batch).
+    Wake,
     /// Take ownership of a freshly captured sketch.
     AddSketch {
         /// Store key.
@@ -147,7 +168,7 @@ pub(crate) enum ShardMsg {
     Stop,
 }
 
-/// One shard worker's state (runs on its own thread).
+/// One shard worker (runs on its own thread, serves shard `id`).
 pub(crate) struct ShardWorker {
     id: usize,
     db: Arc<RwLock<Database>>,
@@ -155,15 +176,13 @@ pub(crate) struct ShardWorker {
     config: ImpConfig,
     board: Arc<SnapshotBoard>,
     metrics: Arc<SchedMetrics>,
-    store: FxHashMap<QueryTemplate, Vec<StoredSketch>>,
-    /// Table → coalesced routed batches awaiting one maintenance run.
-    pending: FxHashMap<String, Vec<Arc<TableDelta>>>,
+    shared: Arc<SchedShared>,
     /// Shared workload tracker (maintenance costs recorded worker-side).
     tracker: Arc<WorkloadTracker>,
-    last_error: Option<String>,
 }
 
 impl ShardWorker {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         db: Arc<RwLock<Database>>,
@@ -171,6 +190,7 @@ impl ShardWorker {
         config: ImpConfig,
         board: Arc<SnapshotBoard>,
         metrics: Arc<SchedMetrics>,
+        shared: Arc<SchedShared>,
         tracker: Arc<WorkloadTracker>,
     ) -> ShardWorker {
         ShardWorker {
@@ -180,137 +200,149 @@ impl ShardWorker {
             config,
             board,
             metrics,
-            store: FxHashMap::default(),
-            pending: FxHashMap::default(),
+            shared,
             tracker,
-            last_error: None,
         }
     }
 
-    /// The worker loop: gather → flush pending deltas → run controls.
+    /// The worker loop: controls → own claims → steals → idle block.
     pub(crate) fn run(mut self) {
         loop {
-            let Ok(first) = self.rx.recv() else {
-                break; // all senders gone
-            };
-            self.metrics.dequeued(self.id);
-            let mut controls = Vec::new();
+            // Handle every control already queued (each is a barrier).
             let mut stop = false;
-            let mut budget_hit = self.accept(first, &mut controls, &mut stop);
-            // Gather whatever is already queued. The gather ends when a
-            // control message arrives (it must observe the flushed
-            // store) or a table's pending entries reach the per-table
-            // coalescing budget.
-            while controls.is_empty() && !stop && !budget_hit {
-                match self.rx.try_recv() {
-                    Ok(msg) => {
-                        self.metrics.dequeued(self.id);
-                        budget_hit = self.accept(msg, &mut controls, &mut stop);
-                    }
-                    Err(_) => break,
+            while let Ok(msg) = self.rx.try_recv() {
+                if self.handle(msg) {
+                    stop = true;
+                    break;
                 }
-            }
-            if !self.pending.is_empty() {
-                self.flush_pending();
-            }
-            for control in controls {
-                self.handle_control(control);
             }
             if stop {
+                // Best-effort parity with the channel-delivered era: work
+                // queued before Stop is flushed before the thread exits.
+                while self.work_on(self.id, false) {}
                 break;
             }
-        }
-    }
-
-    /// Sort one message into pending deltas / controls / stop. Returns
-    /// true when the accepted delta's table reached the per-table
-    /// coalescing budget (its next batch must go into a new run).
-    fn accept(&mut self, msg: ShardMsg, controls: &mut Vec<ShardMsg>, stop: &mut bool) -> bool {
-        match msg {
-            ShardMsg::Delta(delta) => {
-                let parts = self.pending.entry(delta.table.clone()).or_default();
-                if !parts.is_empty() {
-                    // A pending batch for the same table already waits:
-                    // this one coalesces into the same maintenance run.
-                    self.metrics
-                        .coalesced_batches
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-                parts.push(delta);
-                let table_entries: usize = parts.iter().map(|p| p.entries.len()).sum();
-                table_entries >= self.config.coalesce_budget.max(1)
+            // One unit of maintenance work, own shard first.
+            if self.work_once() {
+                continue;
             }
-            ShardMsg::Stop => {
-                *stop = true;
-                false
-            }
-            control => {
-                controls.push(control);
-                false
-            }
-        }
-    }
-
-    /// One maintenance run over the coalesced pending deltas. Sketches
-    /// the advisor demoted below [`Lifecycle::Maintained`] are skipped —
-    /// they are brought current on demand by the next query that needs
-    /// them (the delta log keeps their records; vacuum horizons respect
-    /// every stored sketch's maintained version).
-    fn flush_pending(&mut self) {
-        let routed = std::mem::take(&mut self.pending);
-        let db = self.db.read();
-        for (template, entries) in self.store.iter_mut() {
-            for entry in entries.iter_mut() {
-                if entry.lifecycle != Lifecycle::Maintained
-                    || !entry
-                        .maintainer
-                        .tables()
-                        .iter()
-                        .any(|t| routed.contains_key(t))
-                {
-                    continue;
-                }
-                let mut run = || -> Result<MaintReport> {
-                    restore_if_evicted(entry)?;
-                    let report = entry.maintainer.maintain_from(&db, &routed)?;
-                    retain_version(entry, self.config.retain_sketch_versions);
-                    Ok(report)
-                };
-                match run() {
-                    Ok(report) => {
-                        self.metrics
-                            .maintain_runs
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        self.tracker.record_maintenance(
-                            SketchKey::new(template.text(), entry.sql.clone()),
-                            report.advisor_cost(),
-                        );
+            // Idle: block until a nudge/control or the safety net fires.
+            match self.rx.recv_timeout(IDLE_WAIT) {
+                Ok(msg) => {
+                    if self.handle(msg) {
+                        while self.work_on(self.id, false) {}
+                        break;
                     }
-                    Err(e) => self.last_error = Some(e.to_string()),
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Dispatch one message; `true` = stop. Controls run behind a
+    /// barrier flush (staged ingest + own inbox), mirroring the PR 4
+    /// rule that a control observes the settled store.
+    fn handle(&mut self, msg: ShardMsg) -> bool {
+        match msg {
+            ShardMsg::Wake => false,
+            ShardMsg::Stop => true,
+            control => {
+                self.barrier_flush();
+                self.handle_control(control);
+                false
+            }
+        }
+    }
+
+    /// Flush everything routed (or staged) before a control was sent:
+    /// drain the staging queue, then claim from this shard's own inbox
+    /// until it is empty. Holding the state lock between claims is not
+    /// needed — "inbox empty" is checked after the staging drain's
+    /// pushes have all landed (one router hold), and any batch a thief
+    /// claimed concurrently is fully processed before our next claim can
+    /// take the state lock.
+    fn barrier_flush(&self) {
+        self.shared.ingest(&self.db, None);
+        while self.work_on(self.id, false) {}
+    }
+
+    /// One unit of work: staged ingest, then a claim from the own inbox,
+    /// then (with stealing on) a claim from the busiest other shard.
+    /// Returns `false` when there was nothing to do anywhere.
+    fn work_once(&mut self) -> bool {
+        if !self.shared.staging_is_empty() {
+            self.shared.ingest(&self.db, None);
+        }
+        if self.work_on(self.id, false) {
+            return true;
+        }
+        if self.config.work_stealing {
+            let shards = self.shared.slots.len();
+            for offset in 1..shards {
+                let victim = (self.id + offset) % shards;
+                if self.work_on(victim, true) {
+                    return true;
                 }
             }
         }
-        drop(db);
-        self.publish();
+        false
+    }
+
+    /// Claim and process one coalesced batch group from `shard`'s inbox.
+    /// Blocks on the shard's state lock: under contention the lock
+    /// serializes claims, so owner and thieves interleave whole claims
+    /// in inbox order. Returns `false` when the inbox was empty.
+    fn work_on(&self, shard: usize, stolen: bool) -> bool {
+        if !self.shared.has_work(shard) {
+            return false;
+        }
+        let slot = &self.shared.slots[shard];
+        let mut state = slot.state.lock();
+        let Some(claim) = self.shared.claim(shard, self.config.coalesce_budget) else {
+            return false; // someone else claimed it first
+        };
+        if stolen {
+            self.metrics
+                .steals
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics
+                .stolen_batches
+                .fetch_add(claim.batches, std::sync::atomic::Ordering::Relaxed);
+        }
+        {
+            let db = self.db.read();
+            run_claim(
+                &mut state,
+                &claim.routed,
+                &db,
+                &self.config,
+                &self.metrics,
+                &self.tracker,
+            );
+        }
+        publish(shard, &mut state, &self.board);
+        true
     }
 
     fn handle_control(&mut self, msg: ShardMsg) {
         match msg {
-            ShardMsg::Delta(_) | ShardMsg::Stop => unreachable!("not a control message"),
+            ShardMsg::Wake | ShardMsg::Stop => unreachable!("not a control message"),
             ShardMsg::AddSketch {
                 template,
                 sketch,
                 reply,
             } => {
-                if let Some(entries) = self.store.get_mut(&template) {
+                let mut state = self.shared.slots[self.id].state.lock();
+                if let Some(entries) = state.store.get_mut(&template) {
                     if entries.len() >= MAX_SKETCHES_PER_TEMPLATE {
                         let old = entries.remove(0); // evict the oldest candidate
                         self.tracker
                             .forget(&SketchKey::new(template.text(), old.sql));
                     }
                 }
-                self.store.entry(template).or_default().push(*sketch);
-                self.publish();
+                state.store.entry(template).or_default().push(*sketch);
+                publish(self.id, &mut state, &self.board);
                 let _ = reply.send(());
             }
             ShardMsg::MaintainSketch {
@@ -318,16 +350,18 @@ impl ShardWorker {
                 plan,
                 reply,
             } => {
-                let result = self.maintain_one(&template, &plan);
+                let mut state = self.shared.slots[self.id].state.lock();
+                let result = self.maintain_one(&mut state, &template, &plan);
                 if matches!(result, Ok(Some(_))) {
-                    self.publish();
+                    publish(self.id, &mut state, &self.board);
                 }
                 let _ = reply.send(result);
             }
             ShardMsg::MaintainStale { reply } => {
-                let (reports, error) = self.maintain_stale();
+                let mut state = self.shared.slots[self.id].state.lock();
+                let (reports, error) = self.maintain_stale(&mut state);
                 if !reports.is_empty() {
-                    self.publish();
+                    publish(self.id, &mut state, &self.board);
                 }
                 match reply {
                     Some(reply) => {
@@ -337,22 +371,24 @@ impl ShardWorker {
                         // Fire-and-forget kick: surface the error through
                         // the next inspection instead.
                         if let Some(e) = error {
-                            self.last_error = Some(e.to_string());
+                            state.last_error = Some(e.to_string());
                         }
                     }
                 }
             }
             ShardMsg::Inspect { reply } => {
-                let _ = reply.send(self.inspect());
+                let mut state = self.shared.slots[self.id].state.lock();
+                let _ = reply.send(self.inspect(&mut state));
             }
             ShardMsg::Evict { template, reply } => {
+                let mut state = self.shared.slots[self.id].state.lock();
                 let mut freed = 0usize;
                 let targeted: Box<dyn Iterator<Item = &mut StoredSketch>> = match &template {
-                    Some(t) => match self.store.get_mut(t) {
+                    Some(t) => match state.store.get_mut(t) {
                         Some(entries) => Box::new(entries.iter_mut()),
                         None => Box::new(std::iter::empty()),
                     },
-                    None => Box::new(self.store.values_mut().flatten()),
+                    None => Box::new(state.store.values_mut().flatten()),
                 };
                 for entry in targeted {
                     freed += crate::middleware::evict_stored(entry);
@@ -360,15 +396,17 @@ impl ShardWorker {
                 let _ = reply.send(freed);
             }
             ShardMsg::FlushPools { reply } => {
+                let mut state = self.shared.slots[self.id].state.lock();
                 let mut flushed = 0usize;
-                for entry in self.store.values_mut().flatten() {
+                for entry in state.store.values_mut().flatten() {
                     entry.maintainer.flush_pool_caches();
                     flushed += 1;
                 }
                 let _ = reply.send(flushed);
             }
             ShardMsg::AdviseGather { reply } => {
-                let cards = self
+                let state = self.shared.slots[self.id].state.lock();
+                let cards = state
                     .store
                     .iter()
                     .flat_map(|(template, entries)| {
@@ -380,10 +418,11 @@ impl ShardWorker {
                 let _ = reply.send(cards);
             }
             ShardMsg::AdviseApply { actions, reply } => {
+                let mut state = self.shared.slots[self.id].state.lock();
                 let result = {
                     let db = self.db.read();
                     crate::advisor::autopilot::apply_to_store(
-                        &mut self.store,
+                        &mut state.store,
                         &db,
                         &self.config,
                         &self.tracker,
@@ -391,11 +430,12 @@ impl ShardWorker {
                     )
                 };
                 // Drops and promotions change published counts/bits.
-                self.publish();
+                publish(self.id, &mut state, &self.board);
                 let _ = reply.send(result);
             }
             ShardMsg::Repartition { reply } => {
-                let _ = reply.send(self.repartition());
+                let mut state = self.shared.slots[self.id].state.lock();
+                let _ = reply.send(self.repartition(&mut state));
             }
             ShardMsg::Drain { reply } => {
                 let _ = reply.send(());
@@ -412,11 +452,12 @@ impl ShardWorker {
     /// `Ok(None)` = no candidate subsumes the plan; errors propagate to
     /// the requesting caller, mirroring the in-line backend.
     fn maintain_one(
-        &mut self,
+        &self,
+        state: &mut ShardState,
         template: &QueryTemplate,
         plan: &LogicalPlan,
     ) -> Result<Option<MaintainReply>> {
-        let Some(entries) = self.store.get_mut(template) else {
+        let Some(entries) = state.store.get_mut(template) else {
             return Ok(None);
         };
         let Some(entry) = entries
@@ -444,11 +485,14 @@ impl ShardWorker {
     /// Maintain every stale [`Lifecycle::Maintained`] sketch (demoted
     /// ones wait for an on-demand query), continuing past failures (other
     /// shards keep working either way); the first error rides along.
-    fn maintain_stale(&mut self) -> (Vec<MaintReport>, Option<crate::CoreError>) {
+    fn maintain_stale(
+        &self,
+        state: &mut ShardState,
+    ) -> (Vec<MaintReport>, Option<crate::CoreError>) {
         let db = self.db.read();
         let mut reports = Vec::new();
         let mut first_error = None;
-        for (template, entries) in self.store.iter_mut() {
+        for (template, entries) in state.store.iter_mut() {
             for entry in entries.iter_mut() {
                 if entry.lifecycle != Lifecycle::Maintained || !entry.maintainer.is_stale(&db) {
                     continue;
@@ -472,7 +516,7 @@ impl ShardWorker {
                         if first_error.is_none() {
                             first_error = Some(e);
                         } else {
-                            self.last_error = Some(e.to_string());
+                            state.last_error = Some(e.to_string());
                         }
                     }
                 }
@@ -481,7 +525,7 @@ impl ShardWorker {
         (reports, first_error)
     }
 
-    fn inspect(&mut self) -> ShardReport {
+    fn inspect(&self, state: &mut ShardState) -> ShardReport {
         let db = self.db.read();
         let mut summaries = Vec::new();
         let mut states = Vec::new();
@@ -489,7 +533,7 @@ impl ShardWorker {
         let mut min_version: Option<u64> = None;
         let mut table_versions: FxHashMap<String, u64> = FxHashMap::default();
         let mut count = 0usize;
-        for (template, entries) in &self.store {
+        for (template, entries) in &state.store {
             for e in entries {
                 summaries.push(summarize(template, e, &db));
                 states.push(SketchStateView {
@@ -518,56 +562,104 @@ impl ShardWorker {
             min_version,
             table_versions: table_versions.into_iter().collect(),
             count,
-            last_error: self.last_error.clone(),
+            last_error: state.last_error.clone(),
         }
     }
 
     /// Recapture every sketch with fresh equi-depth partitions (§7.4) —
     /// the shared [`crate::middleware::repartition_store`] loop, with the
     /// error surfaced through inspection (no synchronous caller to fail).
-    fn repartition(&mut self) -> usize {
-        let db = self.db.read();
-        let recaptured =
-            match crate::middleware::repartition_store(&mut self.store, &db, &self.config) {
+    fn repartition(&self, state: &mut ShardState) -> usize {
+        let recaptured = {
+            let db = self.db.read();
+            match crate::middleware::repartition_store(&mut state.store, &db, &self.config) {
                 Ok(n) => n,
                 Err(e) => {
-                    self.last_error = Some(e.to_string());
+                    state.last_error = Some(e.to_string());
                     0
                 }
-            };
-        drop(db);
-        self.publish();
+            }
+        };
+        publish(self.id, state, &self.board);
         recaptured
     }
+}
 
-    /// Publish the shard's current sketches as an immutable snapshot.
-    /// The plan/SQL/tables of each entry are `Arc`-wrapped once and
-    /// cached — per flush only the sketch bits are cloned.
-    fn publish(&mut self) {
-        let sketches = self
-            .store
-            .iter_mut()
-            .flat_map(|(template, entries)| {
-                entries.iter_mut().map(|e| {
-                    if e.published_meta.is_none() {
-                        e.published_meta = Some(PublishedMeta {
-                            sql: Arc::from(e.sql.as_str()),
-                            plan: Arc::new(e.plan.clone()),
-                            tables: e.maintainer.tables().to_vec().into(),
-                        });
-                    }
-                    let meta = e.published_meta.as_ref().expect("just filled");
-                    PublishedSketch {
-                        template: template.clone(),
-                        sql: Arc::clone(&meta.sql),
-                        plan: Arc::clone(&meta.plan),
-                        tables: Arc::clone(&meta.tables),
-                        sketch: Arc::new(e.maintainer.sketch().clone()),
-                        version: e.maintainer.version(),
-                    }
-                })
-            })
-            .collect();
-        self.board.publish(self.id, sketches);
+/// One maintenance run over a claim's coalesced routed batches. Sketches
+/// the advisor demoted below [`Lifecycle::Maintained`] are skipped —
+/// they are brought current on demand by the next query that needs
+/// them (the delta log keeps their records; vacuum horizons respect
+/// every stored sketch's maintained version). Free function so owner and
+/// thief run the identical pass.
+pub(crate) fn run_claim(
+    state: &mut ShardState,
+    routed: &FxHashMap<String, Vec<Arc<crate::sched::router::TableDelta>>>,
+    db: &Database,
+    config: &ImpConfig,
+    metrics: &SchedMetrics,
+    tracker: &WorkloadTracker,
+) {
+    for (template, entries) in state.store.iter_mut() {
+        for entry in entries.iter_mut() {
+            if entry.lifecycle != Lifecycle::Maintained
+                || !entry
+                    .maintainer
+                    .tables()
+                    .iter()
+                    .any(|t| routed.contains_key(t))
+            {
+                continue;
+            }
+            let mut run = || -> Result<MaintReport> {
+                restore_if_evicted(entry)?;
+                let report = entry.maintainer.maintain_from(db, routed)?;
+                retain_version(entry, config.retain_sketch_versions);
+                Ok(report)
+            };
+            match run() {
+                Ok(report) => {
+                    metrics
+                        .maintain_runs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    tracker.record_maintenance(
+                        SketchKey::new(template.text(), entry.sql.clone()),
+                        report.advisor_cost(),
+                    );
+                }
+                Err(e) => state.last_error = Some(e.to_string()),
+            }
+        }
     }
+}
+
+/// Publish `shard`'s current sketches as an immutable snapshot.
+/// The plan/SQL/tables of each entry are `Arc`-wrapped once and
+/// cached — per flush only the sketch bits are cloned. Free function so
+/// a thief can publish the victim's shard after a stolen claim.
+pub(crate) fn publish(shard: usize, state: &mut ShardState, board: &SnapshotBoard) {
+    let sketches = state
+        .store
+        .iter_mut()
+        .flat_map(|(template, entries)| {
+            entries.iter_mut().map(|e| {
+                if e.published_meta.is_none() {
+                    e.published_meta = Some(PublishedMeta {
+                        sql: Arc::from(e.sql.as_str()),
+                        plan: Arc::new(e.plan.clone()),
+                        tables: e.maintainer.tables().to_vec().into(),
+                    });
+                }
+                let meta = e.published_meta.as_ref().expect("just filled");
+                PublishedSketch {
+                    template: template.clone(),
+                    sql: Arc::clone(&meta.sql),
+                    plan: Arc::clone(&meta.plan),
+                    tables: Arc::clone(&meta.tables),
+                    sketch: Arc::new(e.maintainer.sketch().clone()),
+                    version: e.maintainer.version(),
+                }
+            })
+        })
+        .collect();
+    board.publish(shard, sketches);
 }

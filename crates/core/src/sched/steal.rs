@@ -1,0 +1,334 @@
+//! Shared shard inboxes, the async-ingest staging queue, and work
+//! stealing.
+//!
+//! PR 4's scheduler delivered routed deltas through each worker's message
+//! channel, so a batch was pinned to its shard's thread: one hot shard
+//! under a skewed stream kept one worker saturated while the rest idled.
+//! This module moves delta delivery into *shared* per-shard state:
+//!
+//! * **[`ShardSlot`]** — per shard, a FIFO `inbox` of routed
+//!   [`TableDelta`] batches plus the lockable [`ShardState`] (the sketch
+//!   store). Whoever holds the state lock may *claim* a coalesced prefix
+//!   of the inbox and run maintenance — the owning worker usually, but
+//!   under load **any idle worker** (a steal). Claims are serialized by
+//!   the state lock and always take a version-ordered whole-batch prefix,
+//!   so however ownership of a claim moves between threads, every sketch
+//!   consumes its delta stream in exactly the in-line order — the
+//!   split-invariant arithmetic keeps the bits byte-identical (the
+//!   `steal_differential` suite proves it).
+//! * **Async ingest** — [`SchedShared::stage`] appends the updated
+//!   table's name to a bounded staging queue and returns immediately:
+//!   the writer no longer pays for log collection and fan-out. Workers
+//!   (and control barriers) drain the staging queue through
+//!   [`SchedShared::ingest`], which collects and fans out **under one
+//!   router hold** so inbox pushes happen in global collect order — the
+//!   ordering claims rely on. A full staging queue falls back to inline
+//!   ingestion on the writer's thread (counted as a backpressure stall),
+//!   which keeps the update path live even while every worker is paused.
+//!
+//! Lock order (no cycles): `router → staging/inbox` on the ingest side,
+//! `state → inbox` on the claim side, `state → db.read` while
+//! maintaining. No thread ever holds two different shards' state locks.
+
+use crate::metrics::SchedMetrics;
+use crate::middleware::StoredSketch;
+use crate::sched::router::{DeltaRouter, TableDelta};
+use crate::sched::shard::ShardMsg;
+use crossbeam::channel::Sender;
+use imp_engine::Database;
+use imp_sql::QueryTemplate;
+use imp_storage::FxHashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// One shard's lockable sketch store. Control messages and claims both
+/// go through the [`ShardSlot::state`] lock, so a thief never races the
+/// owner's store mutations.
+pub(crate) struct ShardState {
+    /// Template → stored candidates (the shard's slice of the store).
+    pub(crate) store: FxHashMap<QueryTemplate, Vec<StoredSketch>>,
+    /// Sticky last maintenance error (surfaced through inspection).
+    pub(crate) last_error: Option<String>,
+}
+
+/// One shard: the routed-delta inbox plus the stealable state.
+pub(crate) struct ShardSlot {
+    /// FIFO of routed batches, in global collect order (pushes happen
+    /// under the router lock). `inbox empty && state lock held` ⇒ no
+    /// batch is in flight for this shard.
+    inbox: Mutex<VecDeque<Arc<TableDelta>>>,
+    /// The shard's store; holding it grants the right to claim.
+    pub(crate) state: Mutex<ShardState>,
+}
+
+/// A claimed, coalesced unit of maintenance work: a whole-batch FIFO
+/// prefix of one shard's inbox, grouped per table for a single
+/// [`crate::maintain::SketchMaintainer::maintain_from`] pass.
+pub(crate) struct Claim {
+    /// Table → coalesced batches, in arrival (version) order.
+    pub(crate) routed: FxHashMap<String, Vec<Arc<TableDelta>>>,
+    /// Number of whole batches claimed.
+    pub(crate) batches: u64,
+}
+
+/// In-progress claim accumulation (see [`SchedShared::claim`]).
+struct ClaimBuilder {
+    routed: FxHashMap<String, Vec<Arc<TableDelta>>>,
+    rows: FxHashMap<String, usize>,
+    batches: u64,
+    max_to: u64,
+}
+
+impl ClaimBuilder {
+    /// Add one batch; returns true when its table's rows reach `budget`.
+    fn take(&mut self, batch: Arc<TableDelta>, budget: usize) -> bool {
+        self.batches += 1;
+        self.max_to = self.max_to.max(batch.to_version);
+        let table_rows = self.rows.entry(batch.table.clone()).or_insert(0);
+        *table_rows += batch.entries.len();
+        let budget_hit = *table_rows >= budget.max(1);
+        self.routed
+            .entry(batch.table.clone())
+            .or_default()
+            .push(batch);
+        budget_hit
+    }
+}
+
+/// State shared by the scheduler facade and every shard worker.
+pub(crate) struct SchedShared {
+    /// One slot per shard.
+    pub(crate) slots: Vec<ShardSlot>,
+    /// The single ingestion point (log collection + interning).
+    router: Mutex<DeltaRouter>,
+    /// Async-ingest staging queue: table names awaiting collection.
+    staging: Mutex<VecDeque<String>>,
+    /// Staging capacity; `0` disables async ingest (inline routing).
+    staging_cap: usize,
+    /// Shared scheduler counters.
+    metrics: Arc<SchedMetrics>,
+    /// Control-channel senders, for wake nudges (set once after spawn).
+    wakers: OnceLock<Vec<Sender<ShardMsg>>>,
+    /// Round-robin cursor for [`SchedShared::wake_any`].
+    next_wake: AtomicUsize,
+}
+
+impl SchedShared {
+    pub(crate) fn new(
+        workers: usize,
+        staging_cap: usize,
+        metrics: Arc<SchedMetrics>,
+    ) -> SchedShared {
+        SchedShared {
+            slots: (0..workers)
+                .map(|_| ShardSlot {
+                    inbox: Mutex::new(VecDeque::new()),
+                    state: Mutex::new(ShardState {
+                        store: FxHashMap::default(),
+                        last_error: None,
+                    }),
+                })
+                .collect(),
+            router: Mutex::new(DeltaRouter::new()),
+            staging: Mutex::new(VecDeque::new()),
+            staging_cap,
+            metrics,
+            wakers: OnceLock::new(),
+            next_wake: AtomicUsize::new(0),
+        }
+    }
+
+    /// Install the control-channel senders (once, right after spawn).
+    pub(crate) fn set_wakers(&self, wakers: Vec<Sender<ShardMsg>>) {
+        let _ = self.wakers.set(wakers);
+    }
+
+    /// Register `shard`'s interest in `tables` with the router.
+    pub(crate) fn register(&self, db: &Database, tables: &[String], shard: usize) {
+        self.router.lock().register(db, tables, shard);
+    }
+
+    /// Stage `table` for asynchronous ingestion. Returns `false` when the
+    /// staging queue is full (or async ingest is disabled) — the caller
+    /// must then ingest inline.
+    pub(crate) fn stage(&self, table: &str) -> bool {
+        if self.staging_cap == 0 {
+            return false;
+        }
+        let mut staging = self.staging.lock();
+        if staging.len() >= self.staging_cap {
+            return false;
+        }
+        staging.push_back(table.to_string());
+        self.metrics.staged_updates.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// True iff async ingest is enabled (nonzero staging capacity).
+    pub(crate) fn async_enabled(&self) -> bool {
+        self.staging_cap > 0
+    }
+
+    /// True iff nothing is staged (cheap idle check).
+    pub(crate) fn staging_is_empty(&self) -> bool {
+        self.staging.lock().is_empty()
+    }
+
+    /// Drain the staging queue (and collect `extra`, when given) under
+    /// **one** router hold: every staged table is collected from the log
+    /// and fanned out before the hold ends, so "staging empty" is only
+    /// observable once all its pushes have landed — the property control
+    /// barriers rely on.
+    ///
+    /// Deferred collection can produce batches whose version ranges
+    /// *interleave*: `collect(hot)` may merge versions 1 and 3 into one
+    /// batch while version 2 belongs to a still-staged table. Join
+    /// maintenance is only split-invariant across version-contiguous
+    /// runs, so interleaved batches must never land in different claims.
+    /// Two rules enforce that: all of a drain's batches for one shard
+    /// are pushed under a **single inbox hold** (a concurrent claim sees
+    /// the whole group or none of it), and [`SchedShared::claim`] extends
+    /// to version closure over the inbox. Staged-but-uncollected updates
+    /// cannot interleave with a drain's batches: the staging queue is
+    /// drained to empty under the router hold, and the middleware's
+    /// single-writer update path stages each commit before the next one
+    /// can produce a higher version.
+    pub(crate) fn ingest(&self, db: &RwLock<Database>, extra: Option<&str>) {
+        let mut router = self.router.lock();
+        let db = db.read();
+        let mut collected: Vec<(Arc<TableDelta>, Vec<usize>)> = Vec::new();
+        loop {
+            let Some(table) = self.staging.lock().pop_front() else {
+                break;
+            };
+            if let Some(c) = self.collect(&mut router, &db, &table) {
+                collected.push(c);
+            }
+        }
+        if let Some(table) = extra {
+            if let Some(c) = self.collect(&mut router, &db, table) {
+                collected.push(c);
+            }
+        }
+        if collected.is_empty() {
+            return;
+        }
+        let mut per_shard: Vec<Vec<Arc<TableDelta>>> =
+            (0..self.slots.len()).map(|_| Vec::new()).collect();
+        for (delta, shards) in collected {
+            for shard in shards {
+                self.metrics.fanout_messages.fetch_add(1, Ordering::Relaxed);
+                per_shard[shard].push(Arc::clone(&delta));
+            }
+        }
+        for (shard, batches) in per_shard.into_iter().enumerate() {
+            if batches.is_empty() {
+                continue;
+            }
+            self.inbox_push_group(shard, batches);
+            self.wake(shard);
+        }
+    }
+
+    /// Collect `table`'s unrouted log suffix (caller holds the router).
+    fn collect(
+        &self,
+        router: &mut DeltaRouter,
+        db: &Database,
+        table: &str,
+    ) -> Option<(Arc<TableDelta>, Vec<usize>)> {
+        let (delta, shards) = router.collect(db, table)?;
+        self.metrics.routed_batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .routed_rows
+            .fetch_add(delta.entries.len() as u64, Ordering::Relaxed);
+        Some((delta, shards))
+    }
+
+    /// Push one drain's routed batches into `shard`'s inbox under a
+    /// single hold (claims must see the group whole — see
+    /// [`SchedShared::ingest`]), counting coalescing (a same-table batch
+    /// already queued will fold into one run).
+    fn inbox_push_group(&self, shard: usize, batches: Vec<Arc<TableDelta>>) {
+        let mut inbox = self.slots[shard].inbox.lock();
+        for batch in batches {
+            if inbox.iter().any(|b| b.table == batch.table) {
+                self.metrics
+                    .coalesced_batches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            inbox.push_back(batch);
+            self.metrics.enqueued(shard);
+        }
+    }
+
+    /// True iff `shard`'s inbox has queued batches (lock-cheap peek).
+    pub(crate) fn has_work(&self, shard: usize) -> bool {
+        !self.slots[shard].inbox.lock().is_empty()
+    }
+
+    /// Claim a whole-batch FIFO prefix of `shard`'s inbox, stopping once
+    /// any table's claimed rows reach `budget` (that batch is included —
+    /// matching the PR 4 gather rule). Same-table batches group into one
+    /// maintenance run. **Caller must hold `shard`'s state lock.**
+    ///
+    /// After the budget stop the claim extends to **version closure**:
+    /// while the next queued batch holds versions below the highest
+    /// version already claimed, it is pulled in too. Deferred collection
+    /// may merge a table's versions 1 and 3 into one batch while another
+    /// table's version 2 sits behind it (see [`SchedShared::ingest`]);
+    /// splitting those across claims would break the three-term join
+    /// rule's telescoping (cross-run delta products are never produced).
+    /// Closure over the front suffices because drain groups land under
+    /// one inbox hold and interleaving only occurs within a group.
+    pub(crate) fn claim(&self, shard: usize, budget: usize) -> Option<Claim> {
+        let mut inbox = self.slots[shard].inbox.lock();
+        if inbox.is_empty() {
+            return None;
+        }
+        let mut claim = ClaimBuilder {
+            routed: FxHashMap::default(),
+            rows: FxHashMap::default(),
+            batches: 0,
+            max_to: 0,
+        };
+        while let Some(batch) = inbox.pop_front() {
+            self.metrics.dequeued(shard);
+            if claim.take(batch, budget) {
+                break;
+            }
+        }
+        while inbox
+            .front()
+            .is_some_and(|front| front.from_version < claim.max_to)
+        {
+            let batch = inbox.pop_front().expect("front was Some");
+            self.metrics.dequeued(shard);
+            claim.take(batch, budget);
+        }
+        Some(Claim {
+            routed: claim.routed,
+            batches: claim.batches,
+        })
+    }
+
+    /// Nudge `shard`'s worker (edge-triggered; dropped when its control
+    /// queue is already full — it will see the work anyway).
+    pub(crate) fn wake(&self, shard: usize) {
+        if let Some(wakers) = self.wakers.get() {
+            let _ = wakers[shard].try_send(ShardMsg::Wake);
+        }
+    }
+
+    /// Nudge one worker, round-robin (staged ingest has no target shard
+    /// until collection resolves interest).
+    pub(crate) fn wake_any(&self) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let next = self.next_wake.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.wake(next);
+    }
+}

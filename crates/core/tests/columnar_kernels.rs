@@ -1,0 +1,152 @@
+//! Property tests for the columnar delta kernels: on any random batch —
+//! duplicate rows, mixed signs, exact zero-multiplicity cancellations —
+//! the columnar sort-then-run-length paths must produce byte-identical
+//! results to the row-at-a-time fallbacks they replace.
+
+use imp_core::delta::{normalize_delta, normalize_delta_rowwise};
+use imp_sketch::{annotate_delta, annotation_id_for_row, PartitionSet, RangePartition};
+use imp_storage::{
+    key_runs, row, sort_keys_stable, AnnotPool, DeltaBatch, DeltaColumns, DeltaLog, DeltaOp,
+    RowInterner, Value,
+};
+use proptest::prelude::*;
+
+const POOL_WIDTH: usize = 8;
+
+/// Random batch over a tiny row/annotation space so duplicate
+/// `(row, annot)` keys — and exact cancellations — are common.
+fn arb_batch() -> impl Strategy<Value = DeltaBatch> {
+    prop::collection::vec((0i64..4, 0i64..3, 0usize..4, -2i64..3), 0..96).prop_map(|entries| {
+        let mut pool = AnnotPool::new(POOL_WIDTH);
+        let mut batch = DeltaBatch::with_capacity(entries.len());
+        for (k, v, frag, mult) in entries {
+            batch.push_entry(row![k, v], pool.singleton(frag), mult);
+        }
+        batch
+    })
+}
+
+fn pset() -> PartitionSet {
+    PartitionSet::new(vec![RangePartition::new(
+        "t",
+        "k",
+        0,
+        vec![Value::Int(2), Value::Int(4)],
+    )
+    .unwrap()])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The columnar merge kernel equals the row-wise hash-fold oracle on
+    /// any batch — including sub-threshold sizes the dispatcher would
+    /// route row-wise.
+    #[test]
+    fn columnar_merge_matches_rowwise_oracle(batch in arb_batch()) {
+        let columnar = DeltaColumns::from_owned(batch.clone()).merged();
+        let rowwise = normalize_delta_rowwise(batch);
+        prop_assert_eq!(columnar, rowwise);
+    }
+
+    /// The size-dispatched entry point agrees with the oracle whichever
+    /// path it picks.
+    #[test]
+    fn normalize_dispatch_is_path_independent(batch in arb_batch()) {
+        prop_assert_eq!(
+            normalize_delta(batch.clone()),
+            normalize_delta_rowwise(batch)
+        );
+    }
+
+    /// Decomposing a batch into columns and back is the identity.
+    #[test]
+    fn column_roundtrip_is_identity(batch in arb_batch()) {
+        prop_assert_eq!(DeltaColumns::from_batch(&batch).into_batch(), batch.clone());
+        prop_assert_eq!(DeltaColumns::from_owned(batch.clone()).into_batch(), batch);
+    }
+
+    /// `sort_keys_stable` yields a permutation that sorts the keys and
+    /// preserves input order within equal keys (the property the
+    /// order-sensitive aggregate accumulators rely on).
+    #[test]
+    fn key_sort_is_a_stable_permutation(keys in prop::collection::vec(0u8..5, 0..64)) {
+        let order = sort_keys_stable(&keys);
+        let mut seen = vec![false; keys.len()];
+        for &i in &order {
+            prop_assert!(!seen[i as usize], "index {} repeated", i);
+            seen[i as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "not a permutation");
+        for w in order.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            prop_assert!(keys[a] <= keys[b], "keys out of order");
+            if keys[a] == keys[b] {
+                prop_assert!(a < b, "equal keys reordered: {} before {}", a, b);
+            }
+        }
+    }
+
+    /// `key_runs` partitions the sorted order into maximal equal-key
+    /// runs, covering every index exactly once.
+    #[test]
+    fn key_runs_partition_the_order(keys in prop::collection::vec(0u8..5, 0..64)) {
+        let order = sort_keys_stable(&keys);
+        let mut covered = 0usize;
+        let mut prev_key: Option<u8> = None;
+        for run in key_runs(&keys, &order) {
+            prop_assert!(!run.is_empty());
+            let k = keys[run[0] as usize];
+            for &i in run {
+                prop_assert_eq!(keys[i as usize], k, "mixed keys within a run");
+            }
+            prop_assert!(prev_key != Some(k), "run not maximal: {} repeated", k);
+            prev_key = Some(k);
+            covered += run.len();
+        }
+        prop_assert_eq!(covered, keys.len());
+    }
+
+    /// The columnar annotate kernel assigns every record the same pooled
+    /// annotation (and the same batch) as the per-record path. Both sides
+    /// run against fresh pools; id sequences coincide because both
+    /// request singletons in record order.
+    #[test]
+    fn columnar_annotate_matches_per_record_path(
+        // ≥ 32 records force the dispatcher onto the columnar kernel.
+        records in prop::collection::vec((0i64..6, 0i64..4, any::<bool>(), 1u64..3), 32..80)
+    ) {
+        let ps = pset();
+        let mut log = DeltaLog::new();
+        for (i, &(k, v, delete, mult)) in records.iter().enumerate() {
+            let op = if delete { DeltaOp::Delete } else { DeltaOp::Insert };
+            log.append(i as u64 + 1, op, row![k, v], mult);
+        }
+
+        let mut pool_col = AnnotPool::new(ps.total_fragments());
+        let mut rows_col = RowInterner::new();
+        let columnar = annotate_delta(&mut pool_col, &mut rows_col, &ps, "t", log.all());
+
+        let mut pool_row = AnnotPool::new(ps.total_fragments());
+        let mut rows_row = RowInterner::new();
+        let rowwise: DeltaBatch = log
+            .all()
+            .iter()
+            .map(|r| imp_storage::DeltaEntry {
+                annot: annotation_id_for_row(&mut pool_row, &ps, "t", &r.row),
+                row: rows_row.intern(r.row.clone()),
+                mult: r.op.sign() * r.mult as i64,
+            })
+            .collect();
+
+        prop_assert_eq!(&columnar, &rowwise);
+        // Ids agree by construction order; the pooled *contents* must too.
+        for (c, r) in columnar.iter().zip(rowwise.iter()) {
+            prop_assert_eq!(
+                pool_col.get(c.annot).iter_ones().collect::<Vec<_>>(),
+                pool_row.get(r.annot).iter_ones().collect::<Vec<_>>()
+            );
+        }
+    }
+}

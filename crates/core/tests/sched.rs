@@ -77,7 +77,16 @@ fn sharded_lifecycle_capture_use_maintain() {
 
 #[test]
 fn paused_shards_coalesce_same_table_batches() {
-    let mut imp = Imp::new(seed_db(), sharded_config(2));
+    // Synchronous ingestion (`ingest_queue_cap: 0`): with workers paused,
+    // each insert routes inline into the owning shard's inbox, so queue
+    // depth and coalescing are deterministic.
+    let mut imp = Imp::new(
+        seed_db(),
+        ImpConfig {
+            ingest_queue_cap: 0,
+            ..sharded_config(2)
+        },
+    );
     imp.execute(Q).unwrap(); // capture
 
     let epoch_before = imp.scheduler().unwrap().snapshot_epoch();

@@ -1,0 +1,170 @@
+//! Differential property test for work stealing and async ingest: a
+//! randomized, *skewed* insert/delete workload (most updates hammer one
+//! hot table, so one shard's inbox backs up while others idle) runs
+//! through the sequential in-line store and through a steal-enabled
+//! 2–4-worker pool with a tiny staging queue and coalesce budget —
+//! claims split small, steals interleave with owner drains, and staging
+//! overflows onto the inline-ingest fallback. After every round both
+//! sides must hold byte-identical sketch sets and maintained versions,
+//! and answer queries identically. Updates land while the pool is paused
+//! so backlogs deterministically exist for thieves to find on resume.
+
+use imp_core::middleware::{Imp, ImpConfig, ImpResponse};
+use imp_engine::Database;
+use imp_storage::{row, DataType, Field, Schema};
+use proptest::prelude::*;
+
+const KEYS: i64 = 6;
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "hot",
+        Schema::new(vec![
+            Field::new("kh", DataType::Int),
+            Field::new("vh", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "warm",
+        Schema::new(vec![
+            Field::new("kw", DataType::Int),
+            Field::new("vw", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "cold",
+        Schema::new(vec![
+            Field::new("kc", DataType::Int),
+            Field::new("vc", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    for k in 0..KEYS {
+        db.table_mut("hot")
+            .unwrap()
+            .bulk_load([row![k, k * 10], row![k, 3]])
+            .unwrap();
+        db.table_mut("warm")
+            .unwrap()
+            .bulk_load([row![k, (k + 1) % KEYS]])
+            .unwrap();
+        db.table_mut("cold")
+            .unwrap()
+            .bulk_load([row![k, k * 100]])
+            .unwrap();
+    }
+    db
+}
+
+fn config(workers: usize) -> ImpConfig {
+    ImpConfig {
+        fragments: 4,
+        sched_workers: workers,
+        // Tiny budget: every claim covers at most a couple of batches, so
+        // a backlog takes many claims to drain — steal opportunities.
+        coalesce_budget: 2,
+        // Tiny staging queue: routed updates exercise both the async
+        // staging path and the full-queue inline fallback.
+        ingest_queue_cap: 2,
+        work_stealing: true,
+        ..ImpConfig::default()
+    }
+}
+
+/// Three templates over overlapping tables; the workload skews toward
+/// `hot`, which both of the first two templates reference.
+const QUERIES: [&str; 3] = [
+    "SELECT kh, sum(vh) AS s FROM hot GROUP BY kh HAVING sum(vh) > 20",
+    "SELECT kw, sum(vh) AS s FROM hot JOIN warm ON (kh = kw) GROUP BY kw HAVING sum(vh) > 5",
+    "SELECT kc, sum(vc) AS s FROM cold GROUP BY kc HAVING sum(vc) > 150",
+];
+
+/// Skewed table pick: indexes 0..6 → `hot`, 6 → `warm`, 7 → `cold`.
+const TABLES: [(&str, &str); 3] = [("hot", "kh"), ("warm", "kw"), ("cold", "kc")];
+
+fn pick_table(skewed: usize) -> (&'static str, &'static str) {
+    match skewed {
+        0..=5 => TABLES[0],
+        6 => TABLES[1],
+        _ => TABLES[2],
+    }
+}
+
+fn run_query(imp: &mut Imp, sql: &str) -> Vec<(imp_storage::Row, i64)> {
+    let ImpResponse::Rows { result, .. } = imp.execute(sql).unwrap() else {
+        panic!("expected rows for {sql}")
+    };
+    result.canonical()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stealing_pool_matches_sequential_store(
+        // (skewed table pick, key, delete?, value), chunked into rounds
+        // applied against a paused pool so inboxes hold real backlogs.
+        ops in prop::collection::vec(
+            (0usize..8, 0i64..KEYS, any::<bool>(), 0i64..60),
+            1..48,
+        ),
+        workers in 2usize..5,
+    ) {
+        let mut seq = Imp::new(seed_db(), config(0));
+        let mut par = Imp::new(seed_db(), config(workers));
+        for sql in QUERIES {
+            let a = run_query(&mut seq, sql);
+            let b = run_query(&mut par, sql);
+            prop_assert_eq!(a, b, "capture results diverged for {}", sql);
+        }
+        prop_assert_eq!(seq.sketch_count(), 3);
+        prop_assert_eq!(par.sketch_count(), 3);
+
+        for (round, batch) in ops.chunks(6).enumerate() {
+            // Updates land against a paused pool: the hot shard's inbox
+            // accumulates the whole round before any worker may claim,
+            // so on resume idle workers find a backlog to steal from.
+            let paused = par.scheduler().unwrap().pause();
+            for &(skewed, key, delete, val) in batch {
+                let (table, key_col) = pick_table(skewed);
+                let sql = if delete {
+                    format!("DELETE FROM {table} WHERE {key_col} = {key}")
+                } else {
+                    format!("INSERT INTO {table} VALUES ({key}, {val})")
+                };
+                seq.execute(&sql).unwrap();
+                par.execute(&sql).unwrap();
+            }
+            paused.resume();
+            // Converge both sides: the pool drains staging and inboxes
+            // (owners and thieves racing) behind the control barrier.
+            seq.maintain_all_stale().unwrap();
+            par.maintain_all_stale().unwrap();
+            prop_assert_eq!(
+                seq.sketch_states(),
+                par.sketch_states(),
+                "sketch sets/versions diverged at round {} (workers {})",
+                round,
+                workers
+            );
+            let sql = QUERIES[round % QUERIES.len()];
+            let a = run_query(&mut seq, sql);
+            let b = run_query(&mut par, sql);
+            prop_assert_eq!(a, b, "query answers diverged at round {}", round);
+            prop_assert_eq!(seq.sketch_states(), par.sketch_states());
+        }
+
+        // Every staged update was either drained or inlined — the
+        // accounting must cover the round trips exactly.
+        let stats = par.scheduler().unwrap().stats();
+        prop_assert!(
+            stats.staged_updates + stats.backpressure_stalls > 0
+                || stats.routed_batches == 0,
+            "updates must flow through staging or the inline fallback: {:?}",
+            stats
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Columnar view over [`DeltaBatch`] — the batch-granularity delta kernels.
+//!
+//! The row-at-a-time pipeline dispatches every [`DeltaEntry`] through key
+//! extraction, annotation lookup, and multiplicity merge one tuple at a
+//! time; per-row call and cache overhead dominates once deltas reach a few
+//! hundred rows. [`DeltaColumns`] decomposes a batch into three contiguous
+//! arrays — tuple handles, [`AnnotId`]s, and signed multiplicities — so
+//! the hot operators (sketch annotation, aggregate group-state
+//! maintenance, the three-term join rule, and delta normalization) can run
+//! as tight passes over flat memory instead of pointer-chasing a struct
+//! per row:
+//!
+//! * **Chunked extraction** ([`DeltaColumns::from_batch`]): the source
+//!   batch is walked in [`COLUMNAR_CHUNK`]-row windows, each window split
+//!   into the three column arrays while its entries are hot in cache.
+//! * **Sort-then-run-length group-by** ([`sort_keys_stable`] /
+//!   [`key_runs`]): instead of one hash probe per row, equal keys are made
+//!   adjacent by one stable index sort and then consumed as runs — one
+//!   group lookup per *distinct* key. The stable order preserves each
+//!   group's input order, so order-sensitive per-group state (bounded
+//!   MIN/MAX buffers) evolves exactly as under row-at-a-time processing.
+//! * **Branch-free multiplicity merge** ([`DeltaColumns::merged`]): within
+//!   a run the signed multiplicities are accumulated by a straight sum —
+//!   no per-row zero test or hash-map entry update — and a single
+//!   cancellation check per run drops annihilated tuples.
+//!
+//! The row path remains the fallback everywhere: callers switch to the
+//! columnar kernels above a small batch-size threshold and both paths are
+//! property-tested to produce identical [`DeltaBatch`] results (including
+//! zero-multiplicity cancellations).
+
+use crate::pool::{AnnotId, DeltaBatch, DeltaEntry};
+use crate::row::Row;
+
+/// Rows per extraction window: small enough that one window's entries and
+/// the three destination array tails stay cache-resident, large enough to
+/// amortize loop overhead.
+pub const COLUMNAR_CHUNK: usize = 1024;
+
+/// A [`DeltaBatch`] decomposed into three parallel, contiguous columns.
+///
+/// Index `i` of [`rows`](DeltaColumns::rows),
+/// [`annots`](DeltaColumns::annots), and [`mults`](DeltaColumns::mults)
+/// together describe the `i`-th delta tuple. Tuple payloads stay
+/// `Arc`-shared with the source batch — building the view copies handles
+/// and scalars, never tuple or bitvector data.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaColumns {
+    rows: Vec<Row>,
+    annots: Vec<AnnotId>,
+    mults: Vec<i64>,
+}
+
+impl DeltaColumns {
+    /// Empty view with pre-allocated capacity in every column.
+    pub fn with_capacity(n: usize) -> DeltaColumns {
+        DeltaColumns {
+            rows: Vec::with_capacity(n),
+            annots: Vec::with_capacity(n),
+            mults: Vec::with_capacity(n),
+        }
+    }
+
+    /// Columnar view of `batch` by chunked extraction: each
+    /// [`COLUMNAR_CHUNK`]-row window is transposed into the three column
+    /// arrays while its entries are cache-hot.
+    pub fn from_batch(batch: &DeltaBatch) -> DeltaColumns {
+        let mut cols = DeltaColumns::with_capacity(batch.len());
+        for chunk in batch.entries().chunks(COLUMNAR_CHUNK) {
+            cols.rows.extend(chunk.iter().map(|e| e.row.clone()));
+            cols.annots.extend(chunk.iter().map(|e| e.annot));
+            cols.mults.extend(chunk.iter().map(|e| e.mult));
+        }
+        cols
+    }
+
+    /// Like [`DeltaColumns::from_batch`], but consumes the batch and moves
+    /// the tuple handles instead of bumping their refcounts.
+    pub fn from_owned(batch: DeltaBatch) -> DeltaColumns {
+        let mut cols = DeltaColumns::with_capacity(batch.len());
+        for DeltaEntry { row, annot, mult } in batch {
+            cols.rows.push(row);
+            cols.annots.push(annot);
+            cols.mults.push(mult);
+        }
+        cols
+    }
+
+    /// Append one tuple to the view.
+    pub fn push(&mut self, row: Row, annot: AnnotId, mult: i64) {
+        self.rows.push(row);
+        self.annots.push(annot);
+        self.mults.push(mult);
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// No tuples?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The tuple column.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The annotation-id column.
+    pub fn annots(&self) -> &[AnnotId] {
+        &self.annots
+    }
+
+    /// The signed-multiplicity column.
+    pub fn mults(&self) -> &[i64] {
+        &self.mults
+    }
+
+    /// Zip the columns back into a row-oriented batch.
+    pub fn into_batch(self) -> DeltaBatch {
+        self.rows
+            .into_iter()
+            .zip(self.annots)
+            .zip(self.mults)
+            .map(|((row, annot), mult)| DeltaEntry { row, annot, mult })
+            .collect()
+    }
+
+    /// Normalize by sort-then-run-length group-by: one index sort makes
+    /// equal `(tuple, annotation)` pairs adjacent, then each run's
+    /// multiplicities are merged by a branch-free sum and annihilated
+    /// tuples (net multiplicity 0) are dropped. The result is sorted by
+    /// `(tuple, annotation)` — byte-identical to the row path's hash-merge
+    /// followed by its deterministic sort.
+    ///
+    /// Batches of ≤ 1 entry are returned unchanged (mirroring the row
+    /// path's early return, which does not zero-filter singletons).
+    pub fn merged(self) -> DeltaBatch {
+        let n = self.len();
+        if n <= 1 {
+            return self.into_batch();
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            (&self.rows[a], self.annots[a]).cmp(&(&self.rows[b], self.annots[b]))
+        });
+        let mut out = DeltaBatch::with_capacity(n);
+        let mut i = 0;
+        while i < n {
+            let first = order[i] as usize;
+            // Run boundary scan: equality checks only, no state updates.
+            let mut j = i + 1;
+            while j < n {
+                let idx = order[j] as usize;
+                if self.annots[idx] != self.annots[first] || self.rows[idx] != self.rows[first] {
+                    break;
+                }
+                j += 1;
+            }
+            // Branch-free merge of the run: straight signed sum, one
+            // cancellation test per run instead of per row.
+            let acc: i64 = order[i..j].iter().map(|&k| self.mults[k as usize]).sum();
+            if acc != 0 {
+                out.push_entry(self.rows[first].clone(), self.annots[first], acc);
+            }
+            i = j;
+        }
+        out
+    }
+}
+
+impl From<&DeltaBatch> for DeltaColumns {
+    fn from(batch: &DeltaBatch) -> DeltaColumns {
+        DeltaColumns::from_batch(batch)
+    }
+}
+
+/// Stable index sort over a contiguous key column: returns the
+/// permutation that makes equal keys adjacent while preserving input
+/// order inside each equal-key run (the group-by half of
+/// sort-then-run-length; consume the runs with [`key_runs`]).
+pub fn sort_keys_stable<K: Ord>(keys: &[K]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    // Stable sort: ties keep index order, so per-group input order (and
+    // with it order-sensitive group state) is preserved.
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    order
+}
+
+/// Iterator over equal-key runs of a permutation produced by
+/// [`sort_keys_stable`]: each item is the slice of original indexes (in
+/// input order) belonging to one distinct key.
+pub fn key_runs<'a, K: Eq>(keys: &'a [K], order: &'a [u32]) -> KeyRuns<'a, K> {
+    KeyRuns {
+        keys,
+        order,
+        pos: 0,
+    }
+}
+
+/// See [`key_runs`].
+#[derive(Debug)]
+pub struct KeyRuns<'a, K> {
+    keys: &'a [K],
+    order: &'a [u32],
+    pos: usize,
+}
+
+impl<'a, K: Eq> Iterator for KeyRuns<'a, K> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let start = self.pos;
+        let key = &self.keys[self.order[start] as usize];
+        let mut end = start + 1;
+        while end < self.order.len() && &self.keys[self.order[end] as usize] == key {
+            end += 1;
+        }
+        self.pos = end;
+        Some(&self.order[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::AnnotPool;
+    use crate::row;
+
+    fn batch(entries: &[(i64, usize, i64)], pool: &mut AnnotPool) -> DeltaBatch {
+        entries
+            .iter()
+            .map(|&(key, frag, mult)| DeltaEntry {
+                row: row![key],
+                annot: pool.singleton(frag),
+                mult,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_batch() {
+        let mut p = AnnotPool::new(8);
+        let b = batch(&[(1, 0, 1), (2, 1, -1), (1, 0, 3)], &mut p);
+        let cols = DeltaColumns::from_batch(&b);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.into_batch(), b);
+        assert_eq!(DeltaColumns::from_owned(b.clone()).into_batch(), b);
+    }
+
+    #[test]
+    fn chunked_extraction_crosses_window_boundaries() {
+        let mut p = AnnotPool::new(8);
+        let entries: Vec<(i64, usize, i64)> = (0..(COLUMNAR_CHUNK as i64 * 2 + 7))
+            .map(|i| (i, (i % 4) as usize, 1 + i % 3))
+            .collect();
+        let b = batch(&entries, &mut p);
+        let cols = DeltaColumns::from_batch(&b);
+        assert_eq!(cols.rows().len(), b.len());
+        assert_eq!(cols.into_batch(), b);
+    }
+
+    #[test]
+    fn merged_folds_and_drops_cancellations() {
+        let mut p = AnnotPool::new(8);
+        // key 1 nets to +2, key 2 annihilates, key 3 survives negative.
+        let b = batch(
+            &[(1, 0, 1), (2, 1, 5), (1, 0, 1), (2, 1, -5), (3, 0, -2)],
+            &mut p,
+        );
+        let merged = DeltaColumns::from_owned(b).merged();
+        assert_eq!(merged.len(), 2);
+        assert_eq!((merged[0].mult, merged[1].mult), (2, -2));
+        assert_eq!(merged[0].row, row![1]);
+        assert_eq!(merged[1].row, row![3]);
+    }
+
+    #[test]
+    fn merged_distinguishes_annotations_of_equal_rows() {
+        let mut p = AnnotPool::new(8);
+        let b = batch(&[(1, 0, 1), (1, 1, 1)], &mut p);
+        let merged = DeltaColumns::from_owned(b).merged();
+        assert_eq!(merged.len(), 2, "same tuple, different fragments");
+    }
+
+    #[test]
+    fn singleton_zero_mult_is_kept_like_row_path() {
+        let mut p = AnnotPool::new(8);
+        let b = batch(&[(9, 0, 0)], &mut p);
+        assert_eq!(DeltaColumns::from_owned(b.clone()).merged(), b);
+    }
+
+    #[test]
+    fn stable_runs_preserve_input_order() {
+        let keys = vec![row![2], row![1], row![2], row![1], row![3]];
+        let order = sort_keys_stable(&keys);
+        let runs: Vec<Vec<u32>> = key_runs(&keys, &order).map(|r| r.to_vec()).collect();
+        assert_eq!(runs, vec![vec![1, 3], vec![0, 2], vec![4]]);
+    }
+}

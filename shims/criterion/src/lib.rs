@@ -19,6 +19,16 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Work performed per iteration, for throughput reporting — the subset
+/// of the real crate's `Throughput` the harnesses use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (rows, deltas, …) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
 /// Benchmark driver holding measurement settings.
 #[derive(Debug, Clone)]
 pub struct Criterion {
@@ -135,6 +145,23 @@ pub struct SampleStats {
     pub max: Duration,
     /// Number of samples.
     pub count: usize,
+}
+
+impl SampleStats {
+    /// Units per second at the median sample time, given the work one
+    /// iteration performs. `None` when nothing was measured (zero median
+    /// would divide by zero) — callers skip the metric rather than
+    /// report infinity.
+    pub fn throughput_per_sec(&self, throughput: Throughput) -> Option<f64> {
+        let secs = self.median.as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        let units = match throughput {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        Some(units as f64 / secs)
+    }
 }
 
 /// Compute [`SampleStats`] over a sample set. All fields are zero for an
@@ -281,5 +308,22 @@ mod tests {
         assert_eq!(s.min, ms(10));
         assert_eq!(s.max, ms(30));
         assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn throughput_uses_the_median_sample() {
+        let ms = Duration::from_millis;
+        // Median 20 ms: 1000 elements → 50_000 elements/sec, outliers
+        // in the mean notwithstanding.
+        let s = sample_stats(&[ms(10), ms(20), ms(500)]);
+        let rate = s.throughput_per_sec(Throughput::Elements(1000)).unwrap();
+        assert!((rate - 50_000.0).abs() < 1e-6, "rate {rate}");
+        let bytes = s.throughput_per_sec(Throughput::Bytes(2000)).unwrap();
+        assert!((bytes - 100_000.0).abs() < 1e-6, "rate {bytes}");
+        // Nothing measured → no rate, not a division by zero.
+        assert_eq!(
+            SampleStats::default().throughput_per_sec(Throughput::Elements(1)),
+            None
+        );
     }
 }
