@@ -52,6 +52,7 @@ fn main() {
                 db,
                 ImpConfig {
                     fragments: 100,
+                    columnar_min: columnar_min(),
                     ..Default::default()
                 },
             );

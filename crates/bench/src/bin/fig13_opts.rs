@@ -49,7 +49,7 @@ fn exp_selpd(report: &mut BenchReport) {
                 &plan,
                 &db,
                 Arc::clone(&pset),
-                OpConfig::default(),
+                bench_op_config(),
                 pushdown,
             )
             .unwrap();
@@ -125,7 +125,7 @@ fn exp_bloom(report: &mut BenchReport) {
                 let pset = pset_for(&db, &name, "a", 100);
                 let cfg = OpConfig {
                     bloom,
-                    ..OpConfig::default()
+                    ..bench_op_config()
                 };
                 let ups = insert_stream(&name, reps(), delta, groups, rows * 8, 3);
                 let (mut m, _) =
@@ -199,7 +199,7 @@ fn exp_index(report: &mut BenchReport) {
             let pset = pset_for(&db, &name, "a", 100);
             let cfg = OpConfig {
                 join_index_budget: index.then_some(imp_core::ops::DEFAULT_JOIN_INDEX_BUDGET),
-                ..OpConfig::default()
+                ..bench_op_config()
             };
             let ups = insert_stream(&name, batches, delta, groups, rows * 8, 3);
             let (mut m, _) =
@@ -283,7 +283,7 @@ fn exp_space(report: &mut BenchReport) {
         let cfg = OpConfig {
             topk_buffer: buffer,
             minmax_buffer: buffer,
-            ..OpConfig::default()
+            ..bench_op_config()
         };
         let (m, _) = SketchMaintainer::capture(&plan, &db, Arc::clone(&pset), cfg, true).unwrap();
         let (entries, bytes) = m.topk_state().unwrap_or((0, 0));

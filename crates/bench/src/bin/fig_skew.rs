@@ -55,6 +55,7 @@ fn build_imp(workers: usize, rows: usize, groups: i64, delta: usize) -> Imp {
         db,
         ImpConfig {
             fragments: 50,
+            columnar_min: columnar_min(),
             sched_workers: workers,
             // Budget = one update batch: every claim takes a single
             // batch, so the hot backlog drains across many claims and
@@ -162,6 +163,42 @@ fn main() {
              idle workers must drain the hot shard: {stats:?}",
             hot_share * 100.0
         );
+        // Steal-aware placement invariants. The victim-selection gauges
+        // are deliberately racy (a stale pick costs one miss), so the
+        // hottest-by-high-water shard is not *always* the top victim;
+        // what must hold exactly: every steal is attributed to exactly
+        // one victim, and every victim actually had backlog to steal.
+        let hot_stolen = if workers >= 2 && stats.steals >= 1 {
+            assert_eq!(
+                stats.stolen_from.iter().sum::<u64>(),
+                stats.steals,
+                "per-victim steal accounting must sum to the steal count: {stats:?}"
+            );
+            for (i, (stolen, shard)) in stats.stolen_from.iter().zip(&stats.per_shard).enumerate() {
+                assert!(
+                    *stolen == 0 || shard.max_depth > 0,
+                    "shard {i} was stolen from {stolen} time(s) but its inbox \
+                     high-water is zero — thieves must target backlogged shards \
+                     (stolen_from {:?}, per-shard high-water {:?})",
+                    stats.stolen_from,
+                    stats
+                        .per_shard
+                        .iter()
+                        .map(|s| s.max_depth)
+                        .collect::<Vec<_>>()
+                );
+            }
+            let hottest = stats
+                .per_shard
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.max_depth)
+                .map(|(i, _)| i)
+                .unwrap();
+            stats.stolen_from[hottest]
+        } else {
+            0
+        };
 
         report.add(
             Record::new("skew", format!("w{workers}"))
@@ -173,6 +210,7 @@ fn main() {
                 .count("staged_updates", stats.staged_updates, false)
                 .count("steals", stats.steals, false)
                 .count("stolen_batches", stats.stolen_batches, false)
+                .count("hot_shard_stolen_from", hot_stolen, false)
                 .count("max_queue_depth", max_depth, false),
         );
         out.push(vec![

@@ -5,6 +5,20 @@
 //! deletion. The sign algebra makes the four-case join rule of §5.2.4 fall
 //! out of multiplication (`Δ- × Δ- = Δ+`, `Δ- × Δ+ = Δ-`, …).
 //!
+//! # Retraction is first-class
+//!
+//! Every operator is *symmetric in the sign*: a high-churn batch mixing
+//! inserts and deletes of the same tuples flows through selection,
+//! projection, the binary and n-ary joins, and aggregation exactly like
+//! an insert-only batch — state merges by `(row, annotation content)`
+//! and cancels at zero multiplicity everywhere
+//! ([`crate::opt::JoinSideIndex`], [`crate::opt::NarySideIndex`],
+//! aggregation groups), and [`normalize_delta_with`] annihilates
+//! same-batch insert+delete pairs before an operator's output reaches
+//! its parent. The `nary_differential` and `fig_churn`/`fig_deep`
+//! suites drive eviction/restore cycles under such churn and require
+//! byte-identical sketches against the oracles.
+//!
 //! # The `DeltaBatch` / `AnnotPool` design
 //!
 //! Deltas are represented as [`DeltaBatch`]es: each [`DeltaEntry`] holds
@@ -39,23 +53,33 @@
 pub use imp_storage::{AnnotId, AnnotPool, DeltaBatch, DeltaEntry};
 use imp_storage::{BitVec, DeltaColumns, FxHashMap, FxHashSet, Row};
 
-/// Batches at or above this size normalize through the columnar
-/// sort-then-run-length kernel ([`DeltaColumns::merged`]); smaller ones
-/// keep the row-at-a-time hash fold, whose setup cost is lower.
+/// Default batch size at which normalize switches to the columnar
+/// sort-then-run-length kernel ([`DeltaColumns::merged`]); smaller
+/// batches keep the row-at-a-time hash fold, whose setup cost is lower.
+/// Configurable per run via `OpConfig::columnar_min`.
 pub const NORMALIZE_COLUMNAR_MIN: usize = 32;
 
 /// Fold entries with identical `(row, annotation-id)` into one, dropping
-/// zero-multiplicity results. Keeps batches compact between operators.
+/// zero-multiplicity results, at the default columnar crossover. See
+/// [`normalize_delta_with`].
+pub fn normalize_delta(delta: DeltaBatch) -> DeltaBatch {
+    normalize_delta_with(delta, NORMALIZE_COLUMNAR_MIN)
+}
+
+/// Fold entries with identical `(row, annotation-id)` into one, dropping
+/// zero-multiplicity results. Keeps batches compact between operators,
+/// and is where same-batch insert+delete churn annihilates.
 ///
 /// Annotation ids are canonical within a pool, so the fold key never
-/// touches bitvector contents. Large batches take the columnar
-/// sort-then-run-length kernel; both paths produce the identical batch
-/// (merged, zero-filtered, sorted by `(row, annotation)`).
-pub fn normalize_delta(delta: DeltaBatch) -> DeltaBatch {
+/// touches bitvector contents. Batches of at least `columnar_min` rows
+/// take the columnar sort-then-run-length kernel; both paths produce the
+/// identical batch (merged, zero-filtered, sorted by
+/// `(row, annotation)`).
+pub fn normalize_delta_with(delta: DeltaBatch, columnar_min: usize) -> DeltaBatch {
     if delta.len() <= 1 {
         return delta;
     }
-    if delta.len() >= NORMALIZE_COLUMNAR_MIN {
+    if delta.len() >= columnar_min {
         return DeltaColumns::from_owned(delta).merged();
     }
     normalize_delta_rowwise(delta)
@@ -79,6 +103,47 @@ pub fn normalize_delta_rowwise(delta: DeltaBatch) -> DeltaBatch {
     // Deterministic order for tests and reproducible merge processing.
     out.sort_by(|a, b| (&a.row, a.annot).cmp(&(&b.row, b.annot)));
     out
+}
+
+/// Semi-naive fixpoint over delta batches — the recursion hook for
+/// monotone queries (transitive closure, reachability) on top of the
+/// same signed-delta algebra the operators use.
+///
+/// Starting from `seed`, repeatedly calls `step(acc, frontier)` — which
+/// must derive the facts *newly producible* from the frontier against
+/// the accumulated set — keeps only genuinely new `(row, annotation)`
+/// facts as the next frontier, and stops when a round adds nothing.
+/// Distinct-set semantics: accumulated facts are capped at multiplicity
+/// one, the standard semi-naive regime (negative multiplicities in
+/// `step` output retract pending frontier facts but never un-derive
+/// accumulated ones). Returns the accumulated batch, normalized.
+///
+/// This is deliberately a *library* hook rather than an `IncNode`:
+/// recursive plans are not yet compiled from SQL, but the n-ary circuit
+/// emits exactly the `DeltaBatch`es a recursive step consumes, so a
+/// caller can stack `semi_naive` on any maintained plan's output today.
+pub fn semi_naive(
+    seed: DeltaBatch,
+    mut step: impl FnMut(&DeltaBatch, &DeltaBatch) -> DeltaBatch,
+) -> DeltaBatch {
+    let mut acc = normalize_delta(seed);
+    let mut seen: FxHashSet<(Row, AnnotId)> =
+        acc.iter().map(|d| (d.row.clone(), d.annot)).collect();
+    let mut frontier = acc.clone();
+    while !frontier.is_empty() {
+        let produced = normalize_delta(step(&acc, &frontier));
+        let mut next = DeltaBatch::new();
+        for d in produced {
+            if d.mult > 0 && seen.insert((d.row.clone(), d.annot)) {
+                next.push(DeltaEntry { mult: 1, ..d });
+            }
+        }
+        for d in &next {
+            acc.push(d.clone());
+        }
+        frontier = next;
+    }
+    normalize_delta(acc)
 }
 
 /// Total number of touched tuples (sum of |mult|).
@@ -149,6 +214,43 @@ mod tests {
         let mut p = AnnotPool::new(4);
         let d: DeltaBatch = vec![entry(&mut p, row![1], 0, 1), entry(&mut p, row![1], 1, 1)].into();
         assert_eq!(normalize_delta(d).len(), 2);
+    }
+
+    #[test]
+    fn semi_naive_reaches_transitive_closure() {
+        use imp_storage::Value;
+        // Path 0→1→2→3 with a back edge 3→1 (a cycle — naive iteration
+        // would rederive pairs forever; the frontier discipline stops).
+        let mut p = AnnotPool::new(8);
+        let edges: Vec<(i64, i64)> = vec![(0, 1), (1, 2), (2, 3), (3, 1)];
+        let annot = p.singleton(0);
+        let seed: DeltaBatch = edges
+            .iter()
+            .map(|&(a, b)| DeltaEntry {
+                row: row![a, b],
+                annot,
+                mult: 1,
+            })
+            .collect::<Vec<_>>()
+            .into();
+        let closure = semi_naive(seed, |_, frontier| {
+            let mut out = DeltaBatch::new();
+            for f in frontier {
+                for &(x, y) in &edges {
+                    if f.row[1] == Value::Int(x) {
+                        out.push(DeltaEntry {
+                            row: Row::new(vec![f.row[0].clone(), Value::Int(y)]),
+                            annot: f.annot,
+                            mult: 1,
+                        });
+                    }
+                }
+            }
+            out
+        });
+        // Reachability: 0 reaches {1,2,3}; each of 1,2,3 reaches {1,2,3}.
+        assert_eq!(closure.len(), 12);
+        assert!(closure.iter().all(|d| d.mult == 1));
     }
 
     #[test]

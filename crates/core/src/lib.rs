@@ -11,10 +11,14 @@
 //!   (see the module docs for the design and its invariants).
 //! * [`fragcount`] — the per-group / per-operator fragment counters `ℱ_g`
 //!   and the merge-operator counter map `S : Φ → ℕ` (§5.1, §5.2.5).
-//! * [`ops`] — incremental versions of every relational operator the paper
-//!   covers: table access, selection, projection, cross product / join,
-//!   aggregation (SUM / COUNT / AVG / MIN / MAX), duplicate removal, and
-//!   top-k (§5.2), plus the merge operator `μ` (§5.1).
+//! * [`ops`] — the composable delta circuit: incremental versions of every
+//!   relational operator the paper covers — table access, selection,
+//!   projection, cross product / join, aggregation (SUM / COUNT / AVG /
+//!   MIN / MAX), duplicate removal, and top-k (§5.2) — plus the merge
+//!   operator `μ` (§5.1). Flattenable equi-join trees of three or more
+//!   inputs compile to a single [`ops::NaryJoinOp`] maintaining
+//!   `Δ(R₁ ⋈ … ⋈ Rₙ)` against n per-input indexes with no intermediate
+//!   pair state; the binary tree remains as the differential oracle.
 //! * [`opt`] — the optimizations of §7.2: bloom filters for join deltas,
 //!   selection push-down into delta retrieval, and bounded (top-l) state
 //!   for MIN / MAX / top-k with recapture fallback — plus the
@@ -53,8 +57,8 @@ pub mod strategy;
 
 pub use advisor::{Advisor, AdvisorParams, AdvisorReport, Lifecycle, WorkloadTracker};
 pub use delta::{
-    delta_heap_size, delta_heap_size_flat, delta_magnitude, normalize_delta, AnnotId, AnnotPool,
-    DeltaBatch, DeltaEntry,
+    delta_heap_size, delta_heap_size_flat, delta_magnitude, normalize_delta, normalize_delta_with,
+    semi_naive, AnnotId, AnnotPool, DeltaBatch, DeltaEntry,
 };
 pub use error::CoreError;
 pub use fragcount::FragCounts;

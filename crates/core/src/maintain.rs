@@ -15,7 +15,9 @@ use crate::ops::{IncNode, MaintCtx, MergeOp, OpConfig};
 use crate::opt::pushdown::pushable_predicates;
 use crate::Result;
 use imp_engine::{Bag, Database};
-use imp_sketch::{annotate_delta, annotation_ids_for_rows, PartitionSet, SketchDelta, SketchSet};
+use imp_sketch::{
+    annotate_delta_with, annotation_ids_for_rows, PartitionSet, SketchDelta, SketchSet,
+};
 use imp_sql::{Expr, LogicalPlan};
 use imp_storage::{AnnotPool, DeltaColumns, FxHashMap, PoolStats, Row, RowInterner};
 use std::sync::Arc;
@@ -46,6 +48,10 @@ pub struct MaintReport {
     pub duration: Duration,
     /// Operator-state heap footprint after the run (Fig. 15/17).
     pub state_bytes: usize,
+    /// Per-input probe counts of the n-ary join circuit during this run
+    /// (empty when the plan compiled to the binary fallback, or on the
+    /// empty fast-path / recapture paths where no probing happened).
+    pub nary_input_probes: Vec<u64>,
 }
 
 impl MaintReport {
@@ -236,10 +242,17 @@ impl SketchMaintainer {
             if let Some(last) = records.last() {
                 max_seen = max_seen.max(last.version);
             }
-            let annotated =
-                annotate_delta(&mut self.pool, &mut self.rows, &self.pset, table, records);
+            let annotated = annotate_delta_with(
+                &mut self.pool,
+                &mut self.rows,
+                &self.pset,
+                table,
+                records,
+                self.op_config.columnar_min,
+            );
             let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
-            let normalized = crate::delta::normalize_delta(filtered);
+            let normalized =
+                crate::delta::normalize_delta_with(filtered, self.op_config.columnar_min);
             deltas.insert(table.clone(), normalized);
         }
         self.flush_cold_row_cache(row_hits_before);
@@ -293,7 +306,8 @@ impl SketchMaintainer {
             }
             let annotated = cols.into_batch();
             let filtered = self.apply_pushdown(table, annotated, Some(&mut metrics));
-            let normalized = crate::delta::normalize_delta(filtered);
+            let normalized =
+                crate::delta::normalize_delta_with(filtered, self.op_config.columnar_min);
             deltas.insert(table.clone(), normalized);
         }
         self.flush_cold_row_cache(row_hits_before);
@@ -342,6 +356,7 @@ impl SketchMaintainer {
                 recaptured: false,
                 duration: start.elapsed().saturating_sub(accounting),
                 state_bytes: self.state_heap_size(),
+                nary_input_probes: Vec::new(),
             });
         }
 
@@ -372,6 +387,7 @@ impl SketchMaintainer {
                 recaptured: true,
                 duration: start.elapsed().saturating_sub(accounting),
                 state_bytes: self.state_heap_size(),
+                nary_input_probes: Vec::new(),
             });
         }
 
@@ -385,6 +401,7 @@ impl SketchMaintainer {
             recaptured: false,
             duration: start.elapsed().saturating_sub(accounting),
             state_bytes: self.state_heap_size(),
+            nary_input_probes: self.root.nary_probe_counts().unwrap_or_default(),
         })
     }
 
@@ -404,6 +421,7 @@ impl SketchMaintainer {
             recaptured: true,
             duration: start.elapsed(),
             state_bytes: self.state_heap_size(),
+            nary_input_probes: Vec::new(),
         })
     }
 
@@ -454,6 +472,19 @@ impl SketchMaintainer {
     /// Entries and bytes of the top-k operator state (Fig. 13e/f).
     pub fn topk_state(&self) -> Option<(usize, usize)> {
         self.root.topk_state()
+    }
+
+    /// Number of inputs of the n-ary join circuit, if the plan compiled
+    /// to one (`None` means the binary-tree fallback is in use).
+    pub fn nary_arity(&self) -> Option<usize> {
+        self.root.nary_arity()
+    }
+
+    /// Canonical signature of the n-ary join circuit (input schemas +
+    /// equivalence classes), if the plan compiled to one. Identical
+    /// across all parse shapes of the same equi-join set.
+    pub fn nary_signature(&self) -> Option<String> {
+        self.root.nary_signature()
     }
 
     /// Aggregate entries and bytes of the join-side indexes (Fig. 17).

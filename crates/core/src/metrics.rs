@@ -120,6 +120,9 @@ pub struct SchedMetrics {
     queue_depth: Vec<AtomicU64>,
     /// Per-shard high-water queue depth.
     max_queue_depth: Vec<AtomicU64>,
+    /// Per-shard count of claims stolen *from* this shard's inbox by
+    /// other workers (victim-side view of [`Self::steals`]).
+    stolen_from: Vec<AtomicU64>,
 }
 
 impl SchedMetrics {
@@ -137,6 +140,7 @@ impl SchedMetrics {
             maintain_runs: AtomicU64::new(0),
             queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             max_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            stolen_from: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -149,6 +153,32 @@ impl SchedMetrics {
     /// Record a message leaving `shard`'s queue.
     pub fn dequeued(&self, shard: usize) {
         self.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a claim of `batches` routed batches stolen from `victim`'s
+    /// inbox by another worker.
+    pub fn stole_from(&self, victim: usize, batches: u64) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.stolen_batches.fetch_add(batches, Ordering::Relaxed);
+        self.stolen_from[victim].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shard with the deepest non-empty inbox, skipping `exclude` (the
+    /// thief's own shard). Ties break to the lowest shard id. The gauges
+    /// are racy, which is fine: a stale pick only costs the thief one
+    /// `has_work` miss before its round-robin fallback sweep.
+    pub fn deepest_backlog(&self, exclude: usize) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (shard, depth) in self.queue_depth.iter().enumerate() {
+            if shard == exclude {
+                continue;
+            }
+            let d = depth.load(Ordering::Relaxed);
+            if d > 0 && best.is_none_or(|(bd, _)| d > bd) {
+                best = Some((d, shard));
+            }
+        }
+        best.map(|(_, shard)| shard)
     }
 
     /// Plain-value view of the counters.
@@ -171,6 +201,11 @@ impl SchedMetrics {
                     depth: d.load(Ordering::Relaxed),
                     max_depth: m.load(Ordering::Relaxed),
                 })
+                .collect(),
+            stolen_from: self
+                .stolen_from
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
                 .collect(),
         }
     }
@@ -199,6 +234,8 @@ pub struct SchedStats {
     pub maintain_runs: u64,
     /// Per-shard queue gauges.
     pub per_shard: Vec<ShardQueueStats>,
+    /// Per-shard claims stolen from that shard's inbox.
+    pub stolen_from: Vec<u64>,
 }
 
 /// Queue gauges of one shard.

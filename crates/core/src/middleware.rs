@@ -62,6 +62,16 @@ pub struct ImpConfig {
     /// per-batch evaluation. `None` disables the indexes. Bounded to
     /// [`crate::ops::DEFAULT_JOIN_INDEX_BUDGET`] by default.
     pub join_index_budget: Option<usize>,
+    /// Compile flattenable equi-join trees of three or more inputs into
+    /// the n-ary delta circuit ([`crate::ops::NaryJoinOp`], `true` by
+    /// default). `false` keeps every join on the binary-tree path — the
+    /// oracle configuration the `nary_differential` suite compares
+    /// against.
+    pub nary_join: bool,
+    /// Batch size at which delta normalization, annotation, and
+    /// aggregation switch from row-at-a-time to their columnar kernels.
+    /// Defaults to [`crate::ops::DEFAULT_COLUMNAR_MIN`].
+    pub columnar_min: usize,
     /// Explicit partition-attribute choices (table → attribute), taking
     /// precedence over the safety heuristic (§7.4).
     pub partition_overrides: Vec<(String, String)>,
@@ -125,6 +135,8 @@ impl Default for ImpConfig {
             minmax_buffer: Some(crate::ops::DEFAULT_MINMAX_BUFFER),
             topk_buffer: None,
             join_index_budget: Some(crate::ops::DEFAULT_JOIN_INDEX_BUDGET),
+            nary_join: true,
+            columnar_min: crate::ops::DEFAULT_COLUMNAR_MIN,
             partition_overrides: Vec::new(),
             allow_unsafe_attributes: false,
             retain_sketch_versions: true,
@@ -145,6 +157,8 @@ impl ImpConfig {
             minmax_buffer: self.minmax_buffer,
             topk_buffer: self.topk_buffer,
             join_index_budget: self.join_index_budget,
+            nary_join: self.nary_join,
+            columnar_min: self.columnar_min,
         }
     }
 }

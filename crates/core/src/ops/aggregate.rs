@@ -23,9 +23,10 @@ use imp_storage::{
 };
 use std::collections::BTreeMap;
 
-/// Input batches at or above this many rows take the columnar group path
-/// (chunked key extraction + sort-then-run-length group-by); smaller ones
-/// keep the per-row hash path, whose setup cost is lower.
+/// Default input-batch size at which aggregation takes the columnar
+/// group path (chunked key extraction + sort-then-run-length group-by);
+/// smaller batches keep the per-row hash path, whose setup cost is
+/// lower. Configurable per run via `OpConfig::columnar_min`.
 pub const AGG_COLUMNAR_MIN: usize = 32;
 
 /// Incremental aggregation operator (also implements δ when `aggs` is
@@ -39,6 +40,8 @@ pub struct AggOp {
     /// Aggregation without GROUP BY: the single group always exists.
     global: bool,
     minmax_buffer: Option<usize>,
+    /// Columnar group-path crossover for input batches.
+    columnar_min: usize,
 }
 
 /// Per-group state `S[g] = (aggregates, CNT, P, ℱ_g)`.
@@ -303,9 +306,10 @@ impl AggOp {
         input: IncNode,
         group_by: Vec<Expr>,
         aggs: Vec<AggSpec>,
-        minmax_buffer: Option<usize>,
+        config: &super::OpConfig,
     ) -> AggOp {
         let global = group_by.is_empty();
+        let minmax_buffer = config.minmax_buffer;
         let mut op = AggOp {
             input: Box::new(input),
             group_by,
@@ -313,6 +317,7 @@ impl AggOp {
             groups: FxHashMap::default(),
             global,
             minmax_buffer,
+            columnar_min: config.columnar_min,
         };
         if global {
             // The single group of a global aggregate exists even on empty
@@ -353,7 +358,7 @@ impl AggOp {
         let total = ctx.pset.total_fragments();
         // Lazy pre-batch snapshots of each touched group's output (§7.1).
         let mut old_outputs: FxHashMap<Row, Option<(Row, AnnotId)>> = FxHashMap::default();
-        if input.len() >= AGG_COLUMNAR_MIN {
+        if input.len() >= self.columnar_min {
             self.apply_columnar(&input, total, &mut old_outputs, ctx)?;
         } else {
             self.apply_rowwise(&input, total, &mut old_outputs, ctx)?;

@@ -51,7 +51,7 @@
 //! matches many partners in the same fragment combination pays for one
 //! union, not one allocation per output row.
 
-use super::{IncNode, MaintCtx};
+use super::{IncNode, MaintCtx, OpConfig};
 use crate::delta::{DeltaBatch, DeltaEntry};
 use crate::opt::side_index::key_of;
 use crate::opt::{BloomFilter, JoinSideIndex};
@@ -119,11 +119,12 @@ pub struct JoinOp {
     right_index: SideState,
     /// Max annotated tuples per side index; `None` disables the indexes.
     index_budget: Option<usize>,
+    /// Columnar-normalize crossover for the output batch.
+    columnar_min: usize,
 }
 
 impl JoinOp {
     /// New join operator over two stateless inputs.
-    #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: IncNode,
         right: IncNode,
@@ -131,8 +132,7 @@ impl JoinOp {
         right_plan: LogicalPlan,
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
-        bloom_enabled: bool,
-        index_budget: Option<usize>,
+        config: &OpConfig,
     ) -> JoinOp {
         JoinOp {
             left: Box::new(left),
@@ -144,10 +144,11 @@ impl JoinOp {
             left_bloom: None,
             right_bloom: None,
             // Bloom filters only make sense for equi-joins.
-            bloom_enabled,
+            bloom_enabled: config.bloom,
             left_index: SideState::Absent,
             right_index: SideState::Absent,
-            index_budget,
+            index_budget: config.join_index_budget,
+            columnar_min: config.columnar_min,
         }
     }
 
@@ -324,7 +325,7 @@ impl JoinOp {
             }
         }
 
-        Ok(crate::delta::normalize_delta(out))
+        Ok(crate::delta::normalize_delta_with(out, self.columnar_min))
     }
 
     /// Left child (state persistence walks the tree).
@@ -613,8 +614,9 @@ fn probe_hash(
 }
 
 /// Evaluate one (stateless) join side against the backend: a DB round trip.
-/// The side's annotations are interned into the run's pool.
-fn eval_side(plan: &LogicalPlan, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
+/// The side's annotations are interned into the run's pool. Shared with
+/// the n-ary operator, whose inputs follow the same contract.
+pub(super) fn eval_side(plan: &LogicalPlan, ctx: &mut MaintCtx<'_>) -> Result<DeltaBatch> {
     ctx.metrics.db_roundtrips += 1;
     let mut scanned = 0u64;
     let bag = eval_annot(plan, ctx.db, ctx.pset, ctx.pool, &mut scanned)?;

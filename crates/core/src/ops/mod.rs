@@ -1,20 +1,45 @@
-//! Incremental relational algebra over sketch-annotated deltas (paper §5).
+//! Incremental relational algebra over sketch-annotated deltas (paper §5)
+//! — a composable delta circuit, not just a tree of binary operators.
 //!
-//! A query plan is compiled into a tree of [`IncNode`]s mirroring the
-//! logical plan. Each maintenance run pushes the annotated table deltas
-//! bottom-up through the tree: every operator consumes its input delta,
-//! updates its state `S`, and emits an output delta (Def. 4.5). The merge
-//! operator [`merge::MergeOp`] sits above the root and turns result deltas
-//! into a sketch delta `ΔP` (§5.1).
+//! A query plan is compiled into a circuit of [`IncNode`]s. Each
+//! maintenance run pushes the annotated table deltas bottom-up: every
+//! operator consumes its input deltas, updates its state `S`, and emits
+//! an output delta (Def. 4.5). Deltas are bags with *signed*
+//! multiplicities, so retraction (deletes, high-churn insert+delete
+//! windows) flows through the same code paths as insertion — every
+//! operator is symmetric in the sign. The merge operator
+//! [`merge::MergeOp`] sits above the root and turns result deltas into a
+//! sketch delta `ΔP` (§5.1).
+//!
+//! # Join compilation: n-ary circuit vs. binary fallback
+//!
+//! Equi-join trees are canonicalized by
+//! [`imp_sql::plan::flatten_join`] (left-deep, right-deep, and bushy
+//! shapes all normalize to one join set) and — when the flattened form
+//! has ≥ 3 inputs and [`OpConfig::nary_join`] is on — compiled into a
+//! single [`NaryJoinOp`] maintaining `Δ(R₁ ⋈ … ⋈ Rₙ)` by the
+//! telescoping generalization of the paper's three-term rule, probing n
+//! per-input indexes with **no intermediate pair state** (see
+//! [`nary`]'s module docs).
+//!
+//! The binary [`JoinOp`] remains in exactly these cases, and doubles as
+//! the differential oracle for the n-ary path (`nary_differential`):
+//!
+//! * two-input joins (the three-term rule *is* the n = 2 telescoping);
+//! * cross products (no equi-keys to canonicalize — an empty-key join
+//!   stays one leaf input of the flattened form);
+//! * `OpConfig::nary_join` disabled (the oracle configuration).
 
 pub mod aggregate;
 pub mod join;
 pub mod merge;
+pub mod nary;
 pub mod topk;
 
 pub use aggregate::AggOp;
 pub use join::JoinOp;
 pub use merge::MergeOp;
+pub use nary::NaryJoinOp;
 pub use topk::TopKOp;
 
 use crate::delta::DeltaBatch;
@@ -58,6 +83,12 @@ pub const DEFAULT_MINMAX_BUFFER: usize = 64;
 /// evaluation instead of exhausting memory.
 pub const DEFAULT_JOIN_INDEX_BUDGET: usize = 1 << 20;
 
+/// Default row-count crossover at which delta kernels switch from the
+/// row-at-a-time path to the columnar one (normalize, aggregate,
+/// annotate). Measured on the smoke workloads; override per run via
+/// [`OpConfig::columnar_min`] (harnesses expose `IMP_COLUMNAR_MIN`).
+pub const DEFAULT_COLUMNAR_MIN: usize = 32;
+
 /// Tuning knobs for operator construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpConfig {
@@ -77,6 +108,16 @@ pub struct OpConfig {
     /// per-batch outsourced evaluation (like `minmax_buffer`'s recapture
     /// fallback). `None` disables the indexes entirely.
     pub join_index_budget: Option<usize>,
+    /// Compile flattenable equi-join trees of ≥ 3 inputs into one
+    /// [`NaryJoinOp`] (the delta-circuit path). Off = every join stays a
+    /// binary [`JoinOp`] — the differential oracle configuration.
+    pub nary_join: bool,
+    /// Batch-size crossover for the columnar delta kernels (normalize /
+    /// aggregate / annotate): batches of at least this many rows take
+    /// the columnar path. Promoted from the former hardcoded
+    /// `*_COLUMNAR_MIN = 32` constants so crossover tuning needs no
+    /// rebuild.
+    pub columnar_min: usize,
 }
 
 impl Default for OpConfig {
@@ -86,6 +127,8 @@ impl Default for OpConfig {
             minmax_buffer: Some(DEFAULT_MINMAX_BUFFER),
             topk_buffer: None,
             join_index_budget: Some(DEFAULT_JOIN_INDEX_BUDGET),
+            nary_join: true,
+            columnar_min: DEFAULT_COLUMNAR_MIN,
         }
     }
 }
@@ -112,8 +155,12 @@ pub enum IncNode {
         /// Projection expressions.
         exprs: Vec<Expr>,
     },
-    /// Join / cross product (§5.2.4), with bloom filters (§7.2).
+    /// Join / cross product (§5.2.4), with bloom filters (§7.2). The
+    /// binary fallback and differential oracle of the n-ary path.
     Join(Box<JoinOp>),
+    /// Flattened n-ary equi-join (≥ 3 inputs) maintained by the
+    /// telescoping delta rule with per-input indexes only.
+    Nary(Box<NaryJoinOp>),
     /// Aggregation (§5.2.5/§5.2.6); also implements duplicate removal δ.
     Aggregate(Box<AggOp>),
     /// Top-k (§5.2.7).
@@ -154,6 +201,16 @@ impl IncNode {
                             .into(),
                     ));
                 }
+                // Canonicalize the equi-join tree; deep enough trees
+                // compile to the n-ary circuit (see the module docs for
+                // when the binary fallback below is used instead).
+                if config.nary_join {
+                    if let Some(flat) = imp_sql::plan::flatten_join(plan) {
+                        if flat.inputs.len() >= 3 {
+                            return Ok(IncNode::Nary(Box::new(NaryJoinOp::new(&flat, config)?)));
+                        }
+                    }
+                }
                 IncNode::Join(Box::new(JoinOp::new(
                     IncNode::build(left, config)?,
                     IncNode::build(right, config)?,
@@ -161,8 +218,7 @@ impl IncNode {
                     (**right).clone(),
                     left_keys.clone(),
                     right_keys.clone(),
-                    config.bloom,
-                    config.join_index_budget,
+                    config,
                 )))
             }
             LogicalPlan::Aggregate {
@@ -174,7 +230,7 @@ impl IncNode {
                 IncNode::build(input, config)?,
                 group_by.clone(),
                 aggs.clone(),
-                config.minmax_buffer,
+                config,
             ))),
             LogicalPlan::Distinct { input } => {
                 // δ(R) = γ_{;all-cols}(R): grouping on the full row with no
@@ -184,7 +240,7 @@ impl IncNode {
                     IncNode::build(input, config)?,
                     (0..arity).map(Expr::Col).collect(),
                     vec![],
-                    config.minmax_buffer,
+                    config,
                 )))
             }
             LogicalPlan::TopK { input, keys, k } => IncNode::TopK(Box::new(TopKOp::new(
@@ -248,6 +304,7 @@ impl IncNode {
                 Ok(out)
             }
             IncNode::Join(j) => j.process(ctx),
+            IncNode::Nary(n) => n.process(ctx),
             IncNode::Aggregate(a) => a.process(ctx),
             IncNode::TopK(t) => t.process(ctx),
             IncNode::Passthrough { input } => input.process(ctx),
@@ -262,6 +319,7 @@ impl IncNode {
             | IncNode::Projection { input, .. }
             | IncNode::Passthrough { input } => input.reset(),
             IncNode::Join(j) => j.reset(),
+            IncNode::Nary(n) => n.reset(),
             IncNode::Aggregate(a) => a.reset(),
             IncNode::TopK(t) => t.reset(),
         }
@@ -279,6 +337,7 @@ impl IncNode {
                 let (l, r) = (j.left_child(), j.right_child());
                 l.topk_state().or_else(|| r.topk_state())
             }
+            IncNode::Nary(n) => n.children().iter().find_map(IncNode::topk_state),
             IncNode::Aggregate(a) => a.input_child().topk_state(),
             IncNode::TopK(t) => Some((t.stored_entries(), t.own_heap_size())),
         }
@@ -297,6 +356,15 @@ impl IncNode {
                 let (le, lb) = j.left_child().join_index_state();
                 let (re, rb) = j.right_child().join_index_state();
                 (own_e + le + re, own_b + lb + rb)
+            }
+            IncNode::Nary(n) => {
+                let (mut e, mut b) = n.index_state();
+                for c in n.children() {
+                    let (ce, cb) = c.join_index_state();
+                    e += ce;
+                    b += cb;
+                }
+                (e, b)
             }
             IncNode::Aggregate(a) => a.input_child().join_index_state(),
             IncNode::TopK(t) => t.input_child().join_index_state(),
@@ -319,6 +387,12 @@ impl IncNode {
                 j.left_child().for_each_annot(f);
                 j.right_child().for_each_annot(f);
             }
+            IncNode::Nary(n) => {
+                n.for_each_annot(f);
+                for c in n.children() {
+                    c.for_each_annot(f);
+                }
+            }
             IncNode::Aggregate(a) => a.input_child().for_each_annot(f),
             IncNode::TopK(t) => {
                 t.for_each_annot(f);
@@ -335,8 +409,43 @@ impl IncNode {
             | IncNode::Projection { input, .. }
             | IncNode::Passthrough { input } => input.heap_size(),
             IncNode::Join(j) => j.heap_size(),
+            IncNode::Nary(n) => n.heap_size(),
             IncNode::Aggregate(a) => a.heap_size(),
             IncNode::TopK(t) => t.heap_size(),
+        }
+    }
+
+    /// Arity of the topmost n-ary join in the circuit, if any (`fig_deep`
+    /// and the differential tests assert which path compiled).
+    pub fn nary_arity(&self) -> Option<usize> {
+        self.find_nary(&mut |n| n.arity())
+    }
+
+    /// Per-input probe counts (last batch) of the topmost n-ary join, if
+    /// any — surfaced through `MaintReport::nary_input_probes`.
+    pub fn nary_probe_counts(&self) -> Option<Vec<u64>> {
+        self.find_nary(&mut |n| n.probes_last().to_vec())
+    }
+
+    /// Canonical shape signature of the topmost n-ary join, if any (the
+    /// canonicalization proptests compare these across parse trees).
+    pub fn nary_signature(&self) -> Option<String> {
+        self.find_nary(&mut |n| n.signature())
+    }
+
+    fn find_nary<T>(&self, f: &mut dyn FnMut(&NaryJoinOp) -> T) -> Option<T> {
+        match self {
+            IncNode::TableAccess { .. } => None,
+            IncNode::Selection { input, .. }
+            | IncNode::Projection { input, .. }
+            | IncNode::Passthrough { input } => input.find_nary(f),
+            IncNode::Join(j) => j
+                .left_child()
+                .find_nary(f)
+                .or_else(|| j.right_child().find_nary(f)),
+            IncNode::Nary(n) => Some(f(n)),
+            IncNode::Aggregate(a) => a.input_child().find_nary(f),
+            IncNode::TopK(t) => t.input_child().find_nary(f),
         }
     }
 }

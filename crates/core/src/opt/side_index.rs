@@ -64,7 +64,7 @@ pub(crate) fn key_of(row: &Row, keys: &[usize]) -> Option<Vec<Value>> {
     Some(k)
 }
 
-fn key_heap(key: &[Value]) -> usize {
+pub(crate) fn key_heap(key: &[Value]) -> usize {
     key.iter().map(Value::heap_size).sum::<usize>() + std::mem::size_of_val(key)
 }
 
@@ -222,13 +222,13 @@ impl JoinSideIndex {
     }
 }
 
-fn entry_heap(e: &IndexEntry) -> usize {
+pub(crate) fn entry_heap(e: &IndexEntry) -> usize {
     e.row.heap_size() + std::mem::size_of::<IndexEntry>()
 }
 
 /// Content equality with an `Arc` pointer fast path (entries built from
 /// the same pool share allocations).
-fn annot_eq(a: &Arc<BitVec>, b: &Arc<BitVec>) -> bool {
+pub(crate) fn annot_eq(a: &Arc<BitVec>, b: &Arc<BitVec>) -> bool {
     Arc::ptr_eq(a, b) || a == b
 }
 

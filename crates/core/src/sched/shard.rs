@@ -268,8 +268,11 @@ impl ShardWorker {
     }
 
     /// One unit of work: staged ingest, then a claim from the own inbox,
-    /// then (with stealing on) a claim from the busiest other shard.
-    /// Returns `false` when there was nothing to do anywhere.
+    /// then (with stealing on) a claim from another shard — preferring
+    /// the victim with the deepest inbox backlog (the queue-depth gauges
+    /// of [`crate::SchedMetrics`]), falling back to a round-robin sweep
+    /// when the gauge read was stale or every gauge is zero. Returns
+    /// `false` when there was nothing to do anywhere.
     fn work_once(&mut self) -> bool {
         if !self.shared.staging_is_empty() {
             self.shared.ingest(&self.db, None);
@@ -278,6 +281,11 @@ impl ShardWorker {
             return true;
         }
         if self.config.work_stealing {
+            if let Some(victim) = self.metrics.deepest_backlog(self.id) {
+                if self.work_on(victim, true) {
+                    return true;
+                }
+            }
             let shards = self.shared.slots.len();
             for offset in 1..shards {
                 let victim = (self.id + offset) % shards;
@@ -303,12 +311,7 @@ impl ShardWorker {
             return false; // someone else claimed it first
         };
         if stolen {
-            self.metrics
-                .steals
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.metrics
-                .stolen_batches
-                .fetch_add(claim.batches, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.stole_from(shard, claim.batches);
         }
         {
             let db = self.db.read();

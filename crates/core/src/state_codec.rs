@@ -82,6 +82,12 @@ fn encode_node(node: &IncNode, buf: &mut BytesMut) {
             encode_node(j.left_child(), buf);
             encode_node(j.right_child(), buf);
         }
+        IncNode::Nary(n) => {
+            n.encode_state(buf);
+            for child in n.children() {
+                encode_node(child, buf);
+            }
+        }
         IncNode::Aggregate(a) => {
             a.encode_state(buf);
             encode_node(a.input_child(), buf);
@@ -104,6 +110,13 @@ fn decode_node(node: &mut IncNode, buf: &mut Bytes, pool: &mut AnnotPool) -> Res
             let (l, r) = j.children_mut();
             decode_node(l, buf, pool)?;
             decode_node(r, buf, pool)
+        }
+        IncNode::Nary(n) => {
+            n.decode_state(buf, pool)?;
+            for child in n.children_mut() {
+                decode_node(child, buf, pool)?;
+            }
+            Ok(())
         }
         IncNode::Aggregate(a) => {
             a.decode_state(buf)?;

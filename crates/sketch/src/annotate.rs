@@ -77,12 +77,8 @@ pub fn annotation_ids_for_rows(
     out
 }
 
-/// Annotate a table's delta records (`Δℛ = annotate(ΔR, Φ)`).
-///
-/// Batches of [`ANNOTATE_COLUMNAR_MIN`] records or more run through the
-/// columnar kernel ([`annotation_ids_for_rows`] over a [`DeltaColumns`]
-/// build); smaller batches keep the per-record path. Both produce the
-/// identical annotated batch.
+/// Annotate a table's delta records (`Δℛ = annotate(ΔR, Φ)`) with the
+/// default columnar crossover of [`ANNOTATE_COLUMNAR_MIN`] records.
 pub fn annotate_delta(
     pool: &mut AnnotPool,
     rows: &mut RowInterner,
@@ -90,7 +86,24 @@ pub fn annotate_delta(
     table: &str,
     records: &[DeltaRecord],
 ) -> DeltaBatch {
-    if records.len() >= ANNOTATE_COLUMNAR_MIN {
+    annotate_delta_with(pool, rows, pset, table, records, ANNOTATE_COLUMNAR_MIN)
+}
+
+/// Annotate a table's delta records with an explicit columnar crossover.
+///
+/// Batches of `columnar_min` records or more run through the columnar
+/// kernel ([`annotation_ids_for_rows`] over a [`DeltaColumns`] build);
+/// smaller batches keep the per-record path. Both produce the identical
+/// annotated batch.
+pub fn annotate_delta_with(
+    pool: &mut AnnotPool,
+    rows: &mut RowInterner,
+    pset: &PartitionSet,
+    table: &str,
+    records: &[DeltaRecord],
+    columnar_min: usize,
+) -> DeltaBatch {
+    if records.len() >= columnar_min {
         let mut cols = DeltaColumns::with_capacity(records.len());
         let interned: Vec<Row> = records.iter().map(|r| rows.intern(r.row.clone())).collect();
         let annots = annotation_ids_for_rows(pool, pset, table, &interned);

@@ -32,7 +32,7 @@ pub mod template;
 pub use ast::{AstExpr, BinOp, SelectItem, SelectStmt, Statement, TableRef, UnOp};
 pub use error::SqlError;
 pub use expr::Expr;
-pub use plan::{AggFunc, AggSpec, LogicalPlan, SortKey};
+pub use plan::{flatten_join, AggFunc, AggSpec, LogicalPlan, NaryJoin, SortKey};
 pub use resolver::{Catalog, Resolver};
 pub use template::QueryTemplate;
 

@@ -404,6 +404,143 @@ impl fmt::Display for LogicalPlan {
     }
 }
 
+/// A flattened equi-join tree in canonical form.
+///
+/// Left-deep, right-deep, and bushy parses of the same equi-join set all
+/// normalize to the same `NaryJoin`: the leaf inputs in in-order
+/// traversal order (which, by the concatenation rule of
+/// [`LogicalPlan::schema`] for `Join`, is exactly the output column
+/// order) plus the equi-key *equivalence classes* closed over every
+/// `ON` pair in the tree. Shapes that express the same equality set with
+/// different representative pairs (e.g. `a.x = c.z` instead of
+/// `b.y = c.z` when `x = y` already holds) produce identical classes,
+/// because classes are the union-find closure, not the literal pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaryJoin {
+    /// Leaf inputs, in output (in-order traversal) order. A leaf is any
+    /// non-equi-join node: scans, filter/project chains, and also cross
+    /// products (empty-key joins), which do not flatten.
+    pub inputs: Vec<LogicalPlan>,
+    /// Join-key equivalence classes over `(input index, column within
+    /// that input)`, each sorted ascending; classes sorted by their
+    /// first member. Every class has ≥ 2 members.
+    pub classes: Vec<Vec<(usize, usize)>>,
+}
+
+impl NaryJoin {
+    /// Human-readable canonical signature (used by shape-equivalence
+    /// tests and `EXPLAIN`-style diagnostics).
+    pub fn signature(&self) -> String {
+        let inputs: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|p| p.explain().replace('\n', " "))
+            .collect();
+        format!("nary[{}] classes={:?}", inputs.join(" | "), self.classes)
+    }
+}
+
+/// Flatten a tree of binary equi-joins into its canonical [`NaryJoin`].
+///
+/// Returns `None` unless `plan` is itself an equi-join (`Join` with
+/// non-empty keys). The recursion descends only through equi-join nodes:
+/// anything else — including cross products — becomes one leaf input.
+/// Key pairs are rebased to global column positions (the concatenated
+/// output schema) and closed under union-find, so every tree shape of
+/// the same join set yields byte-identical `inputs` and `classes`.
+pub fn flatten_join(plan: &LogicalPlan) -> Option<NaryJoin> {
+    let LogicalPlan::Join { left_keys, .. } = plan else {
+        return None;
+    };
+    if left_keys.is_empty() {
+        return None;
+    }
+    let mut inputs = Vec::new();
+    let mut pairs = Vec::new();
+    let total = collect_join(plan, &mut inputs, &mut pairs, 0);
+
+    // Union-find over global column positions.
+    let mut parent: Vec<usize> = (0..total).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b) in &pairs {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            // Root at the smaller id so grouping is deterministic.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi] = lo;
+        }
+    }
+
+    // Per-input global offsets, for mapping globals back to
+    // (input, column-within-input).
+    let mut offsets = Vec::with_capacity(inputs.len());
+    let mut acc = 0usize;
+    for p in &inputs {
+        offsets.push(acc);
+        acc += p.schema().arity();
+    }
+    let locate = |g: usize| {
+        let input = offsets.partition_point(|&o| o <= g) - 1;
+        (input, g - offsets[input])
+    };
+
+    let mut groups: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
+        std::collections::BTreeMap::new();
+    for col in 0..total {
+        let root = find(&mut parent, col);
+        groups.entry(root).or_default().push(locate(col));
+    }
+    let mut classes: Vec<Vec<(usize, usize)>> = groups
+        .into_values()
+        .filter(|members| members.len() >= 2)
+        .collect();
+    // Members are already ascending (globals visited in order); order the
+    // classes themselves by first member for a canonical listing.
+    classes.sort();
+    Some(NaryJoin { inputs, classes })
+}
+
+/// In-order walk of the equi-join tree: pushes leaves, rebases key pairs
+/// to global columns, returns the subtree's output arity.
+fn collect_join(
+    plan: &LogicalPlan,
+    inputs: &mut Vec<LogicalPlan>,
+    pairs: &mut Vec<(usize, usize)>,
+    base: usize,
+) -> usize {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } if !left_keys.is_empty() => {
+            let la = collect_join(left, inputs, pairs, base);
+            let ra = collect_join(right, inputs, pairs, base + la);
+            for (&l, &r) in left_keys.iter().zip(right_keys) {
+                pairs.push((base + l, base + la + r));
+            }
+            la + ra
+        }
+        other => {
+            inputs.push(other.clone());
+            other.schema().arity()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +562,126 @@ mod tests {
         let b = row![1, 9];
         assert_eq!(compare_rows(&a, &b, &keys), std::cmp::Ordering::Greater);
         assert_eq!(compare_rows(&a, &a, &keys), std::cmp::Ordering::Equal);
+    }
+
+    fn scan2(t: &str, a: &str, b: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: t.into(),
+            schema: Schema::new(vec![
+                Field::new(a, DataType::Int),
+                Field::new(b, DataType::Int),
+            ]),
+        }
+    }
+
+    fn join(l: LogicalPlan, r: LogicalPlan, lk: Vec<usize>, rk: Vec<usize>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            left_keys: lk,
+            right_keys: rk,
+        }
+    }
+
+    /// Left-deep, right-deep, and bushy trees of the chain
+    /// `a.y=b.u, b.v=c.p, c.q=d.r` flatten to one canonical NaryJoin.
+    #[test]
+    fn flatten_join_canonicalizes_tree_shapes() {
+        let (a, b, c, d) = (
+            scan2("a", "x", "y"),
+            scan2("b", "u", "v"),
+            scan2("c", "p", "q"),
+            scan2("d", "r", "s"),
+        );
+        let left_deep = join(
+            join(
+                join(a.clone(), b.clone(), vec![1], vec![0]),
+                c.clone(),
+                vec![3],
+                vec![0],
+            ),
+            d.clone(),
+            vec![5],
+            vec![0],
+        );
+        let right_deep = join(
+            a.clone(),
+            join(
+                b.clone(),
+                join(c.clone(), d.clone(), vec![1], vec![0]),
+                vec![1],
+                vec![0],
+            ),
+            vec![1],
+            vec![0],
+        );
+        let bushy = join(
+            join(a.clone(), b.clone(), vec![1], vec![0]),
+            join(c.clone(), d.clone(), vec![1], vec![0]),
+            vec![3],
+            vec![0],
+        );
+        let flat = flatten_join(&left_deep).unwrap();
+        assert_eq!(flat.inputs, vec![a.clone(), b, c, d]);
+        assert_eq!(
+            flat.classes,
+            vec![
+                vec![(0, 1), (1, 0)],
+                vec![(1, 1), (2, 0)],
+                vec![(2, 1), (3, 0)],
+            ]
+        );
+        assert_eq!(flatten_join(&right_deep).unwrap(), flat);
+        assert_eq!(flatten_join(&bushy).unwrap(), flat);
+        // Non-joins and cross products do not flatten.
+        assert!(flatten_join(&a).is_none());
+        let cross = join(scan2("a", "x", "y"), scan2("b", "u", "v"), vec![], vec![]);
+        assert!(flatten_join(&cross).is_none());
+    }
+
+    /// Shapes that express the same equality set through different
+    /// representative pairs still canonicalize to identical classes.
+    #[test]
+    fn flatten_join_closes_equivalences() {
+        let (a, b, c) = (
+            scan2("a", "x", "y"),
+            scan2("b", "u", "v"),
+            scan2("c", "p", "q"),
+        );
+        // a.y = b.u, then c joined via b.u (global 2)...
+        let via_b = join(
+            join(a.clone(), b.clone(), vec![1], vec![0]),
+            c.clone(),
+            vec![2],
+            vec![0],
+        );
+        // ...versus c joined via a.y (global 1): same closure.
+        let via_a = join(
+            join(a.clone(), b.clone(), vec![1], vec![0]),
+            c.clone(),
+            vec![1],
+            vec![0],
+        );
+        let x = flatten_join(&via_b).unwrap();
+        let y = flatten_join(&via_a).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(x.classes, vec![vec![(0, 1), (1, 0), (2, 0)]]);
+    }
+
+    /// A cross-product join below an equi-join stays one (two-column ×
+    /// two-column = four-column) leaf input.
+    #[test]
+    fn flatten_join_keeps_cross_products_as_leaves() {
+        let (a, b, c) = (
+            scan2("a", "x", "y"),
+            scan2("b", "u", "v"),
+            scan2("c", "p", "q"),
+        );
+        let cross = join(b.clone(), c.clone(), vec![], vec![]);
+        let plan = join(a.clone(), cross.clone(), vec![1], vec![0]);
+        let flat = flatten_join(&plan).unwrap();
+        assert_eq!(flat.inputs, vec![a, cross]);
+        assert_eq!(flat.classes, vec![vec![(0, 1), (1, 0)]]);
     }
 
     #[test]
