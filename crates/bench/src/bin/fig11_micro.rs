@@ -19,6 +19,11 @@
 //! batches would occupy in the flat one-bitvector-per-row representation,
 //! and `memo` is the share of annotation unions answered by the pool's
 //! memo table instead of being computed (and allocated) again.
+//!
+//! With `IMP_OBS=1` every measured maintain also records into the
+//! `imp_core::obs` bench hub (histograms + operator-level spans), and the
+//! harness writes `TRACE_fig11_micro.json` / `METRICS_fig11_micro.{json,prom}`
+//! next to its `BENCH_*.json` (validated by `bench_check --check-obs`).
 
 use criterion::Throughput;
 use imp_bench::*;
@@ -102,6 +107,12 @@ fn sweep(
                 .time_stats("imp", &m.imp_stats)
                 .time_stats("fm", &m.fm_stats)
                 .ratio("imp_rows_per_sec", rows_per_sec)
+                // Maintain-latency tail from the obs log-bucketed
+                // histogram (trajectory-only: tails are noisy at smoke
+                // scale, the gated medians catch regressions).
+                .metric("imp_ns_p50", m.imp_hist.p50() as f64, Unit::Ns, false)
+                .metric("imp_ns_p95", m.imp_hist.p95() as f64, Unit::Ns, false)
+                .metric("imp_ns_p99", m.imp_hist.p99() as f64, Unit::Ns, false)
                 .count("db_roundtrips", m.metrics.db_roundtrips, true)
                 .count("rt_saved", m.metrics.db_roundtrips_avoided, false)
                 .heap("delta_bytes_pooled", m.metrics.delta_bytes_pooled)
@@ -390,4 +401,7 @@ fn main() {
         }
     }
     report.finish();
+    // With IMP_OBS=1 the measured maintains recorded into the bench obs
+    // hub; export its trace/metrics artifacts next to the report.
+    write_obs_artifacts("fig11_micro");
 }

@@ -7,9 +7,11 @@
 //! every queue fills deterministically; the timed section is
 //! resume → drain, i.e. pure maintenance.
 //!
-//! Reported per pool size: drain wall-clock, maintenance runs, routed /
-//! fanned-out / coalesced batches, backpressure stalls, and the maximum
-//! per-shard queue depth. The harness **panics** when coalescing never
+//! Reported per pool size: drain wall-clock, per-maintain latency
+//! percentiles (p50/p95/p99 from the `imp_core::obs` histograms, which
+//! run in metrics-only mode here and fully — spans included — under
+//! `IMP_OBS=1`), maintenance runs, routed / fanned-out / coalesced
+//! batches, backpressure stalls, and the maximum per-shard queue depth. The harness **panics** when coalescing never
 //! fires, when the parallel speedup line cannot be computed, or when any
 //! pool's final sketch states differ from the sequential store's
 //! (byte-identical results are the scheduler's contract).
@@ -17,6 +19,7 @@
 use criterion::Throughput;
 use imp_bench::*;
 use imp_core::middleware::{Imp, ImpConfig};
+use imp_core::ObsConfig;
 use imp_data::queries;
 use imp_data::synthetic::{load, SyntheticConfig};
 use imp_data::workload::{insert_stream, WorkloadOp};
@@ -56,6 +59,14 @@ fn build_imp(workers: usize, rows: usize, groups: i64) -> Imp {
             // are parked — the queue-depth and coalescing observations
             // below need batches in inboxes, not names in staging.
             ingest_queue_cap: 4,
+            // Maintain-latency histograms are always on here (they feed
+            // the ungated p50/p95/p99 trajectory metrics below); full
+            // tracing only under IMP_OBS=1.
+            obs: if obs_enabled() {
+                ObsConfig::on()
+            } else {
+                ObsConfig::metrics_only()
+            },
             ..Default::default()
         },
     );
@@ -106,7 +117,17 @@ fn main() {
     let truth = seq.sketch_states();
 
     let mut report = BenchReport::new("fig_sched");
-    report.add(Record::new("sched", "seq".to_string()).time("drain", seq_time));
+    let seq_maint = seq
+        .obs()
+        .maintain_latency()
+        .expect("seq store maintained with metrics on");
+    report.add(
+        Record::new("sched", "seq".to_string())
+            .time("drain", seq_time)
+            .metric("maintain_ns_p50", seq_maint.p50() as f64, Unit::Ns, false)
+            .metric("maintain_ns_p95", seq_maint.p95() as f64, Unit::Ns, false)
+            .metric("maintain_ns_p99", seq_maint.p99() as f64, Unit::Ns, false),
+    );
     let mut rows_out = Vec::new();
     let mut drain_ms = Vec::new();
     for workers in [1usize, 2, 4] {
@@ -148,10 +169,26 @@ fn main() {
             .throughput_per_sec(Throughput::Elements(total_rows))
             .unwrap_or(0.0);
 
+        // Per-maintain latency tail across every shard of this pool,
+        // from the unified obs registry (trajectory-only — the gated
+        // `drain` wall clock catches regressions).
+        let maint = imp
+            .obs()
+            .maintain_latency()
+            .expect("drained pool recorded maintain latencies");
+        if obs_enabled() && workers == 4 {
+            // Full-instrumentation run: export the largest pool's
+            // trace/metrics artifacts while its hub is still live.
+            write_obs_artifacts_from("fig_sched", imp.obs());
+        }
+
         report.add(
             Record::new("sched", format!("w{workers}"))
                 .time("drain", drained)
                 .ratio("rows_per_sec", rows_per_sec)
+                .metric("maintain_ns_p50", maint.p50() as f64, Unit::Ns, false)
+                .metric("maintain_ns_p95", maint.p95() as f64, Unit::Ns, false)
+                .metric("maintain_ns_p99", maint.p99() as f64, Unit::Ns, false)
                 .count("maintain_runs", stats.maintain_runs, true)
                 .count("routed_batches", stats.routed_batches, true)
                 .count("fanout_messages", stats.fanout_messages, true)

@@ -1,13 +1,14 @@
 //! Shared measurement utilities for the figure harnesses.
 
 use imp_core::maintain::SketchMaintainer;
+use imp_core::obs::{HistSnapshot, LatencyHistogram, Obs, ObsConfig};
 use imp_core::ops::OpConfig;
 use imp_core::MaintMetrics;
 use imp_data::workload::WorkloadOp;
 use imp_engine::Database;
 use imp_sketch::{capture, PartitionSet, RangePartition};
 use imp_sql::LogicalPlan;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Parse one benchmark env value, panicking with a clear message on
@@ -76,6 +77,64 @@ pub fn bench_op_config() -> OpConfig {
     OpConfig {
         columnar_min: columnar_min(),
         ..OpConfig::default()
+    }
+}
+
+/// Observability switch for the harnesses (`IMP_OBS`, default off): when
+/// on, harnesses run with full `imp_core::obs` instrumentation — latency
+/// histograms, pipeline tracing, scheduler counters — and write the
+/// trace/metrics artifacts next to their `BENCH_*.json` (see
+/// [`write_obs_artifacts`]; `bench_check --check-obs` validates them in
+/// CI). Panics on anything but `0`/`1`/`true`/`false`.
+pub fn obs_enabled() -> bool {
+    match std::env::var("IMP_OBS") {
+        Ok(s) => match s.trim() {
+            "" | "0" | "false" => false,
+            "1" | "true" => true,
+            other => panic!("IMP_OBS must be one of 0/1/true/false, got {other:?}"),
+        },
+        Err(_) => false,
+    }
+}
+
+/// The process-wide bench observability hub: `Some` (fully enabled,
+/// histograms + tracing) when [`obs_enabled`], `None` otherwise. The
+/// maintainer-level harness paths ([`measure_inc_vs_full`]) record here;
+/// middleware-level harnesses use their own per-`Imp` hub instead.
+pub fn bench_obs() -> Option<&'static Arc<Obs>> {
+    static OBS: OnceLock<Option<Arc<Obs>>> = OnceLock::new();
+    OBS.get_or_init(|| obs_enabled().then(|| Obs::new(&ObsConfig::on())))
+        .as_ref()
+}
+
+/// Write one hub's observability artifacts into `IMP_BENCH_OUT` (default
+/// `.`, the same convention as `BenchReport::finish`):
+/// `TRACE_<harness>.json` (Chrome trace-event JSON, loadable in
+/// `chrome://tracing`), `METRICS_<harness>.json` (deterministic registry
+/// snapshot), and `METRICS_<harness>.prom` (Prometheus text exposition).
+pub fn write_obs_artifacts_from(harness: &str, obs: &Obs) {
+    let dir =
+        std::path::PathBuf::from(std::env::var("IMP_BENCH_OUT").unwrap_or_else(|_| ".".into()));
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create IMP_BENCH_OUT dir {dir:?}: {e}"));
+    for (name, contents) in [
+        (format!("TRACE_{harness}.json"), obs.trace_chrome_json()),
+        (format!("METRICS_{harness}.json"), obs.metrics_json()),
+        (format!("METRICS_{harness}.prom"), obs.metrics_text()),
+    ] {
+        let path = dir.join(&name);
+        std::fs::write(&path, contents)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Write the [`bench_obs`] hub's artifacts (no-op with `IMP_OBS` off).
+/// Harnesses that measure through [`measure_inc_vs_full`] call this once
+/// after `BenchReport::finish`.
+pub fn write_obs_artifacts(harness: &str) {
+    if let Some(obs) = bench_obs() {
+        write_obs_artifacts_from(harness, obs);
     }
 }
 
@@ -195,6 +254,10 @@ pub struct IncVsFull {
     pub imp_stats: criterion::SampleStats,
     /// Full statistics of the full-maintenance (capture) runs.
     pub fm_stats: criterion::SampleStats,
+    /// Per-batch incremental maintain latencies through the obs
+    /// log-bucketed histogram: tail quantiles (`p50/p95/p99`) for the
+    /// trajectory, where the criterion-shim stats only carry the median.
+    pub imp_hist: HistSnapshot,
 }
 
 /// Run the IMP-vs-FM measurement for a prepared database and plan.
@@ -207,17 +270,29 @@ pub fn measure_inc_vs_full(
 ) -> IncVsFull {
     let (mut maintainer, _) =
         SketchMaintainer::capture(plan, db, Arc::clone(pset), op_config, true).unwrap();
+    // Under IMP_OBS the measured maintains record into the bench hub:
+    // attaching the tracer here makes the operator-level spans
+    // (`join_delta`, `nary_probe`, `aggregate_delta`, …) land in its
+    // per-thread ring for the TRACE artifact.
+    let obs = bench_obs();
+    let _attach = obs.map(|o| o.attach());
+    let hist = LatencyHistogram::new();
     let mut imp_times = Vec::new();
     let mut recaptures = 0usize;
     let mut metrics = MaintMetrics::default();
     for op in updates {
-        let WorkloadOp::Update { sql, .. } = op else {
+        let WorkloadOp::Update { sql, rows } = op else {
             continue;
         };
         db.execute_sql(sql).unwrap();
         let (t, report) = time_once(|| maintainer.maintain(db).unwrap());
         if report.recaptured {
             recaptures += 1;
+        }
+        let nanos = t.as_nanos() as u64;
+        hist.record(nanos);
+        if let Some(o) = obs {
+            o.maintain_observed("inc_vs_full", nanos, *rows as u64, report.recaptured);
         }
         metrics.absorb(&report.metrics);
         imp_times.push(t);
@@ -235,6 +310,7 @@ pub fn measure_inc_vs_full(
         metrics,
         imp_stats: criterion::sample_stats(&imp_times),
         fm_stats: criterion::sample_stats(&fm_times),
+        imp_hist: hist.snapshot(),
     }
 }
 

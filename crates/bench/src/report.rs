@@ -542,7 +542,12 @@ fn json_num(v: f64) -> String {
 /// this module writes (objects, arrays, strings, numbers, booleans,
 /// null). Not a general-purpose parser: surrogate-pair `\u` escapes are
 /// rejected rather than combined, and numbers use Rust's f64 grammar.
-mod json {
+///
+/// Public so `bench_check` can validate the other JSON artifacts of a
+/// bench run against the same grammar: `history.jsonl` trend lines
+/// (`--trend`) and the `IMP_OBS=1` trace/metrics exports
+/// (`--check-obs`).
+pub mod json {
     use std::collections::BTreeMap;
 
     /// Parsed JSON value.

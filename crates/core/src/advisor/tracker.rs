@@ -94,12 +94,25 @@ pub struct UseStats {
     pub hot_maint_nanos: f64,
     /// Hot-window maintenance delta rows (decayed).
     pub hot_maint_delta_rows: f64,
+    /// Lifetime end-to-end latency (nanoseconds) of sketch-answered
+    /// SELECTs under this key, as observed by the middleware's obs layer.
+    pub query_nanos: u64,
+    /// Number of latency samples in [`UseStats::query_nanos`].
+    pub query_samples: u64,
 }
 
 impl UseStats {
     /// Total lifetime uses (captures + reuses).
     pub fn total_uses(&self) -> u64 {
         self.captures + self.fresh_uses + self.maintained_uses
+    }
+
+    /// Mean observed end-to-end query latency in nanoseconds (0 before
+    /// any sample).
+    pub fn mean_query_nanos(&self) -> u64 {
+        self.query_nanos
+            .checked_div(self.query_samples)
+            .unwrap_or(0)
     }
 }
 
@@ -141,6 +154,19 @@ impl WorkloadTracker {
         s.maint_delta_rows += cost.delta_rows;
         s.hot_maint_nanos += cost.nanos as f64;
         s.hot_maint_delta_rows += cost.delta_rows as f64;
+    }
+
+    /// Record the observed end-to-end latency of one sketch-answered
+    /// SELECT. Only updates keys already tracked by a use — a subsumed
+    /// query's SQL differs from the capturing SQL of the sketch that
+    /// answered it, and a latency-only entry under the wrong key would
+    /// just be pruned by the next `retain_live` pass.
+    pub fn record_query_latency(&self, key: &SketchKey, nanos: u64) {
+        let mut stats = self.stats.lock();
+        if let Some(s) = stats.get_mut(key) {
+            s.query_nanos += nanos;
+            s.query_samples += 1;
+        }
     }
 
     /// Drop the stats of one sketch. Every path that removes a sketch
@@ -242,6 +268,21 @@ mod tests {
         assert_eq!(s.rows_skipped_est, 100);
         assert_eq!(s.hot_uses, 0.25);
         assert_eq!(s.hot_rows_skipped, 25.0);
+    }
+
+    #[test]
+    fn query_latency_feeds_only_tracked_keys() {
+        let t = WorkloadTracker::new();
+        // Unknown key: ignored, no entry created.
+        t.record_query_latency(&key("ghost"), 1_000);
+        assert!(t.is_empty());
+        t.record_use(key("q"), UseKind::Fresh, 10);
+        t.record_query_latency(&key("q"), 1_000);
+        t.record_query_latency(&key("q"), 3_000);
+        let s = t.get(&key("q"));
+        assert_eq!(s.query_samples, 2);
+        assert_eq!(s.query_nanos, 4_000);
+        assert_eq!(s.mean_query_nanos(), 2_000);
     }
 
     #[test]

@@ -38,6 +38,12 @@
 //!   owning disjoint template-hash shards of the sketch store (per-table
 //!   batch coalescing, bounded-queue backpressure), and versioned
 //!   published [`sched::SnapshotBoard`] sketches for the USE path.
+//! * [`obs`] — unified observability: a [`obs::MetricsRegistry`] of
+//!   counters / gauges / log-bucketed latency histograms with Prometheus
+//!   text and JSON exports, bounded per-thread span tracing over the full
+//!   maintenance pipeline (Chrome trace-event export), and a typed
+//!   [`obs::Probe`] event bus — gated by [`middleware::ImpConfig::obs`]
+//!   so the disabled hot path costs a branch and allocates nothing.
 //! * [`strategy`] / [`middleware`] — eager / lazy / batched maintenance and
 //!   the user-facing [`middleware::Imp`] system (in-line or sharded store,
 //!   selected by [`middleware::ImpConfig::sched_workers`]).
@@ -49,6 +55,7 @@ pub mod fragcount;
 pub mod maintain;
 pub mod metrics;
 pub mod middleware;
+pub mod obs;
 pub mod ops;
 pub mod opt;
 pub mod sched;
@@ -65,6 +72,7 @@ pub use fragcount::FragCounts;
 pub use maintain::{MaintReport, SketchMaintainer};
 pub use metrics::{MaintMetrics, SchedMetrics, SchedStats};
 pub use middleware::{Imp, ImpConfig, ImpResponse, QueryMode, SketchStateView};
+pub use obs::{HistSnapshot, LatencyHistogram, MetricsRegistry, Obs, ObsConfig, ObsEvent, Probe};
 pub use sched::Scheduler;
 pub use strategy::MaintenanceStrategy;
 

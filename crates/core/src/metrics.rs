@@ -1,9 +1,17 @@
 //! Maintenance metrics: cost and memory accounting for the experiments,
 //! plus the shared atomic counters of the [`crate::sched`] scheduler
 //! (queue depths, coalescing, backpressure).
+//!
+//! The scheduler counters are [`crate::obs::registry`] handles: when the
+//! scheduler is built through [`crate::middleware::Imp`], they register in
+//! the `Imp`'s unified [`crate::obs::MetricsRegistry`] (names prefixed
+//! `imp_sched_`, per-shard gauges labeled `shard="i"`), so the text and
+//! JSON expositions show routing, stealing, and backlog alongside the
+//! latency histograms. [`SchedMetrics::new`] without a registry keeps
+//! them detached (tests, standalone pools) — same behavior, unexported.
 
+use crate::obs::registry::{Counter, Gauge, MetricsRegistry};
 use imp_storage::PoolStats;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters recorded during one maintenance run (reset per run).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -93,74 +101,94 @@ impl MaintMetrics {
 #[derive(Debug)]
 pub struct SchedMetrics {
     /// Table-delta batches built by the router (one per table flush).
-    pub routed_batches: AtomicU64,
+    pub routed_batches: Counter,
     /// Delta rows shipped inside routed batches (each counted once,
     /// however many shards the batch fans out to).
-    pub routed_rows: AtomicU64,
+    pub routed_rows: Counter,
     /// Shard-queue messages produced by fan-out (≥ `routed_batches`).
-    pub fanout_messages: AtomicU64,
+    pub fanout_messages: Counter,
     /// Pending same-table batches folded into an earlier batch by a
     /// shard's coalescing pass.
-    pub coalesced_batches: AtomicU64,
+    pub coalesced_batches: Counter,
     /// Updates that found the ingest staging queue full (or async ingest
     /// disabled) and fell back to inline ingestion on the writer's
     /// thread (backpressure onto the update path).
-    pub backpressure_stalls: AtomicU64,
+    pub backpressure_stalls: Counter,
     /// Updates staged for asynchronous ingestion (the writer returned
     /// without collecting or fanning out).
-    pub staged_updates: AtomicU64,
+    pub staged_updates: Counter,
     /// Claims an idle worker took from another shard's inbox.
-    pub steals: AtomicU64,
+    pub steals: Counter,
     /// Routed batches processed inside stolen claims.
-    pub stolen_batches: AtomicU64,
+    pub stolen_batches: Counter,
     /// Maintenance runs executed by shard workers (routed + on-demand).
-    pub maintain_runs: AtomicU64,
+    pub maintain_runs: Counter,
     /// Per-shard current inbox depth (gauge): routed batches queued and
     /// not yet claimed.
-    queue_depth: Vec<AtomicU64>,
+    queue_depth: Vec<Gauge>,
     /// Per-shard high-water queue depth.
-    max_queue_depth: Vec<AtomicU64>,
+    max_queue_depth: Vec<Gauge>,
     /// Per-shard count of claims stolen *from* this shard's inbox by
     /// other workers (victim-side view of [`Self::steals`]).
-    stolen_from: Vec<AtomicU64>,
+    stolen_from: Vec<Counter>,
 }
 
 impl SchedMetrics {
-    /// Fresh counters for `shards` queues.
+    /// Fresh detached counters for `shards` queues (not exported by any
+    /// registry).
     pub fn new(shards: usize) -> SchedMetrics {
+        SchedMetrics::registered(shards, &MetricsRegistry::new())
+    }
+
+    /// Counters for `shards` queues, registered in `registry` under
+    /// `imp_sched_*` names (per-shard series labeled `shard="i"`).
+    pub fn registered(shards: usize, registry: &MetricsRegistry) -> SchedMetrics {
         SchedMetrics {
-            routed_batches: AtomicU64::new(0),
-            routed_rows: AtomicU64::new(0),
-            fanout_messages: AtomicU64::new(0),
-            coalesced_batches: AtomicU64::new(0),
-            backpressure_stalls: AtomicU64::new(0),
-            staged_updates: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            stolen_batches: AtomicU64::new(0),
-            maintain_runs: AtomicU64::new(0),
-            queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
-            max_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
-            stolen_from: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            routed_batches: registry.counter("imp_sched_routed_batches"),
+            routed_rows: registry.counter("imp_sched_routed_rows"),
+            fanout_messages: registry.counter("imp_sched_fanout_messages"),
+            coalesced_batches: registry.counter("imp_sched_coalesced_batches"),
+            backpressure_stalls: registry.counter("imp_sched_backpressure_stalls"),
+            staged_updates: registry.counter("imp_sched_staged_updates"),
+            steals: registry.counter("imp_sched_steals"),
+            stolen_batches: registry.counter("imp_sched_stolen_batches"),
+            maintain_runs: registry.counter("imp_sched_maintain_runs"),
+            queue_depth: (0..shards)
+                .map(|i| registry.gauge_with("imp_sched_queue_depth", &[("shard", &i.to_string())]))
+                .collect(),
+            max_queue_depth: (0..shards)
+                .map(|i| {
+                    registry.gauge_with("imp_sched_max_queue_depth", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            stolen_from: (0..shards)
+                .map(|i| {
+                    registry.counter_with("imp_sched_stolen_from", &[("shard", &i.to_string())])
+                })
+                .collect(),
         }
     }
 
     /// Record a message entering `shard`'s queue.
     pub fn enqueued(&self, shard: usize) {
-        let d = self.queue_depth[shard].fetch_add(1, Ordering::Relaxed) + 1;
-        self.max_queue_depth[shard].fetch_max(d, Ordering::Relaxed);
+        let d = self.queue_depth[shard].inc_get();
+        self.max_queue_depth[shard].max_of(d);
     }
 
-    /// Record a message leaving `shard`'s queue.
+    /// Record a message leaving `shard`'s queue. Saturates at 0: a
+    /// mismatched dequeue must not wrap the gauge to `u64::MAX`, which
+    /// would poison [`Self::deepest_backlog`] victim selection until the
+    /// pool restarts.
     pub fn dequeued(&self, shard: usize) {
-        self.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth[shard].dec_saturating();
     }
 
     /// Record a claim of `batches` routed batches stolen from `victim`'s
     /// inbox by another worker.
     pub fn stole_from(&self, victim: usize, batches: u64) {
-        self.steals.fetch_add(1, Ordering::Relaxed);
-        self.stolen_batches.fetch_add(batches, Ordering::Relaxed);
-        self.stolen_from[victim].fetch_add(1, Ordering::Relaxed);
+        self.steals.inc();
+        self.stolen_batches.add(batches);
+        self.stolen_from[victim].inc();
     }
 
     /// Shard with the deepest non-empty inbox, skipping `exclude` (the
@@ -173,7 +201,7 @@ impl SchedMetrics {
             if shard == exclude {
                 continue;
             }
-            let d = depth.load(Ordering::Relaxed);
+            let d = depth.get();
             if d > 0 && best.is_none_or(|(bd, _)| d > bd) {
                 best = Some((d, shard));
             }
@@ -184,29 +212,25 @@ impl SchedMetrics {
     /// Plain-value view of the counters.
     pub fn snapshot(&self) -> SchedStats {
         SchedStats {
-            routed_batches: self.routed_batches.load(Ordering::Relaxed),
-            routed_rows: self.routed_rows.load(Ordering::Relaxed),
-            fanout_messages: self.fanout_messages.load(Ordering::Relaxed),
-            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
-            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
-            staged_updates: self.staged_updates.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
-            maintain_runs: self.maintain_runs.load(Ordering::Relaxed),
+            routed_batches: self.routed_batches.get(),
+            routed_rows: self.routed_rows.get(),
+            fanout_messages: self.fanout_messages.get(),
+            coalesced_batches: self.coalesced_batches.get(),
+            backpressure_stalls: self.backpressure_stalls.get(),
+            staged_updates: self.staged_updates.get(),
+            steals: self.steals.get(),
+            stolen_batches: self.stolen_batches.get(),
+            maintain_runs: self.maintain_runs.get(),
             per_shard: self
                 .queue_depth
                 .iter()
                 .zip(&self.max_queue_depth)
                 .map(|(d, m)| ShardQueueStats {
-                    depth: d.load(Ordering::Relaxed),
-                    max_depth: m.load(Ordering::Relaxed),
+                    depth: d.get(),
+                    max_depth: m.get(),
                 })
                 .collect(),
-            stolen_from: self
-                .stolen_from
-                .iter()
-                .map(|s| s.load(Ordering::Relaxed))
-                .collect(),
+            stolen_from: self.stolen_from.iter().map(|s| s.get()).collect(),
         }
     }
 }
@@ -245,4 +269,49 @@ pub struct ShardQueueStats {
     pub depth: u64,
     /// High-water depth since spawn.
     pub max_depth: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dequeued_saturates_at_zero() {
+        let m = SchedMetrics::new(2);
+        // A mismatched dequeue on an empty queue must not wrap to
+        // u64::MAX.
+        m.dequeued(0);
+        assert_eq!(m.snapshot().per_shard[0].depth, 0);
+        m.enqueued(0);
+        m.dequeued(0);
+        m.dequeued(0);
+        let snap = m.snapshot();
+        assert_eq!(snap.per_shard[0].depth, 0);
+        assert_eq!(snap.per_shard[0].max_depth, 1);
+    }
+
+    #[test]
+    fn underflowed_gauge_does_not_poison_victim_selection() {
+        let m = SchedMetrics::new(3);
+        // Shard 0 underflows; shard 2 has real backlog. The thief (shard
+        // 1) must pick the real backlog, not a wrapped-around shard 0.
+        m.dequeued(0);
+        m.enqueued(2);
+        assert_eq!(m.deepest_backlog(1), Some(2));
+        // No backlog anywhere: no victim, rather than the underflowed one.
+        m.dequeued(2);
+        assert_eq!(m.deepest_backlog(1), None);
+    }
+
+    #[test]
+    fn registered_metrics_share_registry_cells() {
+        let registry = MetricsRegistry::new();
+        let m = SchedMetrics::registered(2, &registry);
+        m.routed_batches.add(3);
+        m.enqueued(1);
+        let text = registry.render_text();
+        assert!(text.contains("imp_sched_routed_batches 3"));
+        assert!(text.contains("imp_sched_queue_depth{shard=\"1\"} 1"));
+        assert!(text.contains("imp_sched_max_queue_depth{shard=\"1\"} 1"));
+    }
 }

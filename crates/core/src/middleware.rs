@@ -25,6 +25,7 @@ use crate::advisor::{
 };
 use crate::error::CoreError;
 use crate::maintain::{MaintReport, SketchMaintainer};
+use crate::obs::{Obs, ObsConfig, Probe};
 use crate::ops::OpConfig;
 use crate::sched::Scheduler;
 use crate::strategy::MaintenanceStrategy;
@@ -117,6 +118,10 @@ pub struct ImpConfig {
     pub sketch_memory_budget: Option<usize>,
     /// Cost-model weights of the advisor (`benefit − α·maintain − β·heap`).
     pub advisor: AdvisorParams,
+    /// Observability: unified metrics registry, latency histograms, and
+    /// pipeline tracing (see [`crate::obs`]). Off by default — the
+    /// disabled hot path costs a branch and allocates nothing.
+    pub obs: ObsConfig,
 }
 
 /// Default [`ImpConfig::coalesce_budget`].
@@ -146,6 +151,7 @@ impl Default for ImpConfig {
             ingest_queue_cap: DEFAULT_INGEST_QUEUE_CAP,
             sketch_memory_budget: None,
             advisor: AdvisorParams::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -302,6 +308,7 @@ pub struct Imp {
     store: SketchBackend,
     config: ImpConfig,
     advisor: Advisor,
+    obs: Arc<Obs>,
 }
 
 impl Imp {
@@ -310,11 +317,13 @@ impl Imp {
     pub fn new(db: Database, config: ImpConfig) -> Imp {
         let db = Arc::new(RwLock::new(db));
         let advisor = Advisor::new(config.advisor);
+        let obs = Obs::new(&config.obs);
         let store = if config.sched_workers > 0 {
             SketchBackend::Sharded(Scheduler::new(
                 Arc::clone(&db),
                 &config,
                 Arc::clone(advisor.tracker()),
+                Arc::clone(&obs),
             ))
         } else {
             SketchBackend::Inline(FxHashMap::default())
@@ -324,12 +333,40 @@ impl Imp {
             store,
             config,
             advisor,
+            obs,
         }
     }
 
     /// The workload advisor (tracker access and cost-model parameters).
     pub fn advisor(&self) -> &Advisor {
         &self.advisor
+    }
+
+    /// The observability hub (metrics registry, tracer, probes).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Prometheus-style text exposition of every registered metric.
+    pub fn metrics_text(&self) -> String {
+        self.obs.metrics_text()
+    }
+
+    /// Deterministic JSON snapshot of every registered metric.
+    pub fn metrics_json(&self) -> String {
+        self.obs.metrics_json()
+    }
+
+    /// Chrome trace-event JSON of all recorded pipeline spans (load in
+    /// `chrome://tracing` or Perfetto). Empty `traceEvents` unless
+    /// [`ObsConfig::trace`] is on.
+    pub fn trace_export(&self) -> String {
+        self.obs.trace_chrome_json()
+    }
+
+    /// Subscribe a typed-event probe (works even with obs disabled).
+    pub fn subscribe_probe(&self, probe: Arc<dyn Probe>) {
+        self.obs.subscribe(probe);
     }
 
     /// Shared read access to the backend database.
@@ -565,9 +602,16 @@ impl Imp {
                         {
                             let report =
                                 maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
+                            let cost = report.advisor_cost();
+                            self.obs.maintain_observed(
+                                template.text(),
+                                cost.nanos,
+                                cost.delta_rows,
+                                report.recaptured,
+                            );
                             self.advisor.tracker().record_maintenance(
                                 SketchKey::new(template.text(), entry.sql.clone()),
-                                report.advisor_cost(),
+                                cost,
                             );
                             reports.push(report);
                         }
@@ -701,6 +745,7 @@ impl Imp {
     // ---- updates ----
 
     fn handle_update(&mut self, stmt: &Statement) -> Result<ImpResponse> {
+        let _span = self.obs.span("update");
         let result = self.db.write().execute_statement(stmt)?;
         match result {
             imp_engine::update::StatementResult::Created => Ok(ImpResponse::Created),
@@ -730,9 +775,16 @@ impl Imp {
                                                 &db,
                                                 self.config.retain_sketch_versions,
                                             )?;
+                                            let cost = report.advisor_cost();
+                                            self.obs.maintain_observed(
+                                                template.text(),
+                                                cost.nanos,
+                                                cost.delta_rows,
+                                                report.recaptured,
+                                            );
                                             self.advisor.tracker().record_maintenance(
                                                 SketchKey::new(template.text(), entry.sql.clone()),
-                                                report.advisor_cost(),
+                                                cost,
                                             );
                                             maintenance.push(report);
                                         }
@@ -761,15 +813,34 @@ impl Imp {
     // ---- queries ----
 
     fn handle_select(&mut self, sql: &str, select: &SelectStmt) -> Result<ImpResponse> {
+        let _span = self.obs.span("select");
+        let start = std::time::Instant::now();
         let template = QueryTemplate::of(select);
         let plan = Resolver::new(&*self.db.read())
             .resolve_select(select)
             .map_err(EngineError::from)?;
-        if matches!(self.store, SketchBackend::Sharded(_)) {
+        let key = SketchKey::new(template.text(), sql.to_string());
+        let response = if matches!(self.store, SketchBackend::Sharded(_)) {
             self.select_sharded(sql, template, plan)
         } else {
             self.select_inline(sql, template, plan)
+        }?;
+        if let ImpResponse::Rows { mode, .. } = &response {
+            let nanos = start.elapsed().as_nanos() as u64;
+            let label = match mode {
+                QueryMode::NoSketch => "none",
+                QueryMode::Captured => "capture",
+                QueryMode::UsedFresh => "fresh",
+                QueryMode::Maintained(_) => "maintained",
+            };
+            self.obs.query_observed(label, nanos);
+            if !matches!(mode, QueryMode::NoSketch) {
+                // Feed the advisor's tracker with the observed end-to-end
+                // latency of sketch-answered queries.
+                self.advisor.tracker().record_query_latency(&key, nanos);
+            }
         }
+        Ok(response)
     }
 
     /// The in-line (i)/(ii)/(iii) decision of paper Fig. 2.
@@ -792,9 +863,14 @@ impl Imp {
                 let key = SketchKey::new(template.text(), entry.sql.clone());
                 let mode = if entry.maintainer.is_stale(&db) {
                     let report = maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
-                    self.advisor
-                        .tracker()
-                        .record_maintenance(key.clone(), report.advisor_cost());
+                    let cost = report.advisor_cost();
+                    self.obs.maintain_observed(
+                        template.text(),
+                        cost.nanos,
+                        cost.delta_rows,
+                        report.recaptured,
+                    );
+                    self.advisor.tracker().record_maintenance(key.clone(), cost);
                     QueryMode::Maintained(Box::new(report))
                 } else {
                     // Evicted state stays evicted: the rewrite only needs

@@ -1,0 +1,264 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`LatencyHistogram`] records `u64` samples (by convention
+//! nanoseconds) into logarithmically spaced atomic buckets: values below
+//! 8 get one exact bucket each, and every power-of-two octave above that
+//! is split into 4 sub-buckets, so the relative width of any bucket is at
+//! most 25%. Recording is a handful of relaxed atomic adds — no locks, no
+//! allocation — so histograms can sit on the maintenance hot path and be
+//! shared across shard workers. Two histograms merge by adding buckets,
+//! which is exactly equivalent to recording the union of their samples
+//! (property-tested in `tests/obs_props.rs`).
+//!
+//! Percentiles come from a [`HistSnapshot`]: the reported quantile is the
+//! upper bound of the bucket containing the true order statistic (clamped
+//! to the observed maximum), so the error is bounded by the bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets 0..8 are exact; octaves 3..=63 get 4 sub-buckets each.
+pub const BUCKETS: usize = 8 + 61 * 4;
+
+/// Bucket index of a sample value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros() as usize; // 3..=63
+        let sub = ((v >> (m - 2)) & 3) as usize;
+        8 + (m - 3) * 4 + sub
+    }
+}
+
+/// Largest value that lands in bucket `b` (inclusive).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b < 8 {
+        b as u64
+    } else {
+        let m = (3 + (b - 8) / 4) as u32;
+        let sub = ((b - 8) % 4) as u128;
+        let upper = (1u128 << m) + (sub + 1) * (1u128 << (m - 2)) - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
+    }
+}
+
+/// Lock-free log-bucketed histogram (see the module docs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Relaxed atomics only; safe on hot paths.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Fold `other`'s samples into `self`. Bucket-wise addition, so
+    /// `a.merge_from(&b)` leaves `a` indistinguishable from a histogram
+    /// that recorded both sample sets.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy for percentile extraction.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a histogram; all percentile math happens here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (length [`BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Empty snapshot (for merging loops).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            ..HistSnapshot::default()
+        }
+    }
+
+    /// Fold another snapshot into this one. The sum wraps, exactly like
+    /// the atomic accumulator in [`LatencyHistogram::record`] does.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// `q`-th order statistic, clamped to the observed max. `q` in
+    /// `[0, 1]`; returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 on empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_u64_monotonically() {
+        // Upper bounds strictly increase and every value maps into range.
+        let mut prev = bucket_upper_bound(0);
+        for b in 1..BUCKETS {
+            let ub = bucket_upper_bound(b);
+            assert!(ub > prev, "bucket {b}: {ub} <= {prev}");
+            prev = ub;
+        }
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        for v in [0u64, 1, 7, 8, 9, 1023, 1024, 1_000_000, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(b < BUCKETS);
+            assert!(v <= bucket_upper_bound(b), "v={v} b={b}");
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1), "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn relative_width_bounded() {
+        // Every log bucket's width is at most 25% of its lower bound.
+        for b in 8..BUCKETS - 1 {
+            let lo = bucket_upper_bound(b - 1) as f64 + 1.0;
+            let hi = bucket_upper_bound(b) as f64;
+            assert!(hi - lo + 1.0 <= lo * 0.25 + 1.0, "bucket {b} too wide");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100_000);
+        // p50's true order statistic is 50_000; the estimate lands in the
+        // same bucket.
+        let p50 = s.p50();
+        assert_eq!(bucket_index(p50), bucket_index(50_000));
+        assert_eq!(s.quantile(1.0), 100_000);
+        assert_eq!(s.quantile(0.0), s.quantile(1.0 / 100.0));
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -355,6 +355,7 @@ impl AggOp {
         if input.is_empty() {
             return Ok(DeltaBatch::new());
         }
+        let _span = crate::obs::trace::span("aggregate_delta");
         let total = ctx.pset.total_fragments();
         // Lazy pre-batch snapshots of each touched group's output (§7.1).
         let mut old_outputs: FxHashMap<Row, Option<(Row, AnnotId)>> = FxHashMap::default();

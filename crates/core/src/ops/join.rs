@@ -53,6 +53,7 @@
 
 use super::{IncNode, MaintCtx, OpConfig};
 use crate::delta::{DeltaBatch, DeltaEntry};
+use crate::obs::trace;
 use crate::opt::side_index::key_of;
 use crate::opt::{BloomFilter, JoinSideIndex};
 use crate::Result;
@@ -159,6 +160,7 @@ impl JoinOp {
         if dl.is_empty() && dr.is_empty() {
             return Ok(DeltaBatch::new());
         }
+        let _span = trace::span("join_delta");
         let use_bloom = self.bloom_enabled && !self.left_keys.is_empty();
         let mut out = DeltaBatch::new();
 
@@ -258,6 +260,7 @@ impl JoinOp {
         // Term 1: ΔQ₁ ⋈ Q₂ᴺᴱᵂ — answered by the right index, or
         // outsourced to the backend when none is live.
         if !dl_f.is_empty() {
+            let _span = trace::span("join_probe_right");
             if let Some(idx) = self.right_index.ready() {
                 ctx.metrics.join_index_probes += dl_f.len() as u64;
                 if !right_evaluated {
@@ -279,6 +282,7 @@ impl JoinOp {
 
         // Term 2: Q₁ᴺᴱᵂ ⋈ ΔQ₂.
         if !dr_f.is_empty() {
+            let _span = trace::span("join_probe_left");
             if let Some(idx) = self.left_index.ready() {
                 ctx.metrics.join_index_probes += dr_f.len() as u64;
                 if !left_evaluated {
@@ -302,6 +306,7 @@ impl JoinOp {
         // *references into* the right key column and stores row indexes —
         // no key is cloned or re-projected on either side.
         if !dl_f.is_empty() && !dr_f.is_empty() {
+            let _span = trace::span("join_delta_delta");
             let mut dr_hash: FxHashMap<&Vec<Value>, Vec<u32>> = FxHashMap::default();
             for (i, k) in dr_fk.iter().enumerate() {
                 if let Some(k) = k {

@@ -49,6 +49,7 @@
 use super::{IncNode, MaintCtx, OpConfig};
 use crate::delta::{DeltaBatch, DeltaEntry};
 use crate::error::CoreError;
+use crate::obs::trace;
 use crate::opt::nary_index::{ClassSpec, NarySideIndex};
 use crate::Result;
 use imp_sql::plan::NaryJoin;
@@ -188,6 +189,7 @@ impl NaryJoinOp {
         if deltas.iter().all(|d| d.is_empty()) {
             return Ok(DeltaBatch::new());
         }
+        let _span = trace::span("nary_delta");
         // Per-batch transient indexes for inputs whose persistent index
         // is disabled/over budget, plus evaluation bookkeeping so
         // "round trip avoided" is only claimed when none happened.
@@ -281,6 +283,7 @@ impl NaryJoinOp {
         out: &mut DeltaBatch,
         ctx: &mut MaintCtx<'_>,
     ) -> Result<()> {
+        let _span = trace::span("nary_probe");
         let n = self.children.len();
         let mut partials: Vec<Partial> = Vec::with_capacity(deltas[i].len());
         'seed: for d in &deltas[i] {

@@ -64,6 +64,7 @@ use crate::advisor::{AdviseAction, ApplyOutcome, SketchCard, WorkloadTracker};
 use crate::maintain::MaintReport;
 use crate::metrics::{SchedMetrics, SchedStats};
 use crate::middleware::{plan_subsumes, ImpConfig, StoredSketch};
+use crate::obs::{Obs, ObsEvent};
 use crate::sched::shard::ShardMsg;
 use crate::sched::steal::SchedShared;
 use crossbeam::channel::bounded;
@@ -79,6 +80,7 @@ pub struct Scheduler {
     shared: Arc<SchedShared>,
     board: Arc<SnapshotBoard>,
     metrics: Arc<SchedMetrics>,
+    obs: Arc<Obs>,
     db: Arc<RwLock<Database>>,
 }
 
@@ -88,21 +90,26 @@ impl Scheduler {
         db: Arc<RwLock<Database>>,
         config: &ImpConfig,
         tracker: Arc<WorkloadTracker>,
+        obs: Arc<Obs>,
     ) -> Scheduler {
         let workers = config.sched_workers.max(1);
         let board = Arc::new(SnapshotBoard::new(workers));
-        let metrics = Arc::new(SchedMetrics::new(workers));
+        let metrics = Arc::new(SchedMetrics::registered(workers, obs.registry()));
         let shared = Arc::new(SchedShared::new(
             workers,
             config.ingest_queue_cap,
             Arc::clone(&metrics),
+            Arc::clone(&obs),
         ));
-        let pool = ShardPool::spawn(workers, &db, config, &board, &metrics, &tracker, &shared);
+        let pool = ShardPool::spawn(
+            workers, &db, config, &board, &metrics, &tracker, &shared, &obs,
+        );
         Scheduler {
             pool,
             shared,
             board,
             metrics,
+            obs,
             db,
         }
     }
@@ -146,15 +153,22 @@ impl Scheduler {
     /// inline on this thread (backpressure, counted as a stall), which
     /// keeps ingestion live even while every worker is paused.
     pub fn route(&self, table: &str) {
+        let _span = self.obs.span("route");
         if self.shared.stage(table) {
+            self.obs.emit(|| ObsEvent::UpdateStaged {
+                table: table.to_string(),
+                queued: true,
+            });
             self.shared.wake_any();
         } else {
             if self.shared.async_enabled() {
                 // A full staging queue (not a disabled one) is pressure.
-                self.metrics
-                    .backpressure_stalls
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.backpressure_stalls.inc();
             }
+            self.obs.emit(|| ObsEvent::UpdateStaged {
+                table: table.to_string(),
+                queued: false,
+            });
             self.shared.ingest(&self.db, Some(table));
         }
     }

@@ -9,6 +9,7 @@
 use crate::advisor::WorkloadTracker;
 use crate::metrics::SchedMetrics;
 use crate::middleware::ImpConfig;
+use crate::obs::Obs;
 use crate::sched::shard::{ShardMsg, ShardWorker};
 use crate::sched::snapshot::SnapshotBoard;
 use crate::sched::steal::SchedShared;
@@ -41,6 +42,7 @@ pub struct ShardPool {
 
 impl ShardPool {
     /// Spawn `workers` shard threads sharing `db` and `shared`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         workers: usize,
         db: &Arc<RwLock<Database>>,
@@ -49,6 +51,7 @@ impl ShardPool {
         metrics: &Arc<SchedMetrics>,
         tracker: &Arc<WorkloadTracker>,
         shared: &Arc<SchedShared>,
+        obs: &Arc<Obs>,
     ) -> ShardPool {
         let mut txs = Vec::with_capacity(workers);
         let shards = (0..workers)
@@ -64,6 +67,7 @@ impl ShardPool {
                     Arc::clone(metrics),
                     Arc::clone(shared),
                     Arc::clone(tracker),
+                    Arc::clone(obs),
                 );
                 let handle = std::thread::Builder::new()
                     .name(format!("imp-shard-{id}"))

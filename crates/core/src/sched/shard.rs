@@ -37,6 +37,7 @@ use crate::middleware::{
     restore_if_evicted, retain_version, stored_heap_size, summarize, ImpConfig, PublishedMeta,
     SketchStateView, SketchSummary, StoredSketch, MAX_SKETCHES_PER_TEMPLATE,
 };
+use crate::obs::{trace, Obs, ObsEvent};
 use crate::sched::snapshot::{PublishedSketch, SnapshotBoard};
 use crate::sched::steal::{SchedShared, ShardState};
 use crate::Result;
@@ -179,6 +180,8 @@ pub(crate) struct ShardWorker {
     shared: Arc<SchedShared>,
     /// Shared workload tracker (maintenance costs recorded worker-side).
     tracker: Arc<WorkloadTracker>,
+    /// Observability hub (spans, latency histograms, probe events).
+    obs: Arc<Obs>,
 }
 
 impl ShardWorker {
@@ -192,6 +195,7 @@ impl ShardWorker {
         metrics: Arc<SchedMetrics>,
         shared: Arc<SchedShared>,
         tracker: Arc<WorkloadTracker>,
+        obs: Arc<Obs>,
     ) -> ShardWorker {
         ShardWorker {
             id,
@@ -202,6 +206,7 @@ impl ShardWorker {
             metrics,
             shared,
             tracker,
+            obs,
         }
     }
 
@@ -305,6 +310,7 @@ impl ShardWorker {
         if !self.shared.has_work(shard) {
             return false;
         }
+        let _span = self.obs.span("shard_claim");
         let slot = &self.shared.slots[shard];
         let mut state = slot.state.lock();
         let Some(claim) = self.shared.claim(shard, self.config.coalesce_budget) else {
@@ -313,6 +319,12 @@ impl ShardWorker {
         if stolen {
             self.metrics.stole_from(shard, claim.batches);
         }
+        self.obs.emit(|| ObsEvent::ShardClaim {
+            shard,
+            worker: self.id,
+            stolen,
+            batches: claim.batches,
+        });
         {
             let db = self.db.read();
             run_claim(
@@ -322,9 +334,10 @@ impl ShardWorker {
                 &self.config,
                 &self.metrics,
                 &self.tracker,
+                &self.obs,
             );
         }
-        publish(shard, &mut state, &self.board);
+        publish(shard, &mut state, &self.board, &self.obs);
         true
     }
 
@@ -345,7 +358,7 @@ impl ShardWorker {
                     }
                 }
                 state.store.entry(template).or_default().push(*sketch);
-                publish(self.id, &mut state, &self.board);
+                publish(self.id, &mut state, &self.board, &self.obs);
                 let _ = reply.send(());
             }
             ShardMsg::MaintainSketch {
@@ -356,7 +369,7 @@ impl ShardWorker {
                 let mut state = self.shared.slots[self.id].state.lock();
                 let result = self.maintain_one(&mut state, &template, &plan);
                 if matches!(result, Ok(Some(_))) {
-                    publish(self.id, &mut state, &self.board);
+                    publish(self.id, &mut state, &self.board, &self.obs);
                 }
                 let _ = reply.send(result);
             }
@@ -364,7 +377,7 @@ impl ShardWorker {
                 let mut state = self.shared.slots[self.id].state.lock();
                 let (reports, error) = self.maintain_stale(&mut state);
                 if !reports.is_empty() {
-                    publish(self.id, &mut state, &self.board);
+                    publish(self.id, &mut state, &self.board, &self.obs);
                 }
                 match reply {
                     Some(reply) => {
@@ -433,7 +446,7 @@ impl ShardWorker {
                     )
                 };
                 // Drops and promotions change published counts/bits.
-                publish(self.id, &mut state, &self.board);
+                publish(self.id, &mut state, &self.board, &self.obs);
                 let _ = reply.send(result);
             }
             ShardMsg::Repartition { reply } => {
@@ -470,11 +483,16 @@ impl ShardWorker {
             return Ok(None);
         };
         let db = self.db.read();
+        let _span = self.obs.span("maintain_on_demand");
         let report =
             crate::middleware::maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
-        self.metrics
-            .maintain_runs
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.maintain_runs.inc();
+        self.obs.maintain_observed(
+            template.text(),
+            report.duration.as_nanos() as u64,
+            report.advisor_cost().delta_rows,
+            report.recaptured,
+        );
         self.tracker.record_maintenance(
             SketchKey::new(template.text(), entry.sql.clone()),
             report.advisor_cost(),
@@ -500,15 +518,20 @@ impl ShardWorker {
                 if entry.lifecycle != Lifecycle::Maintained || !entry.maintainer.is_stale(&db) {
                     continue;
                 }
+                let _span = self.obs.span("maintain_stale");
                 match crate::middleware::maintain_entry(
                     entry,
                     &db,
                     self.config.retain_sketch_versions,
                 ) {
                     Ok(report) => {
-                        self.metrics
-                            .maintain_runs
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.metrics.maintain_runs.inc();
+                        self.obs.maintain_observed(
+                            template.text(),
+                            report.duration.as_nanos() as u64,
+                            report.advisor_cost().delta_rows,
+                            report.recaptured,
+                        );
                         self.tracker.record_maintenance(
                             SketchKey::new(template.text(), entry.sql.clone()),
                             report.advisor_cost(),
@@ -583,7 +606,7 @@ impl ShardWorker {
                 }
             }
         };
-        publish(self.id, state, &self.board);
+        publish(self.id, state, &self.board, &self.obs);
         recaptured
     }
 }
@@ -601,6 +624,7 @@ pub(crate) fn run_claim(
     config: &ImpConfig,
     metrics: &SchedMetrics,
     tracker: &WorkloadTracker,
+    obs: &Obs,
 ) {
     for (template, entries) in state.store.iter_mut() {
         for entry in entries.iter_mut() {
@@ -613,6 +637,7 @@ pub(crate) fn run_claim(
             {
                 continue;
             }
+            let _span = trace::span("maintain_routed");
             let mut run = || -> Result<MaintReport> {
                 restore_if_evicted(entry)?;
                 let report = entry.maintainer.maintain_from(db, routed)?;
@@ -621,9 +646,13 @@ pub(crate) fn run_claim(
             };
             match run() {
                 Ok(report) => {
-                    metrics
-                        .maintain_runs
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    metrics.maintain_runs.inc();
+                    obs.maintain_observed(
+                        template.text(),
+                        report.duration.as_nanos() as u64,
+                        report.advisor_cost().delta_rows,
+                        report.recaptured,
+                    );
                     tracker.record_maintenance(
                         SketchKey::new(template.text(), entry.sql.clone()),
                         report.advisor_cost(),
@@ -639,8 +668,9 @@ pub(crate) fn run_claim(
 /// The plan/SQL/tables of each entry are `Arc`-wrapped once and
 /// cached — per flush only the sketch bits are cloned. Free function so
 /// a thief can publish the victim's shard after a stolen claim.
-pub(crate) fn publish(shard: usize, state: &mut ShardState, board: &SnapshotBoard) {
-    let sketches = state
+pub(crate) fn publish(shard: usize, state: &mut ShardState, board: &SnapshotBoard, obs: &Obs) {
+    let _span = obs.span("snapshot_publish");
+    let sketches: Vec<PublishedSketch> = state
         .store
         .iter_mut()
         .flat_map(|(template, entries)| {
@@ -664,5 +694,9 @@ pub(crate) fn publish(shard: usize, state: &mut ShardState, board: &SnapshotBoar
             })
         })
         .collect();
+    obs.emit(|| ObsEvent::SnapshotPublish {
+        shard,
+        sketches: sketches.len(),
+    });
     board.publish(shard, sketches);
 }

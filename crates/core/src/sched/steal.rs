@@ -32,6 +32,7 @@
 
 use crate::metrics::SchedMetrics;
 use crate::middleware::StoredSketch;
+use crate::obs::{trace, Obs, ObsEvent};
 use crate::sched::router::{DeltaRouter, TableDelta};
 use crate::sched::shard::ShardMsg;
 use crossbeam::channel::Sender;
@@ -109,6 +110,8 @@ pub(crate) struct SchedShared {
     staging_cap: usize,
     /// Shared scheduler counters.
     metrics: Arc<SchedMetrics>,
+    /// Observability hub (spans + probe events on the ingest path).
+    obs: Arc<Obs>,
     /// Control-channel senders, for wake nudges (set once after spawn).
     wakers: OnceLock<Vec<Sender<ShardMsg>>>,
     /// Round-robin cursor for [`SchedShared::wake_any`].
@@ -120,6 +123,7 @@ impl SchedShared {
         workers: usize,
         staging_cap: usize,
         metrics: Arc<SchedMetrics>,
+        obs: Arc<Obs>,
     ) -> SchedShared {
         SchedShared {
             slots: (0..workers)
@@ -135,6 +139,7 @@ impl SchedShared {
             staging: Mutex::new(VecDeque::new()),
             staging_cap,
             metrics,
+            obs,
             wakers: OnceLock::new(),
             next_wake: AtomicUsize::new(0),
         }
@@ -162,7 +167,7 @@ impl SchedShared {
             return false;
         }
         staging.push_back(table.to_string());
-        self.metrics.staged_updates.fetch_add(1, Ordering::Relaxed);
+        self.metrics.staged_updates.inc();
         true
     }
 
@@ -196,6 +201,7 @@ impl SchedShared {
     /// single-writer update path stages each commit before the next one
     /// can produce a higher version.
     pub(crate) fn ingest(&self, db: &RwLock<Database>, extra: Option<&str>) {
+        let _span = self.obs.span("router_ingest");
         let mut router = self.router.lock();
         let db = db.read();
         let mut collected: Vec<(Arc<TableDelta>, Vec<usize>)> = Vec::new();
@@ -215,11 +221,12 @@ impl SchedShared {
         if collected.is_empty() {
             return;
         }
+        let _fanout = trace::span("fanout");
         let mut per_shard: Vec<Vec<Arc<TableDelta>>> =
             (0..self.slots.len()).map(|_| Vec::new()).collect();
         for (delta, shards) in collected {
             for shard in shards {
-                self.metrics.fanout_messages.fetch_add(1, Ordering::Relaxed);
+                self.metrics.fanout_messages.inc();
                 per_shard[shard].push(Arc::clone(&delta));
             }
         }
@@ -227,6 +234,10 @@ impl SchedShared {
             if batches.is_empty() {
                 continue;
             }
+            self.obs.emit(|| ObsEvent::FanOut {
+                shard,
+                batches: batches.len(),
+            });
             self.inbox_push_group(shard, batches);
             self.wake(shard);
         }
@@ -240,10 +251,13 @@ impl SchedShared {
         table: &str,
     ) -> Option<(Arc<TableDelta>, Vec<usize>)> {
         let (delta, shards) = router.collect(db, table)?;
-        self.metrics.routed_batches.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .routed_rows
-            .fetch_add(delta.entries.len() as u64, Ordering::Relaxed);
+        self.metrics.routed_batches.inc();
+        self.metrics.routed_rows.add(delta.entries.len() as u64);
+        self.obs.emit(|| ObsEvent::RouterIngest {
+            table: delta.table.clone(),
+            rows: delta.entries.len() as u64,
+            shards: shards.len(),
+        });
         Some((delta, shards))
     }
 
@@ -255,9 +269,7 @@ impl SchedShared {
         let mut inbox = self.slots[shard].inbox.lock();
         for batch in batches {
             if inbox.iter().any(|b| b.table == batch.table) {
-                self.metrics
-                    .coalesced_batches
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.coalesced_batches.inc();
             }
             inbox.push_back(batch);
             self.metrics.enqueued(shard);

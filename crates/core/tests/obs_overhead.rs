@@ -1,0 +1,116 @@
+//! Overhead guard (ISSUE 9 acceptance): full observability — histograms,
+//! tracing, an attached probe — must stay within 10% of the obs-off wall
+//! clock on a smoke-scale workload. Measured as best-of-N on each side
+//! (best-of discards scheduler hiccups) with a small absolute floor so a
+//! fast machine's sub-millisecond jitter cannot fail the ratio.
+
+use imp_core::middleware::{Imp, ImpConfig};
+use imp_core::{ObsConfig, ObsEvent, Probe};
+use imp_engine::Database;
+use imp_storage::{row, DataType, Field, Schema};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROWS: i64 = 1500;
+const ROUNDS: i64 = 12;
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "ta",
+        Schema::new(vec![
+            Field::new("ka", DataType::Int),
+            Field::new("va", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "tb",
+        Schema::new(vec![
+            Field::new("kb", DataType::Int),
+            Field::new("vb", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.table_mut("ta")
+        .unwrap()
+        .bulk_load((0..ROWS).map(|i| row![i % 50, i % 97]))
+        .unwrap();
+    db.table_mut("tb")
+        .unwrap()
+        .bulk_load((0..ROWS / 2).map(|i| row![i % 50, i % 13]))
+        .unwrap();
+    db
+}
+
+struct NullProbe;
+
+impl Probe for NullProbe {
+    fn on_event(&self, _event: &ObsEvent) {}
+}
+
+/// One full workload pass: capture, churn, maintain, re-query. Returns
+/// the measured wall clock.
+fn run_once(obs: ObsConfig, with_probe: bool) -> Duration {
+    let config = ImpConfig {
+        fragments: 8,
+        obs,
+        ..ImpConfig::default()
+    };
+    let mut imp = Imp::new(seed_db(), config);
+    if with_probe {
+        imp.subscribe_probe(Arc::new(NullProbe));
+    }
+    let queries = [
+        "SELECT ka, sum(va) AS s FROM ta GROUP BY ka HAVING sum(va) > 100",
+        "SELECT kb, sum(va) AS s FROM ta JOIN tb ON (ka = kb) GROUP BY kb HAVING sum(va) > 50",
+    ];
+    let start = Instant::now();
+    for sql in queries {
+        imp.execute(sql).unwrap();
+    }
+    for round in 0..ROUNDS {
+        for k in 0..20 {
+            imp.execute(&format!(
+                "INSERT INTO ta VALUES ({}, {})",
+                (round * 7 + k) % 50,
+                k * 3
+            ))
+            .unwrap();
+        }
+        imp.execute(&format!("DELETE FROM tb WHERE kb = {}", round % 50))
+            .unwrap();
+        imp.maintain_all_stale().unwrap();
+        for sql in queries {
+            imp.execute(sql).unwrap();
+        }
+    }
+    start.elapsed()
+}
+
+fn best_of(n: usize, obs: &ObsConfig, with_probe: bool) -> Duration {
+    (0..n)
+        .map(|_| run_once(obs.clone(), with_probe))
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn full_obs_within_ten_percent_of_disabled() {
+    // Warm both paths (allocator, code, file caches) before measuring.
+    run_once(ObsConfig::default(), false);
+    run_once(ObsConfig::on(), true);
+
+    let off = best_of(4, &ObsConfig::default(), false);
+    let on = best_of(4, &ObsConfig::on(), true);
+
+    // 10% relative budget plus a 20ms absolute floor: on a machine fast
+    // enough that the whole workload takes a few ms, the ratio is noise.
+    let budget = off.as_secs_f64() * 1.10 + 0.020;
+    assert!(
+        on.as_secs_f64() <= budget,
+        "obs-on wall clock {:.1}ms exceeds obs-off {:.1}ms + 10% + 20ms floor",
+        on.as_secs_f64() * 1e3,
+        off.as_secs_f64() * 1e3,
+    );
+}

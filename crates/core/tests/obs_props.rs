@@ -1,0 +1,147 @@
+//! Property tests of the observability primitives (`imp_core::obs`).
+//!
+//! * The log-bucketed [`LatencyHistogram`] against a sorted-`Vec` oracle:
+//!   every quantile estimate lands in the same bucket as the true order
+//!   statistic (error bounded by one bucket width, ≤ 25% relative), and
+//!   `merge(a, b)` is exactly `record(a ∪ b)`.
+//! * The span tracer: exported spans always form a well-founded forest
+//!   (parents exist and are distinct), and child timestamps nest inside
+//!   their parents'.
+
+use imp_core::obs::hist::{bucket_index, bucket_upper_bound, LatencyHistogram};
+use imp_core::obs::trace::{self, Tracer};
+use proptest::prelude::*;
+
+/// The oracle: the rank used by `HistSnapshot::quantile` (`ceil(q·n)`
+/// clamped to `[1, n]`), applied to the sorted samples.
+fn oracle_order_statistic(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning the interesting ranges: exact small buckets, the
+/// log-bucketed middle, and near-overflow magnitudes.
+fn sample_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..16,
+        4 => 16u64..100_000,
+        2 => 100_000u64..u64::MAX / 2,
+        1 => Just(u64::MAX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn quantiles_land_in_the_oracle_bucket(
+        mut values in prop::collection::vec(sample_value(), 1..400),
+        q_millis in 0u32..1001,
+    ) {
+        let q = f64::from(q_millis) / 1000.0;
+        let hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.max, *values.last().unwrap());
+        // Sum is a plain wrapping accumulator (samples near u64::MAX).
+        let expect_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expect_sum);
+        for q in [0.5, 0.9, 0.95, 0.99, q] {
+            let oracle = oracle_order_statistic(&values, q);
+            let est = snap.quantile(q);
+            // Same bucket: the estimate is the bucket's upper bound
+            // clamped to the observed max, so it brackets the oracle.
+            prop_assert!(est >= oracle, "q={q}: est {est} < oracle {oracle}");
+            prop_assert!(
+                est <= bucket_upper_bound(bucket_index(oracle)),
+                "q={q}: est {est} beyond oracle bucket (oracle {oracle})"
+            );
+            prop_assert_eq!(
+                bucket_index(est).max(bucket_index(oracle)),
+                bucket_index(oracle),
+                "estimate left its oracle bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_record_of_the_union(
+        a in prop::collection::vec(sample_value(), 0..200),
+        b in prop::collection::vec(sample_value(), 0..200),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        let hu = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        // Atomic-level merge…
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.snapshot(), hu.snapshot());
+        // …and snapshot-level merge agree with recording the union.
+        let mut snap = LatencyHistogram::new().snapshot();
+        let hb2 = LatencyHistogram::new();
+        for &v in &b {
+            hb2.record(v);
+        }
+        let ha2 = LatencyHistogram::new();
+        for &v in &a {
+            ha2.record(v);
+        }
+        snap.merge(&ha2.snapshot());
+        snap.merge(&hb2.snapshot());
+        prop_assert_eq!(snap, hu.snapshot());
+    }
+
+    #[test]
+    fn exported_spans_form_a_nested_forest(
+        // Random bracket structure: each entry opens a span holding
+        // `children` nested spans, two levels of fan-out.
+        shape in prop::collection::vec((1usize..4, 0usize..4), 1..12),
+    ) {
+        let tracer = std::sync::Arc::new(Tracer::new(true, 4096));
+        {
+            let _attach = tracer.attach();
+            for &(outer, inner) in &shape {
+                for _ in 0..outer {
+                    let _o = trace::span("outer");
+                    for _ in 0..inner {
+                        let _i = trace::span("inner");
+                    }
+                }
+            }
+        }
+        let spans = tracer.export_spans();
+        let expected: usize = shape.iter().map(|&(o, i)| o + o * i).sum();
+        prop_assert_eq!(spans.len(), expected);
+        for s in &spans {
+            prop_assert!(s.id != 0, "span ids start at 1");
+            if s.parent != 0 {
+                let parent = spans
+                    .iter()
+                    .find(|p| p.id == s.parent)
+                    .expect("parent of every span is exported");
+                prop_assert!(parent.id != s.id);
+                // Timestamps nest: child runs within its parent.
+                prop_assert!(parent.start_ns <= s.start_ns);
+                prop_assert!(
+                    s.start_ns + s.dur_ns <= parent.start_ns + parent.dur_ns,
+                    "child [{}, +{}] escapes parent [{}, +{}]",
+                    s.start_ns, s.dur_ns, parent.start_ns, parent.dur_ns
+                );
+            }
+        }
+        // Roots exist: the forest is well-founded.
+        prop_assert!(spans.iter().any(|s| s.parent == 0));
+    }
+}
