@@ -29,6 +29,12 @@
 //!   every `METRICS_*.json` parses as a registry snapshot whose metric
 //!   names all appear in the paired `METRICS_*.prom` text exposition,
 //!   and every exposition line carries a numeric value.
+//! * `--check-obsd` — standalone mode: validate the obsd endpoint
+//!   artifacts in DIR (written by `fig_obsd` or curled from a live
+//!   endpoint) — at least one `*.prom` scrape where every exposition
+//!   line parses as `name{labels} value`, `OBSD_HEALTH.json` carrying a
+//!   watchdog verdict, and `OBSD_FLIGHT.json` whose flight events each
+//!   carry `ticket`/`t_ns`/`kind` with tickets strictly increasing.
 //! * `--self-test` — no files: build an in-memory baseline, inject a
 //!   synthetic 2× regression, and verify the gate catches it (and that a
 //!   clean run passes). Run in CI before the real gate so a silently
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
     let mut history: Option<PathBuf> = None;
     let mut trend: Option<PathBuf> = None;
     let mut check_obs: Option<PathBuf> = None;
+    let mut check_obsd: Option<PathBuf> = None;
     let mut self_test = false;
 
     let mut args = std::env::args().skip(1);
@@ -64,11 +71,13 @@ fn main() -> ExitCode {
             "--history" => history = Some(required(&mut args, "--history").into()),
             "--trend" => trend = Some(required(&mut args, "--trend").into()),
             "--check-obs" => check_obs = Some(required(&mut args, "--check-obs").into()),
+            "--check-obsd" => check_obsd = Some(required(&mut args, "--check-obsd").into()),
             "--self-test" => self_test = true,
             "--help" | "-h" => {
                 println!(
                     "bench_check [--baseline DIR] [--current DIR] [--factor F] \
-                     [--history FILE] [--trend FILE] [--check-obs DIR] [--self-test]"
+                     [--history FILE] [--trend FILE] [--check-obs DIR] \
+                     [--check-obsd DIR] [--self-test]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -87,6 +96,9 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = check_obs {
         return run_check_obs(&dir);
+    }
+    if let Some(dir) = check_obsd {
+        return run_check_obsd(&dir);
     }
     run_gate(&baseline_dir, &current_dir, factor, history.as_deref())
 }
@@ -496,6 +508,164 @@ fn check_metrics_file(path: &Path) -> Result<usize, String> {
             .map_err(|_| format!("exposition line {}: value {value:?} is not numeric", i + 1))?;
     }
     Ok(list.len())
+}
+
+/// `--check-obsd`: validate obsd endpoint artifacts in `dir` (see the
+/// module docs). The CI smoke job curls a live endpoint and `fig_obsd`
+/// writes its own captures; either way a missing or malformed artifact
+/// fails the job so the telemetry plane can't silently regress to
+/// serving garbage.
+fn run_check_obsd(dir: &Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut names: Vec<String> = entries
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+
+    let mut scrapes = 0usize;
+    let mut problems: Vec<String> = Vec::new();
+    for name in &names {
+        if !name.ends_with(".prom") || name.starts_with("METRICS_") {
+            continue; // METRICS_* pairs belong to --check-obs
+        }
+        scrapes += 1;
+        match check_prom_scrape(&dir.join(name)) {
+            Ok(series) => println!("{name}: {series} exposition series OK"),
+            Err(e) => problems.push(format!("{name}: {e}")),
+        }
+    }
+    if scrapes == 0 {
+        problems.push(format!(
+            "no *.prom endpoint scrapes under {}",
+            dir.display()
+        ));
+    }
+    match check_health_file(&dir.join("OBSD_HEALTH.json")) {
+        Ok(verdict) => println!("OBSD_HEALTH.json: verdict {verdict:?} OK"),
+        Err(e) => problems.push(format!("OBSD_HEALTH.json: {e}")),
+    }
+    match check_flight_file(&dir.join("OBSD_FLIGHT.json")) {
+        Ok(events) => println!("OBSD_FLIGHT.json: {events} flight event(s) OK"),
+        Err(e) => problems.push(format!("OBSD_FLIGHT.json: {e}")),
+    }
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("bench_check: {p}");
+        }
+        eprintln!(
+            "\nbench_check: FAIL — {} obsd artifact problem(s)",
+            problems.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nbench_check: OK — {scrapes} scrape(s) + health + flight artifacts valid");
+    ExitCode::SUCCESS
+}
+
+/// One `/metrics` scrape: every non-comment line must be
+/// `name{labels} value` with a numeric value and a sane metric-name
+/// charset, and at least one series must be present. Returns the series
+/// count.
+fn check_prom_scrape(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut series = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {}: no value", i + 1))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: value {value:?} is not numeric", i + 1))?;
+        let name = name_part.split('{').next().unwrap_or_default();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: bad metric name in {line:?}", i + 1));
+        }
+        series += 1;
+    }
+    if series == 0 {
+        return Err("empty exposition — the endpoint served no series".into());
+    }
+    Ok(series)
+}
+
+/// `OBSD_HEALTH.json`: a `/health` capture whose report names a verdict
+/// and a tick counter; each firing rule (if any) must carry a `rule`
+/// name. Returns the verdict.
+fn check_health_file(path: &Path) -> Result<String, String> {
+    use imp_bench::report::json;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let parsed = json::parse(&text)?;
+    let obj = parsed.as_object().ok_or("not a JSON object")?;
+    let Some(json::Value::Object(health)) = obj.get("health") else {
+        return Err("field \"health\": expected object".into());
+    };
+    let verdict = json::get_str(health, "verdict")?;
+    if verdict != "ok" && verdict != "degraded" {
+        return Err(format!("unknown verdict {verdict:?}"));
+    }
+    json::get_num(health, "tick")?;
+    let firing = json::get_array(health, "firing")?;
+    for (i, rule) in firing.iter().enumerate() {
+        let r = rule
+            .as_object()
+            .ok_or(format!("firing {i}: not an object"))?;
+        json::get_str(r, "rule").map_err(|e| format!("firing {i}: {e}"))?;
+    }
+    Ok(verdict)
+}
+
+/// `OBSD_FLIGHT.json`: a `/flight` capture — a non-empty `events` array
+/// where every record carries `ticket`/`t_ns`/`kind` and tickets are
+/// strictly increasing (the ring scan is ordered). Returns the event
+/// count.
+fn check_flight_file(path: &Path) -> Result<usize, String> {
+    use imp_bench::report::json;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let parsed = json::parse(&text)?;
+    let obj = parsed.as_object().ok_or("not a JSON object")?;
+    let Some(json::Value::Object(flight)) = obj.get("flight") else {
+        return Err("field \"flight\": expected object".into());
+    };
+    json::get_num(flight, "cap")?;
+    json::get_num(flight, "recorded")?;
+    let events = json::get_array(flight, "events")?;
+    if events.is_empty() {
+        return Err("events is empty — the flight recorder captured nothing".into());
+    }
+    let mut last_ticket = f64::NEG_INFINITY;
+    for (i, event) in events.iter().enumerate() {
+        let e = event
+            .as_object()
+            .ok_or(format!("event {i} is not an object"))?;
+        let ticket = json::get_num(e, "ticket").map_err(|m| format!("event {i}: {m}"))?;
+        json::get_num(e, "t_ns").map_err(|m| format!("event {i}: {m}"))?;
+        let kind = json::get_str(e, "kind").map_err(|m| format!("event {i}: {m}"))?;
+        if kind.is_empty() {
+            return Err(format!("event {i}: empty kind"));
+        }
+        if ticket <= last_ticket {
+            return Err(format!(
+                "event {i}: ticket {ticket} not after {last_ticket} — dump out of order"
+            ));
+        }
+        last_ticket = ticket;
+    }
+    Ok(events.len())
 }
 
 /// Prove the gate actually gates: a clean pair passes, an injected 2×

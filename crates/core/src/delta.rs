@@ -79,10 +79,16 @@ pub fn normalize_delta_with(delta: DeltaBatch, columnar_min: usize) -> DeltaBatc
     if delta.len() <= 1 {
         return delta;
     }
-    if delta.len() >= columnar_min {
-        return DeltaColumns::from_owned(delta).merged();
+    let rows = delta.len();
+    if rows >= columnar_min {
+        crate::obs::kernel::timed(crate::obs::KernelPath::Columnar, rows, || {
+            DeltaColumns::from_owned(delta).merged()
+        })
+    } else {
+        crate::obs::kernel::timed(crate::obs::KernelPath::Row, rows, || {
+            normalize_delta_rowwise(delta)
+        })
     }
-    normalize_delta_rowwise(delta)
 }
 
 /// The row-at-a-time normalize fallback (also the property-test oracle

@@ -56,6 +56,7 @@ pub mod maintain;
 pub mod metrics;
 pub mod middleware;
 pub mod obs;
+pub mod obsd;
 pub mod ops;
 pub mod opt;
 pub mod sched;
@@ -72,7 +73,12 @@ pub use fragcount::FragCounts;
 pub use maintain::{MaintReport, SketchMaintainer};
 pub use metrics::{MaintMetrics, SchedMetrics, SchedStats};
 pub use middleware::{Imp, ImpConfig, ImpResponse, QueryMode, SketchStateView};
-pub use obs::{HistSnapshot, LatencyHistogram, MetricsRegistry, Obs, ObsConfig, ObsEvent, Probe};
+pub use obs::{
+    FlightEvent, FlightRecord, FlightRecorder, HealthConfig, HealthReport, HealthState,
+    HistSnapshot, KernelHub, KernelPath, LatencyHistogram, MetricSample, MetricsRegistry, Obs,
+    ObsConfig, ObsEvent, Probe, SampleValue, Verdict,
+};
+pub use obsd::ObsdHandle;
 pub use sched::Scheduler;
 pub use strategy::MaintenanceStrategy;
 

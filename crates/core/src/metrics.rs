@@ -123,6 +123,12 @@ pub struct SchedMetrics {
     pub stolen_batches: Counter,
     /// Maintenance runs executed by shard workers (routed + on-demand).
     pub maintain_runs: Counter,
+    /// Per-shard worker liveness heartbeat (gauge): bumped once per
+    /// worker-loop iteration. The health watchdogs compare it across
+    /// ticks — a heartbeat that stops advancing while the shard's inbox
+    /// is non-empty means the worker is wedged (parked, deadlocked, or
+    /// stuck in one maintain).
+    heartbeat: Vec<Gauge>,
     /// Per-shard current inbox depth (gauge): routed batches queued and
     /// not yet claimed.
     queue_depth: Vec<Gauge>,
@@ -153,6 +159,9 @@ impl SchedMetrics {
             steals: registry.counter("imp_sched_steals"),
             stolen_batches: registry.counter("imp_sched_stolen_batches"),
             maintain_runs: registry.counter("imp_sched_maintain_runs"),
+            heartbeat: (0..shards)
+                .map(|i| registry.gauge_with("imp_sched_heartbeat", &[("shard", &i.to_string())]))
+                .collect(),
             queue_depth: (0..shards)
                 .map(|i| registry.gauge_with("imp_sched_queue_depth", &[("shard", &i.to_string())]))
                 .collect(),
@@ -167,6 +176,18 @@ impl SchedMetrics {
                 })
                 .collect(),
         }
+    }
+
+    /// Record one worker-loop iteration of `shard`'s worker (liveness
+    /// heartbeat; see [`Self::heartbeat`]).
+    #[inline]
+    pub fn beat(&self, shard: usize) {
+        self.heartbeat[shard].inc();
+    }
+
+    /// Current heartbeat value of `shard`'s worker.
+    pub fn heartbeat_of(&self, shard: usize) -> u64 {
+        self.heartbeat[shard].get()
     }
 
     /// Record a message entering `shard`'s queue.
@@ -309,8 +330,12 @@ mod tests {
         let m = SchedMetrics::registered(2, &registry);
         m.routed_batches.add(3);
         m.enqueued(1);
+        m.beat(0);
+        m.beat(0);
+        assert_eq!(m.heartbeat_of(0), 2);
         let text = registry.render_text();
         assert!(text.contains("imp_sched_routed_batches 3"));
+        assert!(text.contains("imp_sched_heartbeat{shard=\"0\"} 2"));
         assert!(text.contains("imp_sched_queue_depth{shard=\"1\"} 1"));
         assert!(text.contains("imp_sched_max_queue_depth{shard=\"1\"} 1"));
     }

@@ -25,7 +25,8 @@ use crate::advisor::{
 };
 use crate::error::CoreError;
 use crate::maintain::{MaintReport, SketchMaintainer};
-use crate::obs::{Obs, ObsConfig, Probe};
+use crate::obs::{HealthConfig, Obs, ObsConfig, Probe};
+use crate::obsd::{start_obsd, ObsdHandle, ObsdState, OBSD_ADDR_ENV};
 use crate::ops::OpConfig;
 use crate::sched::Scheduler;
 use crate::strategy::MaintenanceStrategy;
@@ -122,6 +123,16 @@ pub struct ImpConfig {
     /// pipeline tracing (see [`crate::obs`]). Off by default — the
     /// disabled hot path costs a branch and allocates nothing.
     pub obs: ObsConfig,
+    /// Address of the obsd telemetry endpoint (see [`crate::obsd`]),
+    /// e.g. `"127.0.0.1:9464"`; `"127.0.0.1:0"` binds an ephemeral port
+    /// reported by [`Imp::obsd_addr`]. `None` (default) falls back to the
+    /// `IMP_OBSD_ADDR` environment variable; unset means no endpoint.
+    /// Starting obsd also starts the [`crate::obs::health`] watchdog
+    /// ticker configured by `health`.
+    pub obsd_addr: Option<String>,
+    /// Health watchdog thresholds and cadence (active only while the
+    /// obsd endpoint runs; see [`crate::obs::health`]).
+    pub health: HealthConfig,
 }
 
 /// Default [`ImpConfig::coalesce_budget`].
@@ -152,6 +163,8 @@ impl Default for ImpConfig {
             sketch_memory_budget: None,
             advisor: AdvisorParams::default(),
             obs: ObsConfig::default(),
+            obsd_addr: None,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -309,6 +322,7 @@ pub struct Imp {
     config: ImpConfig,
     advisor: Advisor,
     obs: Arc<Obs>,
+    obsd: Option<ObsdHandle>,
 }
 
 impl Imp {
@@ -328,13 +342,54 @@ impl Imp {
         } else {
             SketchBackend::Inline(FxHashMap::default())
         };
+        // An explicit empty address means "no endpoint", so a config can
+        // override an inherited IMP_OBSD_ADDR environment variable off.
+        let obsd_addr = config
+            .obsd_addr
+            .clone()
+            .or_else(|| std::env::var(OBSD_ADDR_ENV).ok())
+            .filter(|addr| !addr.is_empty());
+        let obsd = obsd_addr.and_then(|addr| {
+            let state = ObsdState {
+                obs: Arc::clone(&obs),
+                health: crate::obs::HealthState::new(),
+                board: match &store {
+                    SketchBackend::Sharded(sched) => Some(sched.board_handle()),
+                    SketchBackend::Inline(_) => None,
+                },
+                tracker: Arc::clone(advisor.tracker()),
+                advisor: config.advisor,
+            };
+            match start_obsd(&addr, state, config.health.clone()) {
+                Ok(handle) => Some(handle),
+                Err(e) => {
+                    // Telemetry must never take the system down with it:
+                    // a bad address degrades to "no endpoint", loudly.
+                    eprintln!("imp: obsd failed to bind {addr}: {e}");
+                    None
+                }
+            }
+        });
         Imp {
             db,
             store,
             config,
             advisor,
             obs,
+            obsd,
         }
+    }
+
+    /// Address of the live obsd telemetry endpoint, when one is running
+    /// (see [`ImpConfig::obsd_addr`]).
+    pub fn obsd_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obsd.as_ref().map(ObsdHandle::addr)
+    }
+
+    /// Deterministic JSON dump of the always-on flight recorder (the
+    /// programmatic twin of obsd's `/flight`).
+    pub fn flight_dump(&self) -> String {
+        self.obs.flight_dump()
     }
 
     /// The workload advisor (tracker access and cost-model parameters).

@@ -33,16 +33,24 @@
 //! and full instrumentation stays within 10% of disabled wall clock at
 //! smoke scale (`tests/obs_overhead.rs`).
 
+pub mod flight;
+pub mod health;
 pub mod hist;
+pub mod kernel;
 pub mod probe;
 pub mod registry;
 pub mod trace;
 
 use std::sync::Arc;
 
+pub use flight::{FlightEvent, FlightRecord, FlightRecorder};
+pub use health::{
+    FiringRule, HealthConfig, HealthMonitor, HealthReport, HealthState, HealthTicker, Verdict,
+};
 pub use hist::{HistSnapshot, LatencyHistogram};
+pub use kernel::{KernelHub, KernelPath};
 pub use probe::{ObsEvent, Probe};
-pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use registry::{Counter, Gauge, Histogram, MetricSample, MetricsRegistry, SampleValue};
 pub use trace::{SpanRecord, Tracer};
 
 /// Per-template maintain-latency histogram name.
@@ -59,6 +67,10 @@ pub struct ObsConfig {
     pub trace: bool,
     /// Per-thread span ring capacity.
     pub trace_ring_cap: usize,
+    /// Flight-recorder ring capacity (slots). The flight recorder is
+    /// **always on** regardless of `enabled` — post-mortems must not
+    /// require reproducing under `IMP_OBS=1`.
+    pub flight_cap: usize,
 }
 
 impl Default for ObsConfig {
@@ -67,6 +79,7 @@ impl Default for ObsConfig {
             enabled: false,
             trace: true,
             trace_ring_cap: trace::DEFAULT_RING_CAP,
+            flight_cap: flight::DEFAULT_FLIGHT_CAP,
         }
     }
 }
@@ -97,21 +110,31 @@ pub struct Obs {
     registry: MetricsRegistry,
     tracer: Arc<Tracer>,
     probes: probe::ProbeHub,
+    flight: Arc<FlightRecorder>,
+    kernel: Option<Arc<KernelHub>>,
 }
 
 impl Obs {
     /// Build from config. The registry always exists (scheduler counters
     /// register unconditionally — they predate this module and are nearly
-    /// free); `enabled` gates timing, histograms, and tracing.
+    /// free); `enabled` gates timing, histograms, and tracing. The
+    /// flight recorder is always on (and registered with the process
+    /// panic hook); only its capacity comes from the config.
     pub fn new(config: &ObsConfig) -> Arc<Obs> {
+        let registry = MetricsRegistry::new();
+        let kernel = config.enabled.then(|| KernelHub::registered(&registry));
+        let flight = Arc::new(FlightRecorder::new(config.flight_cap));
+        flight::register_panic_dump(&flight);
         Arc::new(Obs {
             enabled: config.enabled,
-            registry: MetricsRegistry::new(),
+            registry,
             tracer: Arc::new(Tracer::new(
                 config.enabled && config.trace,
                 config.trace_ring_cap,
             )),
             probes: probe::ProbeHub::new(),
+            flight,
+            kernel,
         })
     }
 
@@ -145,19 +168,28 @@ impl Obs {
     }
 
     /// Attach and open one span: the usual entry-point pattern. Returns a
-    /// cheap no-op when tracing is off.
+    /// cheap no-op when tracing is off. Whenever obs is enabled (tracing
+    /// on or not), the span also attaches the kernel-timing hub to the
+    /// thread, so [`kernel::timed`] dispatch sites under this entry
+    /// point record their columnar/row batch timings.
     #[inline]
     pub fn span(&self, name: &'static str) -> PipelineSpan {
+        let kernel = match &self.kernel {
+            Some(hub) => kernel::attach(hub),
+            None => kernel::KernelAttachGuard::inactive(),
+        };
         if !self.tracer.is_enabled() {
             return PipelineSpan {
                 span: trace::Span::noop(),
                 _attach: trace::AttachGuard::inactive(),
+                _kernel: kernel,
             };
         }
         let attach = self.tracer.attach();
         PipelineSpan {
             span: trace::span(name),
             _attach: attach,
+            _kernel: kernel,
         }
     }
 
@@ -173,13 +205,34 @@ impl Obs {
     }
 
     /// Record one maintenance run: per-template latency histogram (when
-    /// enabled) plus a [`ObsEvent::MaintainRun`] probe event.
+    /// enabled), an always-on flight-recorder event, plus a
+    /// [`ObsEvent::MaintainRun`] probe event.
     pub fn maintain_observed(&self, template: &str, nanos: u64, delta_rows: u64, recaptured: bool) {
+        self.maintain_observed_spanned(template, nanos, delta_rows, recaptured, 0, 0);
+    }
+
+    /// [`Self::maintain_observed`] with the maintained database-version
+    /// span (the sched call sites know it; `0,0` when unknown).
+    pub fn maintain_observed_spanned(
+        &self,
+        template: &str,
+        nanos: u64,
+        delta_rows: u64,
+        recaptured: bool,
+        from_version: u64,
+        to_version: u64,
+    ) {
         if self.enabled {
             self.registry
                 .histogram_with(MAINTAIN_LATENCY, &[("template", template)])
                 .record(nanos);
         }
+        self.flight.record(FlightEvent::Maintained {
+            template: flight::fid(template),
+            versions: (from_version << 32) | (to_version & 0xffff_ffff),
+            rows: delta_rows,
+            dur_ns: nanos,
+        });
         self.probes.emit(|| ObsEvent::MaintainRun {
             template: template.to_string(),
             nanos,
@@ -218,13 +271,29 @@ impl Obs {
     pub fn trace_chrome_json(&self) -> String {
         self.tracer.export_chrome_json()
     }
+
+    /// The always-on flight recorder.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Deterministic JSON dump of everything the flight recorder retains.
+    pub fn flight_dump(&self) -> String {
+        self.flight.dump_json(u64::MAX)
+    }
+
+    /// The kernel-timing hub (present iff obs is enabled).
+    pub fn kernel_hub(&self) -> Option<&Arc<KernelHub>> {
+        self.kernel.as_ref()
+    }
 }
 
 /// An attached entry-point span (see [`Obs::span`]). Field order matters:
-/// the span must drop (and record) before the attach guard detaches.
+/// the span must drop (and record) before the attach guards detach.
 pub struct PipelineSpan {
     span: trace::Span,
     _attach: trace::AttachGuard,
+    _kernel: kernel::KernelAttachGuard,
 }
 
 impl PipelineSpan {
@@ -278,6 +347,39 @@ mod tests {
         assert_eq!(inner.parent, outer.id);
         let json = obs.trace_chrome_json();
         assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn flight_records_even_when_disabled() {
+        let obs = Obs::off();
+        obs.maintain_observed("q", 123, 4, false);
+        assert!(obs.registry().is_empty(), "flight must not touch metrics");
+        let events = obs.flight().events(u64::MAX);
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].event,
+            FlightEvent::Maintained {
+                template: flight::fid("q"),
+                versions: 0,
+                rows: 4,
+                dur_ns: 123,
+            }
+        );
+        assert!(obs.flight_dump().contains("\"kind\":\"maintained\""));
+    }
+
+    #[test]
+    fn enabled_span_attaches_kernel_timing() {
+        let obs = Obs::new(&ObsConfig::metrics_only());
+        {
+            let _s = obs.span("maintain");
+            kernel::timed(KernelPath::Row, 3, || {});
+        }
+        // Outside the span nothing is attached.
+        kernel::timed(KernelPath::Row, 100, || {});
+        let text = obs.metrics_text();
+        assert!(text.contains("imp_kernel_ns_count{path=\"row\"} 1"));
+        assert!(text.contains("imp_kernel_rows{path=\"row\"} 3"));
     }
 
     #[test]

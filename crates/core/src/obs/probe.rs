@@ -68,6 +68,14 @@ pub enum ObsEvent {
         /// Sketch entries in the published snapshot.
         sketches: usize,
     },
+    /// A health watchdog rule fired (see [`crate::obs::health`]).
+    WatchdogFired {
+        /// Rule family name (`shard_liveness`, `queue_depth`,
+        /// `backpressure_stalls`, `maintain_p99_slo`).
+        rule: &'static str,
+        /// Human-readable specifics of the firing.
+        detail: String,
+    },
     /// The middleware answered a SELECT.
     QueryAnswered {
         /// How the sketch store served it (`"capture"`, `"fresh"`,

@@ -154,6 +154,48 @@ impl Slot {
     }
 }
 
+/// One series captured by [`MetricsRegistry::sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label set.
+    pub labels: Labels,
+    /// Point-in-time value.
+    pub value: SampleValue,
+}
+
+impl MetricSample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Point-in-time value of one sampled series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Full histogram snapshot (bucket-wise subtractable for windowing).
+    Histogram(HistSnapshot),
+}
+
+impl SampleValue {
+    /// The scalar value of a counter or gauge (`None` for histograms).
+    pub fn scalar(&self) -> Option<u64> {
+        match self {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => Some(*v),
+            SampleValue::Histogram(_) => None,
+        }
+    }
+}
+
 /// The unified registry (see the module docs).
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -225,6 +267,27 @@ impl MetricsRegistry {
     /// True iff nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.slots.lock().is_empty()
+    }
+
+    /// Snapshot every registered series as plain values, sorted by name
+    /// then labels (the registry's natural order). This is the read API
+    /// the health watchdogs and the obsd `/sketches` endpoint consume:
+    /// one lock hold, no references into the registry escape, so readers
+    /// never block recorders beyond the snapshot instant.
+    pub fn sample(&self) -> Vec<MetricSample> {
+        let slots = self.slots.lock();
+        slots
+            .iter()
+            .map(|((name, labels), slot)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match slot {
+                    Slot::Counter(a) => SampleValue::Counter(a.load(Ordering::Relaxed)),
+                    Slot::Gauge(a) => SampleValue::Gauge(a.load(Ordering::Relaxed)),
+                    Slot::Hist(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
     }
 
     /// Merge every histogram series named `name` (across label sets) into
@@ -422,7 +485,9 @@ fn escape_into(out: &mut String, v: &str) {
     }
 }
 
-fn json_string(out: &mut String, v: &str) {
+/// Append `v` as a JSON string literal (shared with the health and
+/// obsd JSON renderers).
+pub(crate) fn json_string(out: &mut String, v: &str) {
     out.push('"');
     for c in v.chars() {
         match c {
@@ -495,6 +560,24 @@ mod tests {
         // Deterministic output.
         assert_eq!(json, reg.render_json());
         assert_eq!(text, reg.render_text());
+    }
+
+    #[test]
+    fn sample_captures_every_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(3);
+        reg.gauge_with("g", &[("shard", "1")]).set(7);
+        reg.histogram("h").record(99);
+        let samples = reg.sample();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "c");
+        assert_eq!(samples[0].value, SampleValue::Counter(3));
+        assert_eq!(samples[1].label("shard"), Some("1"));
+        assert_eq!(samples[1].value.scalar(), Some(7));
+        match &samples[2].value {
+            SampleValue::Histogram(s) => assert_eq!(s.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -360,9 +360,13 @@ impl AggOp {
         // Lazy pre-batch snapshots of each touched group's output (§7.1).
         let mut old_outputs: FxHashMap<Row, Option<(Row, AnnotId)>> = FxHashMap::default();
         if input.len() >= self.columnar_min {
-            self.apply_columnar(&input, total, &mut old_outputs, ctx)?;
+            crate::obs::kernel::timed(crate::obs::KernelPath::Columnar, input.len(), || {
+                self.apply_columnar(&input, total, &mut old_outputs, ctx)
+            })?;
         } else {
-            self.apply_rowwise(&input, total, &mut old_outputs, ctx)?;
+            crate::obs::kernel::timed(crate::obs::KernelPath::Row, input.len(), || {
+                self.apply_rowwise(&input, total, &mut old_outputs, ctx)
+            })?;
         }
         ctx.metrics.groups_touched += old_outputs.len() as u64;
         // Emit Δ-old / Δ+new per touched group; drop dead groups.

@@ -131,6 +131,17 @@ impl Scheduler {
         self.metrics.snapshot()
     }
 
+    /// Shared handle to the snapshot board (obsd's `/sketches` reads
+    /// published snapshots through this without touching the scheduler).
+    pub fn board_handle(&self) -> Arc<SnapshotBoard> {
+        Arc::clone(&self.board)
+    }
+
+    /// Shared handle to the scheduler counters.
+    pub fn metrics_handle(&self) -> Arc<SchedMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Epoch of the latest published snapshot (0 = none yet).
     pub fn snapshot_epoch(&self) -> u64 {
         self.board.epoch()
@@ -155,6 +166,10 @@ impl Scheduler {
     pub fn route(&self, table: &str) {
         let _span = self.obs.span("route");
         if self.shared.stage(table) {
+            self.obs.flight().record(crate::obs::FlightEvent::Staged {
+                table: crate::obs::flight::fid(table),
+                queued: 1,
+            });
             self.obs.emit(|| ObsEvent::UpdateStaged {
                 table: table.to_string(),
                 queued: true,
@@ -165,6 +180,10 @@ impl Scheduler {
                 // A full staging queue (not a disabled one) is pressure.
                 self.metrics.backpressure_stalls.inc();
             }
+            self.obs.flight().record(crate::obs::FlightEvent::Staged {
+                table: crate::obs::flight::fid(table),
+                queued: 0,
+            });
             self.obs.emit(|| ObsEvent::UpdateStaged {
                 table: table.to_string(),
                 queued: false,

@@ -213,6 +213,10 @@ impl ShardWorker {
     /// The worker loop: controls → own claims → steals → idle block.
     pub(crate) fn run(mut self) {
         loop {
+            // Liveness heartbeat: the health watchdogs compare this gauge
+            // across ticks — frozen while the inbox is non-empty means
+            // this worker is wedged.
+            self.metrics.beat(self.id);
             // Handle every control already queued (each is a barrier).
             let mut stop = false;
             while let Ok(msg) = self.rx.try_recv() {
@@ -319,6 +323,19 @@ impl ShardWorker {
         if stolen {
             self.metrics.stole_from(shard, claim.batches);
         }
+        self.obs.flight().record(if stolen {
+            crate::obs::FlightEvent::Stolen {
+                shard: shard as u64,
+                worker: self.id as u64,
+                batches: claim.batches,
+            }
+        } else {
+            crate::obs::FlightEvent::Claimed {
+                shard: shard as u64,
+                worker: self.id as u64,
+                batches: claim.batches,
+            }
+        });
         self.obs.emit(|| ObsEvent::ShardClaim {
             shard,
             worker: self.id,
@@ -484,14 +501,17 @@ impl ShardWorker {
         };
         let db = self.db.read();
         let _span = self.obs.span("maintain_on_demand");
+        let from_version = entry.maintainer.version();
         let report =
             crate::middleware::maintain_entry(entry, &db, self.config.retain_sketch_versions)?;
         self.metrics.maintain_runs.inc();
-        self.obs.maintain_observed(
+        self.obs.maintain_observed_spanned(
             template.text(),
             report.duration.as_nanos() as u64,
             report.advisor_cost().delta_rows,
             report.recaptured,
+            from_version,
+            entry.maintainer.version(),
         );
         self.tracker.record_maintenance(
             SketchKey::new(template.text(), entry.sql.clone()),
@@ -519,6 +539,7 @@ impl ShardWorker {
                     continue;
                 }
                 let _span = self.obs.span("maintain_stale");
+                let from_version = entry.maintainer.version();
                 match crate::middleware::maintain_entry(
                     entry,
                     &db,
@@ -526,11 +547,13 @@ impl ShardWorker {
                 ) {
                     Ok(report) => {
                         self.metrics.maintain_runs.inc();
-                        self.obs.maintain_observed(
+                        self.obs.maintain_observed_spanned(
                             template.text(),
                             report.duration.as_nanos() as u64,
                             report.advisor_cost().delta_rows,
                             report.recaptured,
+                            from_version,
+                            entry.maintainer.version(),
                         );
                         self.tracker.record_maintenance(
                             SketchKey::new(template.text(), entry.sql.clone()),
@@ -638,6 +661,7 @@ pub(crate) fn run_claim(
                 continue;
             }
             let _span = trace::span("maintain_routed");
+            let from_version = entry.maintainer.version();
             let mut run = || -> Result<MaintReport> {
                 restore_if_evicted(entry)?;
                 let report = entry.maintainer.maintain_from(db, routed)?;
@@ -647,11 +671,13 @@ pub(crate) fn run_claim(
             match run() {
                 Ok(report) => {
                     metrics.maintain_runs.inc();
-                    obs.maintain_observed(
+                    obs.maintain_observed_spanned(
                         template.text(),
                         report.duration.as_nanos() as u64,
                         report.advisor_cost().delta_rows,
                         report.recaptured,
+                        from_version,
+                        entry.maintainer.version(),
                     );
                     tracker.record_maintenance(
                         SketchKey::new(template.text(), entry.sql.clone()),
@@ -690,13 +716,21 @@ pub(crate) fn publish(shard: usize, state: &mut ShardState, board: &SnapshotBoar
                     tables: Arc::clone(&meta.tables),
                     sketch: Arc::new(e.maintainer.sketch().clone()),
                     version: e.maintainer.version(),
+                    lifecycle: e.lifecycle,
+                    state_bytes: stored_heap_size(e),
                 }
             })
         })
         .collect();
+    let count = sketches.len();
     obs.emit(|| ObsEvent::SnapshotPublish {
         shard,
-        sketches: sketches.len(),
+        sketches: count,
     });
-    board.publish(shard, sketches);
+    let epoch = board.publish(shard, sketches);
+    obs.flight().record(crate::obs::FlightEvent::Published {
+        shard: shard as u64,
+        sketches: count as u64,
+        epoch,
+    });
 }

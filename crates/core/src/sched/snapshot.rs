@@ -9,6 +9,7 @@
 //! Readers lock a slot only long enough to clone the `Arc`; writers only
 //! long enough to swap it.
 
+use crate::advisor::Lifecycle;
 use imp_sketch::SketchSet;
 use imp_sql::{LogicalPlan, QueryTemplate};
 use parking_lot::Mutex;
@@ -32,6 +33,10 @@ pub struct PublishedSketch {
     pub sketch: Arc<SketchSet>,
     /// Database version the sketch is valid for.
     pub version: u64,
+    /// Advisor lifecycle rung at publication (introspection: `/sketches`).
+    pub lifecycle: Lifecycle,
+    /// Heap bytes of the stored sketch state at publication.
+    pub state_bytes: usize,
 }
 
 /// Immutable snapshot of one shard's sketches.

@@ -253,6 +253,11 @@ impl SchedShared {
         let (delta, shards) = router.collect(db, table)?;
         self.metrics.routed_batches.inc();
         self.metrics.routed_rows.add(delta.entries.len() as u64);
+        self.obs.flight().record(crate::obs::FlightEvent::Routed {
+            table: crate::obs::flight::fid(&delta.table),
+            rows: delta.entries.len() as u64,
+            shards: shards.len() as u64,
+        });
         self.obs.emit(|| ObsEvent::RouterIngest {
             table: delta.table.clone(),
             rows: delta.entries.len() as u64,

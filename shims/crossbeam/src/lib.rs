@@ -21,6 +21,16 @@
 //! selects on the same receiver fall back to the timeout), and a
 //! zero-capacity `bounded` degrades to capacity 1 (no rendezvous
 //! semantics).
+//!
+//! Anything needing **more than two arms** cannot use `select!` at all,
+//! and anything latency-sensitive should remember that waker-slot
+//! contention degrades a parked selector to a 10 ms
+//! [`SELECT_FALLBACK`](channel::SELECT_FALLBACK) poll. The periodic
+//! observability threads (`imp_core::obs::health::spawn_health_ticker`
+//! and the obsd endpoint plumbing) therefore pair one dedicated shutdown
+//! channel with `recv_timeout(tick)` directly — real OS blocking with an
+//! exact deadline, no waker slot shared, and immune to both limits by
+//! construction.
 
 pub mod channel {
     //! Multi-producer multi-consumer channels (mpsc-backed subset).
